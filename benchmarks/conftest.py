@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+One pipeline (crawl + dataset) is built per session at bench scale; each
+benchmark then times the analysis that regenerates one paper table/figure
+and *prints* the paper-style rows (also written to ``bench_results/``).
+
+Scale: 2 sites per bucket × 5 buckets × 5 pages × 5 profiles = 250 visits.
+Paper-scale numbers differ in magnitude, not in shape; every bench asserts
+the shape.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_pipeline
+
+BENCH_CONFIG = ExperimentConfig(seed=2023, sites_per_bucket=2, pages_per_site=5)
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def bench_ctx():
+    """The shared measurement pipeline for all benchmarks."""
+    return run_pipeline(BENCH_CONFIG)
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a rendered experiment and persist it for inspection."""
+    print(f"\n{'=' * 70}\n[{experiment_id}]\n{'=' * 70}\n{text}\n")
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")

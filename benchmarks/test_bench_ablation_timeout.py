@@ -1,0 +1,24 @@
+"""Benchmark: the timeout/statefulness ablation (Appendix C knobs)."""
+
+from repro.experiments import ablation_timeout
+
+from benchmarks.conftest import emit
+
+
+def test_bench_ablation_timeout(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        ablation_timeout.run, args=(bench_ctx,), rounds=1, iterations=1
+    )
+    emit("ablation_timeout", ablation_timeout.render(result))
+    points = {point.timeout: point for point in result.points}
+    # Longer timeouts succeed more and keep more pages comparable.
+    ordered = [points[t] for t in sorted(points)]
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later.success_rate >= earlier.success_rate
+        assert later.vetted_pages >= earlier.vetted_pages
+    # At the paper's 30 s the crawl is healthy.
+    assert ordered[-1].success_rate > 0.8
+    # Stateful crawling accumulates cookies without changing traffic volume.
+    state = result.statefulness
+    assert state.stateful_cookies_per_visit > state.stateless_cookies_per_visit
+    assert state.stateful_requests == state.stateless_requests

@@ -1,0 +1,20 @@
+"""Benchmark: the design-choice ablations (DESIGN.md §5)."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import emit
+
+
+def test_bench_ablations(benchmark, bench_ctx):
+    result = benchmark.pedantic(ablations.run, args=(bench_ctx,), rounds=1, iterations=1)
+    emit("ablations", ablations.render(result))
+    # Raw URLs inflate observed differences (paper §6).
+    assert result.normalization.raw_variation > result.normalization.normalized_variation
+    # Normalization touches a large URL share (paper: 40%).
+    assert 0.1 < result.normalization.normalized_changed_ratio < 0.9
+    # Without stack/redirect attribution trees collapse toward the root.
+    assert result.attribution.frames_only_mean_depth < result.attribution.full_mean_depth
+    assert result.attribution.frames_only_root_children > result.attribution.full_root_children
+    # Whole-tree similarity is a single coarse score; both measures bounded.
+    assert 0.0 <= result.granularity.whole_tree_mean <= 1.0
+    assert 0.0 <= result.granularity.depth_one_mean <= 1.0

@@ -1,0 +1,19 @@
+"""Benchmark + reproduction: §5.2 case study — cookies."""
+
+from repro.experiments import case_cookies
+
+from benchmarks.conftest import emit
+
+
+def test_bench_case_cookies(benchmark, bench_ctx):
+    result = benchmark.pedantic(case_cookies.run, args=(bench_ctx,), rounds=2, iterations=1)
+    emit("case_cookies", case_cookies.render(result))
+    report = result.report
+    # Paper: 32% of cookies in all profiles, 42% in only one; page-level
+    # similarity .70; NoAction sets the fewest cookies and compares worse.
+    assert report.total_cookies > 0
+    assert 0.1 < report.in_all_profiles_share < 0.7
+    assert 0.1 < report.in_one_profile_share < 0.8
+    assert report.in_all_profiles_share + report.in_one_profile_share < 1.0
+    assert report.noaction_cookie_count < report.cookies_per_profile.maximum
+    assert report.noaction_similarity.mean <= report.page_similarity.mean + 0.05

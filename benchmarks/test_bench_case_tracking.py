@@ -1,0 +1,29 @@
+"""Benchmark + reproduction: §5.3 case study — tracking requests."""
+
+from repro.experiments import case_tracking
+
+from benchmarks.conftest import emit
+
+
+def test_bench_case_tracking(benchmark, bench_ctx):
+    result = benchmark.pedantic(case_tracking.run, args=(bench_ctx,), rounds=2, iterations=1)
+    emit("case_tracking", case_tracking.render(result))
+    report = result.report
+    # Paper: 22% tracking nodes; child similarity .62 vs .75 (non-tracking);
+    # trackers have fewer children; tracker parents are often trackers (65%)
+    # and usually third-party (82%).
+    assert 0.1 < report.tracking_node_share < 0.5
+    assert (
+        report.child_similarity_tracking.mean
+        < report.child_similarity_non_tracking.mean
+    )
+    assert report.triggered_by_tracker_share > 0.3
+    assert report.tracker_parent_third_party_share > 0.4
+    # Parent classification: scripts and subframes dominate (paper: 46%/34%).
+    shares = report.parent_type_shares
+    assert shares.get("script", 0) + shares.get("subframe", 0) > 0.4
+    # Same-parent contrast (paper: 28% vs 66%).
+    assert (
+        result.same_chain_contrast["non_tracking"]
+        > result.same_chain_contrast["tracking"]
+    )

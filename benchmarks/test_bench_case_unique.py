@@ -1,0 +1,20 @@
+"""Benchmark + reproduction: §5.1 case study — unique nodes."""
+
+from repro.experiments import case_unique
+
+from benchmarks.conftest import emit
+
+
+def test_bench_case_unique(benchmark, bench_ctx):
+    result = benchmark.pedantic(case_unique.run, args=(bench_ctx,), rounds=2, iterations=1)
+    emit("case_unique", case_unique.render(result))
+    report = result.report
+    # Paper: 24% unique, 90% third-party, 37% tracking, mean depth 2.7,
+    # 22% at depth one, top hosters are ad networks/CDNs.
+    assert 0.03 < report.unique_share < 0.5
+    assert report.third_party_share > 0.7
+    assert report.tracking_share > 0.1
+    assert 1.0 <= report.depth.mean <= 4.5
+    assert report.top_hosting_sites
+    # The top hoster serves a nontrivial share of unique content.
+    assert report.top_hosting_sites[0][1] > 0.05

@@ -1,0 +1,24 @@
+"""Benchmark + reproduction: Figure 1 — depth/breadth distribution."""
+
+from repro.experiments import figure1
+
+from benchmarks.conftest import emit
+
+
+def test_bench_figure1(benchmark, bench_ctx):
+    result = benchmark.pedantic(figure1.run, args=(bench_ctx,), rounds=3, iterations=1)
+    emit("figure1", figure1.render(result))
+    cells = result.cells
+    assert cells
+    # Paper shape: the mass of the distribution sits at shallow depths,
+    # and trees at the maximum depth are a small minority.
+    total = sum(cells.values())
+    shallow = sum(count for (depth, _), count in cells.items() if depth <= 5)
+    assert shallow > total * 0.5
+    max_depth = max(depth for depth, _ in cells)
+    at_max_depth = sum(count for (depth, _), count in cells.items() if depth == max_depth)
+    assert max_depth <= 2 or at_max_depth < total * 0.5
+    # Depth and breadth both spread over several values (a distribution,
+    # not a point).
+    assert len({depth for depth, _ in cells}) >= 2
+    assert len({breadth for _, breadth in cells}) >= 3

@@ -1,0 +1,21 @@
+"""Benchmark + reproduction: Figure 2 — similarity distributions."""
+
+from repro.analysis import category_shares, SimilarityCategory
+from repro.experiments import figure2
+
+from benchmarks.conftest import emit
+
+
+def test_bench_figure2(benchmark, bench_ctx):
+    result = benchmark.pedantic(figure2.run, args=(bench_ctx,), rounds=2, iterations=1)
+    emit("figure2", figure2.render(result))
+    # Paper: ~60% of nodes' children show high similarity; parents show an
+    # almost perfect similarity for most nodes (61%) with a low tail (~20%).
+    child_shares = category_shares(result.child_similarities)
+    parent_shares = category_shares(result.parent_similarities)
+    assert child_shares[SimilarityCategory.HIGH] > 0.35
+    assert parent_shares[SimilarityCategory.HIGH] > 0.35
+    assert parent_shares[SimilarityCategory.LOW] > 0.03
+    # Distributions live in [0, 1].
+    for value in result.child_similarities + result.parent_similarities:
+        assert 0.0 <= value <= 1.0

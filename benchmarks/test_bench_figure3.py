@@ -1,0 +1,21 @@
+"""Benchmark + reproduction: Figure 3 — node-type volume per depth."""
+
+from repro.experiments import figure3
+
+from benchmarks.conftest import emit
+
+
+def test_bench_figure3(benchmark, bench_ctx):
+    result = benchmark.pedantic(figure3.run, args=(bench_ctx,), rounds=3, iterations=1)
+    emit("figure3", figure3.render(result))
+    rows = {row.depth: row for row in result.rows}
+    # Depth 0 is the visited page: 100% first party (paper: 99%).
+    assert rows[0].first_party > 0.95
+    # First-party content dominates at depth one (paper: 55%)...
+    assert rows[1].first_party > 0.4
+    # ...while third-party and tracking nodes take over at deeper levels.
+    deepest = rows[max(rows)]
+    assert deepest.third_party > 0.8
+    assert deepest.tracking > rows[1].tracking
+    # Volume peaks at depth one.
+    assert rows[1].total_nodes == max(row.total_nodes for row in result.rows)

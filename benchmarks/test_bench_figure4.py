@@ -1,0 +1,20 @@
+"""Benchmark + reproduction: Figure 4 — similarity by depth."""
+
+from repro.experiments import figure4
+
+from benchmarks.conftest import emit
+
+
+def test_bench_figure4(benchmark, bench_ctx):
+    result = benchmark.pedantic(figure4.run, args=(bench_ctx,), rounds=2, iterations=1)
+    emit("figure4", figure4.render(result))
+    points = {p.depth: p for p in result.points}
+    # Paper shape: parent similarity decreases with depth.
+    assert points[1].parent_similarity > points[max(points)].parent_similarity
+    # Child similarity trends downward from depth one (fluctuation allowed,
+    # the paper observes an eventual uptick in deep branches).
+    assert points[1].child_similarity >= min(p.child_similarity for p in result.points)
+    # The child-count/similarity relation is testable and bounded.
+    test, small, large = result.count_vs_similarity
+    assert 0.0 <= test.p_value <= 1.0
+    assert 0.0 <= small <= 1.0 and 0.0 <= large <= 1.0

@@ -1,0 +1,22 @@
+"""Benchmark + reproduction: Figure 5 — resource types vs page similarity."""
+
+from repro.experiments import figure5
+
+from benchmarks.conftest import emit
+
+
+def test_bench_figure5(benchmark, bench_ctx):
+    result = benchmark.pedantic(figure5.run, args=(bench_ctx,), rounds=1, iterations=1)
+    emit("figure5", figure5.render(result))
+    # Bins exist for both orientations and shares are normalized.
+    assert result.by_parent_similarity
+    assert result.by_child_similarity
+    for shares in result.by_parent_similarity.values():
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+    # Subframe impact (paper: pages without subframes show high average
+    # similarity, pages with subframes medium).
+    impact = result.subframe_impact
+    with_frames = impact["with_subframes"]["parent"]
+    without = impact["without_subframes"]["parent"]
+    if with_frames is not None and without is not None:
+        assert without >= with_frames - 0.05

@@ -1,0 +1,20 @@
+"""Benchmark + reproduction: Figure 7 (Appendix G) — per-type similarity by depth."""
+
+from repro.experiments import figure7
+from repro.web.resources import ResourceType
+
+from benchmarks.conftest import emit
+
+
+def test_bench_figure7(benchmark, bench_ctx):
+    result = benchmark.pedantic(figure7.run, args=(bench_ctx,), rounds=2, iterations=1)
+    emit("figure7", figure7.render(result))
+    # The common dynamic types appear with per-depth entries.
+    types = set(result.data)
+    assert ResourceType.SCRIPT in types
+    assert ResourceType.IMAGE in types
+    for per_depth in result.data.values():
+        assert per_depth
+        for child_sim, parent_sim in per_depth.values():
+            assert 0.0 <= child_sim <= 1.0
+            assert 0.0 <= parent_sim <= 1.0

@@ -1,0 +1,22 @@
+"""Benchmark + reproduction: Figure 8 (Appendix E) — children per depth."""
+
+from repro.experiments import figure8
+
+from benchmarks.conftest import emit
+
+
+def test_bench_figure8(benchmark, bench_ctx):
+    result = benchmark.pedantic(figure8.run, args=(bench_ctx,), rounds=2, iterations=1)
+    emit("figure8", figure8.render(result))
+    counts = result.counts
+    # Paper: each node has on average ~0.9 children; the visited page loads
+    # ~31.7 directly; 92% of non-root nodes have at most one child.
+    assert 0.1 < counts.per_node.mean < 3.0
+    assert counts.per_page_root.mean > 5.0
+    assert counts.share_with_at_most_one_child_beyond_root > 0.6
+    # Among nodes *with* children, deeper nodes have at least comparable
+    # fan-out (the paper's counterintuitive Appendix E observation).
+    filtered = result.per_depth_with_children
+    if len(filtered) >= 3:
+        depths = sorted(filtered)
+        assert filtered[depths[-1]].mean >= 1.0

@@ -1,0 +1,20 @@
+"""Benchmark: implicit-trust chains and the inclusion graph."""
+
+from repro.experiments import implicit_trust
+
+from benchmarks.conftest import emit
+
+
+def test_bench_implicit_trust(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        implicit_trust.run, args=(bench_ctx,), rounds=1, iterations=1
+    )
+    emit("implicit_trust", implicit_trust.render(result))
+    report = result.report
+    # Most third-party exposure is implicit (the paper's deep levels).
+    assert report.implicit_third_party_share > 0.5
+    assert report.chain_depth.mean >= 2.0
+    # The inclusion graph is nontrivial and trackers occupy its center.
+    assert result.graph_nodes > 10
+    assert result.graph_edges >= result.graph_nodes
+    assert result.central_trackers

@@ -1,0 +1,48 @@
+"""Benchmark + reproduction: Table 1 — the profile definitions.
+
+Table 1 is configuration, not measurement; the bench verifies the five
+profiles and times a single profile-visit round-trip per configuration.
+"""
+
+from repro.browser import BrowserEngine, PAPER_PROFILES
+from repro.reporting import render_table
+from repro.web import WebGenerator
+
+from benchmarks.conftest import emit
+
+
+def test_bench_profiles(benchmark, bench_ctx):
+    generator = WebGenerator(seed=55)
+    page = generator.site(1).landing_page
+
+    def visit_all():
+        results = {}
+        for profile in PAPER_PROFILES:
+            engine = BrowserEngine(profile, seed=55)
+            results[profile.name] = engine.visit(
+                page, site="x", site_rank=1, visit_id=1
+            )
+        return results
+
+    results = benchmark.pedantic(visit_all, rounds=3, iterations=1)
+    table = render_table(
+        headers=["#", "Name", "Version", "User Interaction", "GUI", "Country"],
+        rows=[
+            [
+                index + 1,
+                profile.name,
+                profile.version,
+                "yes" if profile.user_interaction else "no",
+                "yes" if profile.gui else "no",
+                profile.country,
+            ]
+            for index, profile in enumerate(PAPER_PROFILES)
+        ],
+        title="Table 1: Overview of the used profiles",
+    )
+    emit("table1", table)
+    assert len(PAPER_PROFILES) == 5
+    assert [p.name for p in PAPER_PROFILES] == ["Old", "Sim1", "Sim2", "NoAction", "Headless"]
+    # The NoAction visit produces the least traffic for interaction-heavy pages.
+    request_counts = {name: len(result.requests) for name, result in results.items()}
+    assert request_counts["NoAction"] <= max(request_counts.values())

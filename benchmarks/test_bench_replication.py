@@ -1,0 +1,21 @@
+"""Benchmark: the within/between-setup variance decomposition."""
+
+from repro.experiments import replication
+
+from benchmarks.conftest import emit
+
+
+def test_bench_replication(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        replication.run, args=(bench_ctx,), rounds=1, iterations=1
+    )
+    emit("replication", replication.render(result))
+    report = result.report
+    assert report.pages > 0
+    # The paper's §4.4 shape made quantitative: even the same setup differs
+    # between runs (within < 1), and different setups differ at least as
+    # much (between <= within).
+    assert report.within.mean < 1.0
+    assert report.between.mean <= report.within.mean + 0.02
+    # The Web's own noise explains the majority of the dissimilarity.
+    assert report.noise_share > 0.5

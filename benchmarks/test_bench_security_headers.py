@@ -1,0 +1,23 @@
+"""Benchmark: security-header consistency (security-lottery extension)."""
+
+from repro.experiments import security_headers
+
+from benchmarks.conftest import emit
+
+
+def test_bench_security_headers(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        security_headers.run, args=(bench_ctx,), rounds=2, iterations=1
+    )
+    emit("security_headers", security_headers.render(result))
+    report = result.report
+    # Stable headers are adopted broadly and never inconsistent.
+    assert report.adoption["strict-transport-security"] > 0.5
+    assert report.presence_lottery_rate["strict-transport-security"] == 0.0
+    assert report.presence_lottery_rate["x-content-type-options"] == 0.0
+    # The lottery exists but affects a minority of pages.
+    assert 0.0 <= report.inconsistent_page_share < 0.6
+    total_lottery = sum(report.presence_lottery_rate.values()) + sum(
+        report.value_lottery_rate.values()
+    )
+    assert total_lottery >= 0.0

@@ -1,0 +1,26 @@
+"""Benchmark: the cross-study comparability experiment."""
+
+from repro.experiments import study_comparability
+
+from benchmarks.conftest import emit
+
+
+def test_bench_study_comparability(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        study_comparability.run, args=(bench_ctx,), rounds=1, iterations=1
+    )
+    emit("study_comparability", study_comparability.render(result))
+    rerun, noaction, other_web = result.reports
+    # The agreement gradient the paper's motivation describes:
+    # a re-run agrees on prevalence better than a methodology change...
+    assert rerun.tracking_share_gap <= noaction.tracking_share_gap + 0.02
+    # ...and names a more similar tracker list than a different population.
+    assert rerun.top_tracker_overlap >= other_web.top_tracker_overlap - 0.05
+    # The NoAction-only study under-reports tracking (misses lazy ads).
+    assert (
+        noaction.study_b.tracking_share
+        < noaction.study_a.tracking_share
+    )
+    # Different webs share (almost) no site set, so rankings can barely be
+    # compared (rank-based domains may coincide on the TLD draw).
+    assert other_web.common_sites <= other_web.study_a.sites / 2

@@ -1,0 +1,19 @@
+"""Benchmark + reproduction: Table 2 — overview of the measured trees."""
+
+from repro.experiments import table2
+
+from benchmarks.conftest import emit
+
+
+def test_bench_table2(benchmark, bench_ctx):
+    result = benchmark.pedantic(table2.run, args=(bench_ctx,), rounds=3, iterations=1)
+    emit("table2", table2.render(result))
+    overview = result.overview
+    # Paper shapes: presence avg 3.6 of 5; ~52% in all profiles; ~24% in
+    # one; two-profile comparisons differ substantially.
+    assert 3.0 <= overview.mean_presence <= 4.5
+    assert 0.3 < overview.present_in_all_share < 0.75
+    assert 0.08 < overview.present_in_one_share < 0.45
+    assert 0.15 < result.pairwise_variation < 0.6
+    # Trees are broad-but-shallow on average.
+    assert overview.depth.mean < overview.breadth.mean

@@ -1,0 +1,25 @@
+"""Benchmark + reproduction: Table 3 — similarity of nodes at depths."""
+
+from repro.experiments import table3
+
+from benchmarks.conftest import emit
+
+
+def test_bench_table3(benchmark, bench_ctx):
+    result = benchmark.pedantic(table3.run, args=(bench_ctx,), rounds=3, iterations=1)
+    emit("table3", table3.render(result))
+    rows = {row.label: row for row in result.rows}
+    # Paper's ordering: common nodes ~.99 > first-party .88 > third-party .76.
+    assert (
+        rows["nodes in all trees"].similarity
+        > rows["first-party nodes"].similarity
+        > rows["third-party nodes"].similarity
+    )
+    # Restricting depth-one to nodes with children lowers (or keeps) the
+    # all-nodes similarity, as in the paper (.80 -> .74).
+    assert (
+        rows["across all depths (only nodes with children)"].similarity
+        <= rows["across all depths (all nodes)"].similarity + 0.02
+    )
+    # Nodes in all trees appear at the same depth (paper: ~.99 of cases).
+    assert result.same_depth_share > 0.9

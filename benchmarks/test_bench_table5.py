@@ -1,0 +1,24 @@
+"""Benchmark + reproduction: Table 5 — per-profile tree totals."""
+
+from repro.experiments import table5
+
+from benchmarks.conftest import emit
+
+
+def test_bench_table5(benchmark, bench_ctx):
+    result = benchmark.pedantic(table5.run, args=(bench_ctx,), rounds=3, iterations=1)
+    emit("table5", table5.render(result))
+    rows = {row.profile: row for row in result.rows}
+    # Paper Table 5 shape: NoAction markedly smaller on every count; the
+    # four interaction profiles are mutually similar.
+    noaction = rows["NoAction"]
+    others = [rows[name] for name in ("Old", "Sim1", "Sim2", "Headless")]
+    for row in others:
+        assert row.nodes > noaction.nodes
+        assert row.third_party > noaction.third_party
+        assert row.tracker > noaction.tracker
+    node_counts = [row.nodes for row in others]
+    assert max(node_counts) / min(node_counts) < 1.25
+    # Third-party nodes dominate (paper: ~13.2M of 19.4M).
+    for row in result.rows:
+        assert row.third_party > row.nodes * 0.4

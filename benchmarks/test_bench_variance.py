@@ -1,0 +1,25 @@
+"""Benchmark: the measurement-variance metric (paper takeaways #1 and #4)."""
+
+from repro.experiments import variance_metric
+
+from benchmarks.conftest import emit
+
+
+def test_bench_variance(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        variance_metric.run, args=(bench_ctx,), rounds=1, iterations=1
+    )
+    emit("variance", variance_metric.render(result))
+    # The fluctuation index is nonzero (the Web's dynamics are real) but
+    # far from total chaos.
+    assert 0.05 < result.fluctuation.mean < 0.7
+    # One profile is not enough; five always cover everything.
+    curve = result.coverage_curve
+    assert curve[1] < 0.95
+    assert curve[5] == 1.0
+    assert all(curve[k] <= curve[k + 1] for k in range(1, 5))
+    # Multiple measurements are needed for near-complete coverage
+    # (takeaway #4), and the bootstrap CI brackets its point estimate.
+    assert result.profiles_for_95 is None or result.profiles_for_95 >= 2
+    point, low, high = result.child_similarity_ci
+    assert low <= point <= high

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Scenario: who really loads whom — the inclusion graph of a crawl.
+
+Dependency trees answer per-page questions; aggregated into a site-level
+inclusion graph they answer ecosystem questions: which entities sit at the
+center of the loading web, and how much of a page's third-party exposure
+was never chosen by the site operator (implicit trust).
+
+Also demonstrates the ASCII tree renderer on a single visit.
+
+Run:
+    python examples/ecosystem_graph.py
+"""
+
+from repro.analysis import ImplicitTrustAnalyzer
+from repro.experiments import ExperimentConfig, run_pipeline
+from repro.reporting import percent, render_bar_chart
+from repro.reporting.treeview import render_tree
+from repro.trees.graph import inclusion_graph, tracker_centrality
+
+
+def main() -> None:
+    ctx = run_pipeline(ExperimentConfig(seed=13, sites_per_bucket=2, pages_per_site=4))
+
+    # One concrete visit, rendered (truncated for readability).
+    entry = ctx.dataset.entries[0]
+    tree = entry.comparison.trees["Sim1"]
+    print("one page visit as a dependency tree (truncated):\n")
+    print(render_tree(tree, max_depth=2, max_children=6))
+    print()
+
+    # The site-level inclusion graph across all trees.
+    trees = [t for e in ctx.dataset for t in e.comparison.tree_list()]
+    graph = inclusion_graph(trees)
+    print(
+        f"inclusion graph over {len(trees)} trees: "
+        f"{graph.number_of_nodes()} sites, {graph.number_of_edges()} edges\n"
+    )
+    central = tracker_centrality(graph, top=6)
+    print(
+        render_bar_chart(
+            {site: score for site, score in central},
+            title="most central trackers (share of all inclusion edges):",
+            value_format="{:.1%}",
+        )
+    )
+
+    # Implicit trust: exposure the site operator never chose.
+    report = ImplicitTrustAnalyzer().analyze(ctx.dataset)
+    print(
+        f"\n{percent(report.implicit_third_party_share)} of third-party loads are"
+        f" implicitly trusted (mean chain depth {report.chain_depth.mean:.1f});"
+        f" an average page implicitly exposes its visitors to"
+        f" {report.implicit_sites_per_page.mean:.0f} sites it never embedded."
+    )
+    print(
+        f"cross-profile similarity of that implicit exposure:"
+        f" {report.implicit_exposure_similarity.mean:.2f}"
+        " — the least reproducible part of a measurement (paper §4.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: run a small end-to-end reproduction and print the headlines.
+
+The pipeline mirrors the paper: generate a (synthetic) web, crawl every
+site with the five measurement profiles of Table 1, build a dependency
+tree per page visit, and cross-compare the five trees of each page.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.analysis import DepthAnalyzer, TreeStatsAnalyzer
+from repro.experiments import ExperimentConfig, run_pipeline, table2
+from repro.reporting import percent
+
+
+def main() -> None:
+    print("crawling the synthetic web with 5 profiles (this takes seconds)...")
+    ctx = run_pipeline(ExperimentConfig(seed=1, sites_per_bucket=2, pages_per_site=4))
+    summary = ctx.summary
+    print(
+        f"crawled {summary.sites_crawled} sites -> {summary.total_visits} page visits; "
+        f"{len(ctx.dataset)} pages were successfully visited by all five profiles\n"
+    )
+
+    # Table 2: how big are the trees, and how consistent are they?
+    result = table2.run(ctx)
+    print(table2.render(result))
+
+    # The paper's headline: even near-simultaneous snapshots of the same
+    # page differ considerably between measurement setups.
+    overview = TreeStatsAnalyzer().overview(ctx.dataset)
+    variation = TreeStatsAnalyzer().pairwise_data_variation(ctx.dataset)
+    print()
+    print("Takeaways (paper §4.1):")
+    print(
+        f"  * a node appears on average in {overview.mean_presence:.1f} of 5 profiles;"
+        f" {percent(overview.present_in_all_share)} appear in all,"
+        f" {percent(overview.present_in_one_share)} in only one"
+    )
+    print(
+        f"  * comparing any two profiles, {percent(variation)} of the underlying"
+        " data differs"
+    )
+    rows = {row.label: row for row in DepthAnalyzer().table3(ctx.dataset)}
+    print(
+        f"  * first-party nodes are stable (sim {rows['first-party nodes'].similarity:.2f})"
+        f" while third-party nodes fluctuate (sim {rows['third-party nodes'].similarity:.2f})"
+    )
+    print(
+        "  => single-measurement studies capture only one of the many ways a"
+        " page can behave; use several profiles and repeated visits."
+    )
+
+
+if __name__ == "__main__":
+    main()

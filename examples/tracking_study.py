@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Scenario: a Web-tracking study run with different crawler setups.
+
+This is the situation the paper's introduction motivates: a researcher
+counts trackers on popular sites.  We run that study once per measurement
+profile and show how the *same* experiment yields different numbers —
+then quantify why, using the tree comparison machinery.
+
+Run:
+    python examples/tracking_study.py
+"""
+
+from collections import Counter
+
+from repro.analysis import TrackingAnalyzer
+from repro.experiments import ExperimentConfig, run_pipeline
+from repro.reporting import percent, render_table
+
+
+def trackers_per_profile(ctx) -> dict:
+    """The study a single-profile paper would run: count tracking nodes."""
+    counts: Counter = Counter()
+    sites_with_trackers: dict = {}
+    for entry in ctx.dataset:
+        for profile, tree in entry.comparison.trees.items():
+            tracking = tree.tracking_nodes()
+            counts[profile] += len(tracking)
+            sites_with_trackers.setdefault(profile, set())
+            if tracking:
+                sites_with_trackers[profile].add(entry.site)
+    return {
+        profile: (counts[profile], len(sites_with_trackers.get(profile, ())))
+        for profile in ctx.profile_names
+    }
+
+
+def distinct_tracker_domains(ctx) -> dict:
+    """Which tracker eTLD+1s would each setup have 'discovered'?"""
+    domains: dict = {profile: set() for profile in ctx.profile_names}
+    for entry in ctx.dataset:
+        for profile, tree in entry.comparison.trees.items():
+            for node in tree.tracking_nodes():
+                if node.site:
+                    domains[profile].add(node.site)
+    return domains
+
+
+def main() -> None:
+    ctx = run_pipeline(ExperimentConfig(seed=7, sites_per_bucket=2, pages_per_site=5))
+    print(f"dataset: {len(ctx.dataset)} pages visited by all five profiles\n")
+
+    # 1. The naive study, per setup.
+    per_profile = trackers_per_profile(ctx)
+    print(
+        render_table(
+            headers=["Profile", "tracking requests", "sites with trackers"],
+            rows=[
+                [profile, count, sites]
+                for profile, (count, sites) in per_profile.items()
+            ],
+            title="The same tracking study, five different setups:",
+        )
+    )
+    counts = [count for count, _ in per_profile.values()]
+    spread = (max(counts) - min(counts)) / max(counts)
+    print(f"\n-> the reported tracker count varies by {percent(spread)} across setups\n")
+
+    # 2. Tracker discovery: which vendors would each study have named?
+    domains = distinct_tracker_domains(ctx)
+    union = set().union(*domains.values())
+    rows = [
+        [profile, len(found), percent(len(found) / len(union))]
+        for profile, found in domains.items()
+    ]
+    print(
+        render_table(
+            headers=["Profile", "tracker domains found", "share of all observed"],
+            rows=rows,
+            title="Tracker vendors discovered per setup:",
+        )
+    )
+
+    # 3. Why: trackers are the least stable nodes (paper §5.3).
+    report = TrackingAnalyzer().analyze(ctx.dataset)
+    print("\nWhy the numbers differ (paper §5.3):")
+    print(
+        f"  * tracking nodes' children similarity: "
+        f"{report.child_similarity_tracking.mean:.2f} vs "
+        f"{report.child_similarity_non_tracking.mean:.2f} for non-tracking nodes"
+    )
+    print(
+        f"  * {percent(report.triggered_by_tracker_share)} of tracking requests are"
+        " triggered by other trackers, in chains that differ per visit"
+    )
+    depth_tail = sum(
+        share for depth, share in report.depth_distribution.items() if depth >= 2
+    )
+    print(
+        f"  * {percent(depth_tail)} of tracking nodes sit at depth >= 2, where"
+        " trees fluctuate the most"
+    )
+
+
+if __name__ == "__main__":
+    main()

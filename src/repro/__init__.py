@@ -1,0 +1,56 @@
+"""repro — reproduction of *On the Similarity of Web Measurements Under
+Different Experimental Setups* (Demir et al., IMC 2023).
+
+The package provides, end to end:
+
+* a deterministic **synthetic web** (:mod:`repro.web`) standing in for the
+  live Web the paper crawls;
+* a **browser simulator** (:mod:`repro.browser`) emitting OpenWPM-style
+  instrumentation records for five measurement profiles;
+* the **crawl framework** (:mod:`repro.crawler`) — commander, clients,
+  discovery, SQLite store;
+* an **Adblock-Plus filter engine** and synthetic EasyList
+  (:mod:`repro.blocklist`);
+* **dependency trees** built from the records (:mod:`repro.trees`) — the
+  paper's core representation;
+* the **cross-setup comparison analyses** (:mod:`repro.analysis`) backing
+  every table and figure of the evaluation;
+* non-parametric **statistics** (:mod:`repro.stats`);
+* the **experiment harness** (:mod:`repro.experiments`) regenerating each
+  table/figure, and plain-text **reporting** (:mod:`repro.reporting`).
+
+Quickstart::
+
+    from repro.experiments import run_pipeline, table2
+    ctx = run_pipeline()
+    print(table2.render(table2.run(ctx)))
+"""
+
+from .errors import (
+    AnalysisError,
+    BlueprintError,
+    CrawlError,
+    ExperimentError,
+    FilterParseError,
+    InvalidURLError,
+    ReproError,
+    StorageError,
+    TreeConstructionError,
+    VisitFailed,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "BlueprintError",
+    "CrawlError",
+    "ExperimentError",
+    "FilterParseError",
+    "InvalidURLError",
+    "ReproError",
+    "StorageError",
+    "TreeConstructionError",
+    "VisitFailed",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""``python -m repro`` — the command-line entry point."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, as CLI
+        # tools conventionally do.
+        sys.stderr.close()
+        sys.exit(0)

@@ -1,0 +1,50 @@
+"""Similarity categories (paper §3.2, following Demir et al. 2022).
+
+Scores are bucketed for interpretation: **high** (sim ≥ .8), **medium**
+(.3 ≤ sim < .8), and **low** (sim < .3).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Dict, Sequence
+
+
+class SimilarityCategory(enum.Enum):
+    """The three interpretation buckets."""
+
+    HIGH = "high"
+    MEDIUM = "med."
+    LOW = "low"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+HIGH_THRESHOLD = 0.8
+MEDIUM_THRESHOLD = 0.3
+
+
+def categorize(similarity: float) -> SimilarityCategory:
+    """Bucket one similarity score."""
+    if not 0.0 <= similarity <= 1.0:
+        raise ValueError(f"similarity out of range: {similarity}")
+    if similarity >= HIGH_THRESHOLD:
+        return SimilarityCategory.HIGH
+    if similarity >= MEDIUM_THRESHOLD:
+        return SimilarityCategory.MEDIUM
+    return SimilarityCategory.LOW
+
+
+def category_shares(similarities: Sequence[float]) -> Dict[SimilarityCategory, float]:
+    """Relative share of each category in a score collection.
+
+    Used for statements like "63% of the parents show high similarity,
+    17% medium, and 20% low" (§4.2).
+    """
+    if not similarities:
+        return {category: 0.0 for category in SimilarityCategory}
+    counts = Counter(categorize(value) for value in similarities)
+    total = len(similarities)
+    return {category: counts.get(category, 0) / total for category in SimilarityCategory}

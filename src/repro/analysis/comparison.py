@@ -1,0 +1,268 @@
+"""Cross-tree comparison of one page: the workhorse data structure.
+
+:class:`PageComparison` aligns the five per-profile trees of a page by
+node key and precomputes, for every node, the per-profile view (depth,
+parent, children, type, party, tracking).  All higher-level analyses —
+horizontal, vertical, depth, per-type, per-party — are expressed against
+this structure, so the expensive alignment happens once per page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..errors import AnalysisError
+from ..trees.tree import DependencyTree
+from ..web.resources import ResourceType
+from .jaccard import jaccard, pairwise_mean_jaccard
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """One tree's view of a node."""
+
+    depth: int
+    parent_key: Optional[str]
+    children: FrozenSet[str]
+    resource_type: ResourceType
+    is_third_party: bool
+    is_tracking: bool
+    chain: Tuple[str, ...]
+    during_interaction: bool
+
+    @property
+    def can_load_children(self) -> bool:
+        return self.resource_type.can_load_children
+
+    @property
+    def child_count(self) -> int:
+        return len(self.children)
+
+
+@dataclass(frozen=True)
+class NodeComparison:
+    """A node's views across all profiles (``None`` where absent)."""
+
+    key: str
+    views: Tuple[Optional[NodeView], ...]
+
+    # -- presence ------------------------------------------------------------
+
+    @property
+    def presence_count(self) -> int:
+        return sum(1 for view in self.views if view is not None)
+
+    @property
+    def in_all_profiles(self) -> bool:
+        return all(view is not None for view in self.views)
+
+    @property
+    def in_one_profile(self) -> bool:
+        return self.presence_count == 1
+
+    def present_views(self) -> List[NodeView]:
+        return [view for view in self.views if view is not None]
+
+    # -- representative attributes -------------------------------------------
+
+    @property
+    def any_view(self) -> NodeView:
+        for view in self.views:
+            if view is not None:
+                return view
+        raise AnalysisError(f"node {self.key!r} has no views")
+
+    @property
+    def resource_type(self) -> ResourceType:
+        return self.any_view.resource_type
+
+    @property
+    def is_third_party(self) -> bool:
+        return self.any_view.is_third_party
+
+    @property
+    def is_tracking(self) -> bool:
+        return any(view.is_tracking for view in self.present_views())
+
+    @property
+    def min_depth(self) -> int:
+        return min(view.depth for view in self.present_views())
+
+    def depths(self) -> List[int]:
+        return [view.depth for view in self.present_views()]
+
+    @property
+    def same_depth_everywhere(self) -> bool:
+        depths = self.depths()
+        return len(set(depths)) == 1
+
+    # -- similarity measures ---------------------------------------------------
+
+    def child_similarity(self) -> float:
+        """Pairwise-mean Jaccard of the node's child sets.
+
+        Compared over the trees that contain the node (the paper compares
+        children of reoccurring nodes); single-occurrence nodes score 1.
+        """
+        child_sets = [view.children for view in self.present_views()]
+        return pairwise_mean_jaccard(child_sets)
+
+    def parent_similarity(self) -> float:
+        """Pairwise-mean Jaccard of the node's parent across *all* trees.
+
+        Trees missing the node contribute an empty parent set, exactly as
+        in the paper's Appendix D example (node *e*: (1+0+0)/3 = .3).
+        Pairs in which *both* trees miss the node carry no information
+        about the parent and are skipped — otherwise a node observed in a
+        single profile would score J(∅, ∅) = 1 against every other absent
+        tree and look deceptively stable.
+        """
+        parent_sets = [
+            frozenset([view.parent_key]) if view is not None and view.parent_key is not None
+            else frozenset()
+            for view in self.views
+        ]
+        values = []
+        for i in range(len(parent_sets)):
+            for j in range(i + 1, len(parent_sets)):
+                if not parent_sets[i] and not parent_sets[j]:
+                    continue
+                values.append(jaccard(parent_sets[i], parent_sets[j]))
+        if not values:
+            return 1.0
+        return sum(values) / len(values)
+
+    def parent_similarity_present_only(self) -> float:
+        """Parent similarity restricted to trees containing the node."""
+        parent_sets = [
+            frozenset([view.parent_key]) if view.parent_key is not None else frozenset()
+            for view in self.present_views()
+        ]
+        return pairwise_mean_jaccard(parent_sets)
+
+    def same_parent_everywhere(self) -> bool:
+        parents = {view.parent_key for view in self.present_views()}
+        return len(parents) == 1
+
+    # -- dependency chains -------------------------------------------------------
+
+    def chains(self) -> List[Tuple[str, ...]]:
+        return [view.chain for view in self.present_views()]
+
+    def same_chain_everywhere(self) -> bool:
+        """Identical dependency chain in every tree containing the node."""
+        chains = self.chains()
+        return len(set(chains)) == 1
+
+    def unique_chain_count(self) -> int:
+        """How many of the node's chains occur in exactly one tree."""
+        chains = self.chains()
+        return sum(1 for chain in set(chains) if chains.count(chain) == 1)
+
+
+class PageComparison:
+    """All five trees of one page, aligned by node key."""
+
+    def __init__(self, trees: Mapping[str, DependencyTree]) -> None:
+        if not trees:
+            raise AnalysisError("PageComparison needs at least one tree")
+        self.profiles: Tuple[str, ...] = tuple(sorted(trees))
+        self.trees: Dict[str, DependencyTree] = {name: trees[name] for name in self.profiles}
+        pages = {tree.page_url for tree in self.trees.values()}
+        if len(pages) != 1:
+            raise AnalysisError(f"trees belong to different pages: {sorted(pages)}")
+        self.page_url = next(iter(pages))
+        self._nodes: Dict[str, NodeComparison] = self._align()
+
+    # -- alignment -----------------------------------------------------------
+
+    def _align(self) -> Dict[str, NodeComparison]:
+        views_by_key: Dict[str, List[Optional[NodeView]]] = {}
+        profile_count = len(self.profiles)
+        for index, profile in enumerate(self.profiles):
+            tree = self.trees[profile]
+            for node in tree.nodes():
+                slot = views_by_key.setdefault(node.key, [None] * profile_count)
+                slot[index] = NodeView(
+                    depth=node.depth,
+                    parent_key=node.parent_key(),
+                    children=frozenset(node.child_keys()),
+                    resource_type=node.resource_type,
+                    is_third_party=node.is_third_party,
+                    is_tracking=node.is_tracking,
+                    chain=node.chain(),
+                    during_interaction=node.during_interaction,
+                )
+        return {
+            key: NodeComparison(key=key, views=tuple(views))
+            for key, views in views_by_key.items()
+        }
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, key: str) -> Optional[NodeComparison]:
+        return self._nodes.get(key)
+
+    def nodes(self) -> List[NodeComparison]:
+        return list(self._nodes.values())
+
+    def keys(self) -> List[str]:
+        return list(self._nodes)
+
+    def tree_list(self) -> List[DependencyTree]:
+        return [self.trees[profile] for profile in self.profiles]
+
+    # -- page-level measures ---------------------------------------------------
+
+    def depth_similarity(
+        self,
+        depth: int,
+        keys_filter=None,
+    ) -> Optional[float]:
+        """Pairwise-mean Jaccard of the per-tree node sets at ``depth``.
+
+        ``keys_filter(node_comparison) -> bool`` restricts the node
+        universe (e.g. only first-party nodes).  Returns ``None`` when no
+        tree has nodes at this depth after filtering.
+        """
+        sets: List[FrozenSet[str]] = []
+        for profile in self.profiles:
+            keys = set()
+            for node in self.trees[profile].nodes_at_depth(depth):
+                comparison = self._nodes[node.key]
+                if keys_filter is not None and not keys_filter(comparison):
+                    continue
+                keys.add(node.key)
+            sets.append(frozenset(keys))
+        if all(not s for s in sets):
+            return None
+        return pairwise_mean_jaccard(sets)
+
+    def max_depth(self) -> int:
+        return max(tree.max_depth for tree in self.trees.values())
+
+    def depth_one_similarity(self) -> float:
+        """The horizontal entry point: similarity of depth-one node sets."""
+        result = self.depth_similarity(1)
+        return result if result is not None else 1.0
+
+    def whole_tree_similarity(self) -> float:
+        """Pairwise-mean Jaccard over *all* node keys per tree.
+
+        Appendix D's "index for all nodes in all trees" — also the basis
+        for the whole-tree ablation the paper argues against (§3.2).
+        """
+        return pairwise_mean_jaccard(
+            [frozenset(tree.keys()) for tree in self.tree_list()]
+        )
+
+    def pairwise_tree_similarity(self, profile_a: str, profile_b: str) -> float:
+        """Jaccard of all node keys between two specific profiles."""
+        return jaccard(
+            frozenset(self.trees[profile_a].keys()),
+            frozenset(self.trees[profile_b].keys()),
+        )

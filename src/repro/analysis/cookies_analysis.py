@@ -1,0 +1,121 @@
+"""Cookie case study (paper §5.2).
+
+Cookies are identified by the RFC 6265 triple (name, domain, path).  The
+paper compares, per page, the cookie sets each profile ended up with:
+how many cookies appear in all profiles, how many in only one, the mean
+Jaccard similarity per page, the contrast between interaction profiles
+and NoAction, and the surprising handful of cookies whose *security
+attributes* differ across profiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..crawler.storage import MeasurementStore
+from ..stats.descriptive import Summary, ratio, summarize
+
+CookieIdentity = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class CookieReport:
+    """§5.2 headline numbers."""
+
+    total_cookies: int
+    cookies_per_profile: Summary
+    in_all_profiles_share: float
+    in_one_profile_share: float
+    page_similarity: Summary
+    noaction_similarity: Summary
+    attribute_conflicts: int
+    noaction_cookie_count: int
+
+
+class CookieAnalyzer:
+    """Cross-profile cookie comparison over a measurement store."""
+
+    def __init__(self, noaction_profile: str = "NoAction") -> None:
+        self.noaction_profile = noaction_profile
+
+    def analyze(self, store: MeasurementStore, profiles: Sequence[str]) -> CookieReport:
+        pages = store.pages_crawled_by_all(profiles)
+        per_profile_counts: Counter = Counter()
+        presence: Counter = Counter()
+        page_similarities: List[float] = []
+        noaction_similarities: List[float] = []
+        attribute_signatures: Dict[CookieIdentity, set] = defaultdict(set)
+        total = 0
+        for page_url in pages:
+            visits = store.successful_visits_for_page(page_url, profiles)
+            cookie_sets: Dict[str, FrozenSet[CookieIdentity]] = {}
+            for profile, visit in visits.items():
+                cookies = store.cookies_for_visit(visit.visit_id)
+                identities = frozenset(cookie.identity for cookie in cookies)
+                cookie_sets[profile] = identities
+                per_profile_counts[profile] += len(identities)
+                total += len(identities)
+                for cookie in cookies:
+                    attribute_signatures[cookie.identity].add(
+                        (cookie.secure, cookie.http_only, cookie.same_site)
+                    )
+            page_counter: Counter = Counter()
+            for identities in cookie_sets.values():
+                for identity in identities:
+                    page_counter[identity] += 1
+            for identity, count in page_counter.items():
+                presence[count] += 1
+            page_similarities.append(_pairwise_mean(list(cookie_sets.values())))
+            if self.noaction_profile in cookie_sets:
+                others = [
+                    identities
+                    for profile, identities in cookie_sets.items()
+                    if profile != self.noaction_profile
+                ]
+                noaction_set = cookie_sets[self.noaction_profile]
+                values = [_jaccard(noaction_set, other) for other in others]
+                if values:
+                    noaction_similarities.append(sum(values) / len(values))
+        distinct = sum(presence.values())
+        in_all = presence.get(len(profiles), 0)
+        in_one = presence.get(1, 0)
+        conflicts = sum(
+            1 for signatures in attribute_signatures.values() if len(signatures) > 1
+        )
+        return CookieReport(
+            total_cookies=total,
+            cookies_per_profile=summarize(
+                [float(per_profile_counts.get(profile, 0)) for profile in profiles]
+            ),
+            in_all_profiles_share=ratio(in_all, distinct),
+            in_one_profile_share=ratio(in_one, distinct),
+            page_similarity=(
+                summarize(page_similarities) if page_similarities else summarize([0.0])
+            ),
+            noaction_similarity=(
+                summarize(noaction_similarities)
+                if noaction_similarities
+                else summarize([0.0])
+            ),
+            attribute_conflicts=conflicts,
+            noaction_cookie_count=per_profile_counts.get(self.noaction_profile, 0),
+        )
+
+
+def _jaccard(set_a: FrozenSet, set_b: FrozenSet) -> float:
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    return len(set_a & set_b) / union if union else 1.0
+
+
+def _pairwise_mean(sets: List[FrozenSet]) -> float:
+    if len(sets) < 2:
+        return 1.0
+    values = []
+    for i in range(len(sets)):
+        for j in range(i + 1, len(sets)):
+            values.append(_jaccard(sets[i], sets[j]))
+    return sum(values) / len(values)

@@ -1,0 +1,132 @@
+"""The analysis dataset: aligned tree sets for every comparable page.
+
+:class:`AnalysisDataset` is what the evaluation sections operate on — the
+vetted collection of :class:`~repro.analysis.comparison.PageComparison`
+objects (pages crawled successfully by all profiles) plus site metadata
+(rank for the popularity buckets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..blocklist.matcher import FilterList
+from ..crawler.storage import MeasurementStore
+from ..errors import AnalysisError
+from ..trees.builder import TreeBuilder
+from ..trees.tree import DependencyTree
+from .comparison import NodeComparison, PageComparison
+
+
+@dataclass(frozen=True)
+class PageEntry:
+    """One comparable page: its comparison object and crawl metadata."""
+
+    comparison: PageComparison
+    site: str
+    site_rank: int
+
+    @property
+    def page_url(self) -> str:
+        return self.comparison.page_url
+
+
+class AnalysisDataset:
+    """All comparable pages of one measurement run."""
+
+    def __init__(self, entries: Sequence[PageEntry], profiles: Sequence[str]) -> None:
+        if not profiles:
+            raise AnalysisError("dataset needs profile names")
+        self.entries: List[PageEntry] = list(entries)
+        self.profiles: List[str] = list(profiles)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_store(
+        cls,
+        store: MeasurementStore,
+        filter_list: Optional[FilterList] = None,
+        profiles: Optional[Sequence[str]] = None,
+        require_all: bool = True,
+    ) -> "AnalysisDataset":
+        """Build trees for every vetted page and align them.
+
+        This is the paper's pipeline step between crawling and analysis:
+        only pages successfully crawled by all profiles are kept.
+        """
+        profile_names = list(profiles) if profiles is not None else store.profiles()
+        builder = TreeBuilder(filter_list=filter_list)
+        entries: List[PageEntry] = []
+        pages = (
+            store.pages_crawled_by_all(profile_names) if require_all else store.pages()
+        )
+        for page_url in pages:
+            trees = builder.build_for_page(store, page_url, profile_names)
+            if require_all and len(trees) != len(profile_names):
+                continue
+            if not trees:
+                continue
+            visit = next(iter(store.successful_visits_for_page(page_url, profile_names).values()))
+            entries.append(
+                PageEntry(
+                    comparison=PageComparison(trees),
+                    site=visit.site,
+                    site_rank=visit.site_rank,
+                )
+            )
+        return cls(entries, profile_names)
+
+    @classmethod
+    def from_tree_sets(
+        cls,
+        tree_sets: Sequence[Mapping[str, DependencyTree]],
+        site_ranks: Optional[Mapping[str, int]] = None,
+    ) -> "AnalysisDataset":
+        """Build a dataset directly from per-page tree mappings (tests)."""
+        if not tree_sets:
+            raise AnalysisError("no tree sets supplied")
+        profiles = sorted(tree_sets[0])
+        entries = []
+        for trees in tree_sets:
+            comparison = PageComparison(trees)
+            site = _site_of(comparison.page_url)
+            rank = (site_ranks or {}).get(site, 1)
+            entries.append(PageEntry(comparison=comparison, site=site, site_rank=rank))
+        return cls(entries, profiles)
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[PageEntry]:
+        return iter(self.entries)
+
+    def comparisons(self) -> List[PageComparison]:
+        return [entry.comparison for entry in self.entries]
+
+    def iter_nodes(self) -> Iterator[NodeComparison]:
+        """Stream every aligned node of every page."""
+        for entry in self.entries:
+            yield from entry.comparison.nodes()
+
+    def node_count(self) -> int:
+        return sum(len(entry.comparison) for entry in self.entries)
+
+    def sites(self) -> Dict[str, int]:
+        """Site → rank for all sites in the dataset."""
+        return {entry.site: entry.site_rank for entry in self.entries}
+
+
+def _site_of(page_url: str) -> str:
+    from ..web import psl
+
+    scheme_sep = page_url.find("://")
+    host = page_url[scheme_sep + 3 :] if scheme_sep >= 0 else page_url
+    for stop in ("/", "?", "#"):
+        index = host.find(stop)
+        if index >= 0:
+            host = host[:index]
+    return psl.registrable_domain(host) or host

@@ -1,0 +1,131 @@
+"""Security-header consistency across profiles (the "security lottery").
+
+The paper names client-side security inconsistencies (Roth et al.,
+"The Security Lottery") among the setup-sensitive phenomena its framework
+illuminates.  This analyzer compares the *document response headers* each
+profile received for the same page:
+
+* per header: in how many profiles was it present, and did its value
+  agree?
+* per page: is the security configuration consistent across all profiles?
+* dataset rollup: the share of pages with at least one inconsistent
+  security header — the lottery rate a one-profile study silently absorbs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crawler.storage import MeasurementStore
+from ..stats.descriptive import ratio
+
+#: The headers real studies audit; lowercase for matching.
+SECURITY_HEADERS: Tuple[str, ...] = (
+    "strict-transport-security",
+    "content-security-policy",
+    "x-frame-options",
+    "x-content-type-options",
+    "referrer-policy",
+)
+
+
+@dataclass(frozen=True)
+class HeaderObservation:
+    """One header on one page, across all profiles."""
+
+    page_url: str
+    header: str
+    present_in: int
+    profile_count: int
+    values: Tuple[str, ...]
+
+    @property
+    def consistent_presence(self) -> bool:
+        return self.present_in in (0, self.profile_count)
+
+    @property
+    def consistent_value(self) -> bool:
+        return len(set(self.values)) <= 1
+
+    @property
+    def consistent(self) -> bool:
+        return self.consistent_presence and self.consistent_value
+
+
+@dataclass(frozen=True)
+class HeaderReport:
+    """Dataset-level security-header consistency."""
+
+    pages: int
+    observations: List[HeaderObservation]
+    adoption: Dict[str, float]
+    presence_lottery_rate: Dict[str, float]
+    value_lottery_rate: Dict[str, float]
+    inconsistent_page_share: float
+
+
+class SecurityHeaderAnalyzer:
+    """Compares document security headers across profiles."""
+
+    def __init__(self, headers: Sequence[str] = SECURITY_HEADERS) -> None:
+        self.headers = tuple(header.lower() for header in headers)
+
+    def analyze(self, store: MeasurementStore, profiles: Sequence[str]) -> HeaderReport:
+        pages = store.pages_crawled_by_all(profiles)
+        observations: List[HeaderObservation] = []
+        adoption_hits: Counter = Counter()
+        presence_lottery: Counter = Counter()
+        value_lottery: Counter = Counter()
+        seen: Counter = Counter()
+        inconsistent_pages = 0
+        for page_url in pages:
+            visits = store.successful_visits_for_page(page_url, profiles)
+            per_header: Dict[str, List[Optional[str]]] = defaultdict(list)
+            for visit in visits.values():
+                response = store.document_response(visit.visit_id)
+                for header in self.headers:
+                    per_header[header].append(
+                        response.header(header) if response is not None else None
+                    )
+            page_consistent = True
+            for header in self.headers:
+                values = per_header[header]
+                present = [value for value in values if value is not None]
+                observation = HeaderObservation(
+                    page_url=page_url,
+                    header=header,
+                    present_in=len(present),
+                    profile_count=len(values),
+                    values=tuple(sorted(set(present))),
+                )
+                observations.append(observation)
+                seen[header] += 1
+                if present:
+                    adoption_hits[header] += 1
+                if not observation.consistent_presence:
+                    presence_lottery[header] += 1
+                    page_consistent = False
+                if not observation.consistent_value:
+                    value_lottery[header] += 1
+                    page_consistent = False
+            if not page_consistent:
+                inconsistent_pages += 1
+        return HeaderReport(
+            pages=len(pages),
+            observations=observations,
+            adoption={
+                header: ratio(adoption_hits[header], seen[header])
+                for header in self.headers
+            },
+            presence_lottery_rate={
+                header: ratio(presence_lottery[header], seen[header])
+                for header in self.headers
+            },
+            value_lottery_rate={
+                header: ratio(value_lottery[header], seen[header])
+                for header in self.headers
+            },
+            inconsistent_page_share=ratio(inconsistent_pages, len(pages)),
+        )

@@ -1,0 +1,61 @@
+"""Jaccard similarity and its pairwise-mean extension (paper §3.2).
+
+``J(A, B) = |A ∩ B| / |A ∪ B|`` gauges the similarity of two sets; to
+compare the five per-profile sets of a page, the paper computes the
+pairwise similarity between all sets and reports the arithmetic mean.
+Appendix D works a concrete example, which the test suite reproduces
+exactly.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import AbstractSet, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: By convention two empty sets are identical: J(∅, ∅) = 1.  The paper
+#: sidesteps this case by excluding childless depth-one nodes, but the
+#: recursive comparison still reaches pairs of empty child sets.
+EMPTY_EQUAL = 1.0
+
+
+def jaccard(set_a: AbstractSet[T], set_b: AbstractSet[T]) -> float:
+    """The Jaccard index of two sets (1 = equal, 0 = disjoint)."""
+    if not set_a and not set_b:
+        return EMPTY_EQUAL
+    union = len(set_a | set_b)
+    if union == 0:
+        return EMPTY_EQUAL
+    return len(set_a & set_b) / union
+
+
+def pairwise_mean_jaccard(sets: Sequence[AbstractSet[T]]) -> float:
+    """Mean Jaccard index over all unordered pairs of ``sets``.
+
+    This is the paper's page-level similarity score for five profiles.
+    A single set compares to nothing and scores 1 by definition.
+    """
+    if not sets:
+        raise ValueError("need at least one set")
+    if len(sets) == 1:
+        return 1.0
+    pairs = list(combinations(sets, 2))
+    return sum(jaccard(a, b) for a, b in pairs) / len(pairs)
+
+
+def pairwise_jaccard_matrix(sets: Sequence[AbstractSet[T]]) -> list:
+    """The full symmetric similarity matrix (diagonal = 1)."""
+    size = len(sets)
+    matrix = [[1.0] * size for _ in range(size)]
+    for i in range(size):
+        for j in range(i + 1, size):
+            value = jaccard(sets[i], sets[j])
+            matrix[i][j] = value
+            matrix[j][i] = value
+    return matrix
+
+
+def overlap_count(sets: Sequence[AbstractSet[T]], element: T) -> int:
+    """In how many of ``sets`` does ``element`` occur?"""
+    return sum(1 for s in sets if element in s)

@@ -1,0 +1,104 @@
+"""Site-popularity effects (paper Appendix F, Table 7).
+
+Do popular sites behave differently?  The paper buckets sites by Tranco
+rank, compares tree sizes and child/parent similarities per bucket, and
+finds larger trees at the top of the list but practically identical
+similarities (Kruskal-Wallis significant, ε² = .002 — negligible).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crawler.tranco import PAPER_BUCKETS, RankBucket, bucket_for_rank
+from ..stats.descriptive import safe_mean
+from ..stats.effect_size import epsilon_squared
+from ..stats.nonparametric import TestResult, kruskal_wallis
+from .dataset import AnalysisDataset
+from .horizontal import page_child_similarity
+from .vertical import page_parent_similarity
+
+
+@dataclass(frozen=True)
+class BucketRow:
+    """One row of Table 7."""
+
+    bucket: RankBucket
+    page_count: int
+    mean_nodes: float
+    child_similarity: float
+    parent_similarity: float
+
+
+@dataclass(frozen=True)
+class PopularityReport:
+    """Table 7 plus the significance/effect-size verdict."""
+
+    rows: List[BucketRow]
+    nodes_test: Optional[TestResult]
+    similarity_test: Optional[TestResult]
+    similarity_effect_size: Optional[float]
+
+
+class PopularityAnalyzer:
+    """Bucket-level comparison by site rank."""
+
+    def __init__(self, buckets: Sequence[RankBucket] = PAPER_BUCKETS) -> None:
+        self.buckets = tuple(buckets)
+
+    def analyze(self, dataset: AnalysisDataset) -> PopularityReport:
+        nodes_by_bucket: Dict[str, List[float]] = defaultdict(list)
+        child_by_bucket: Dict[str, List[float]] = defaultdict(list)
+        parent_by_bucket: Dict[str, List[float]] = defaultdict(list)
+        pages_by_bucket: Dict[str, int] = defaultdict(int)
+        for entry in dataset:
+            bucket = bucket_for_rank(entry.site_rank, self.buckets)
+            comparison = entry.comparison
+            pages_by_bucket[bucket.name] += 1
+            total_nodes = sum(tree.node_count for tree in comparison.tree_list())
+            nodes_by_bucket[bucket.name].append(total_nodes / len(comparison.profiles))
+            child = page_child_similarity(comparison)
+            if child is not None:
+                child_by_bucket[bucket.name].append(child)
+            parent = page_parent_similarity(comparison)
+            if parent is not None:
+                parent_by_bucket[bucket.name].append(parent)
+        rows = [
+            BucketRow(
+                bucket=bucket,
+                page_count=pages_by_bucket.get(bucket.name, 0),
+                mean_nodes=safe_mean(nodes_by_bucket.get(bucket.name, [])),
+                child_similarity=safe_mean(child_by_bucket.get(bucket.name, [])),
+                parent_similarity=safe_mean(parent_by_bucket.get(bucket.name, [])),
+            )
+            for bucket in self.buckets
+            if pages_by_bucket.get(bucket.name, 0) > 0
+        ]
+        nodes_test, similarity_test, effect = self._tests(
+            nodes_by_bucket, child_by_bucket
+        )
+        return PopularityReport(
+            rows=rows,
+            nodes_test=nodes_test,
+            similarity_test=similarity_test,
+            similarity_effect_size=effect,
+        )
+
+    def _tests(
+        self,
+        nodes_by_bucket: Dict[str, List[float]],
+        child_by_bucket: Dict[str, List[float]],
+    ) -> Tuple[Optional[TestResult], Optional[TestResult], Optional[float]]:
+        node_groups = [values for values in nodes_by_bucket.values() if len(values) >= 2]
+        child_groups = [values for values in child_by_bucket.values() if len(values) >= 2]
+        nodes_test = kruskal_wallis(*node_groups) if len(node_groups) >= 2 else None
+        similarity_test = (
+            kruskal_wallis(*child_groups) if len(child_groups) >= 2 else None
+        )
+        effect = None
+        if similarity_test is not None:
+            n_total = sum(len(values) for values in child_groups)
+            effect = epsilon_squared(similarity_test.statistic, n_total)
+        return nodes_test, similarity_test, effect

@@ -1,0 +1,114 @@
+"""Within- vs. between-setup variance decomposition (paper §4.4, §8).
+
+The paper's striking §4.4 result is that even *identical* setups produce
+different trees — part of the observed variance is the Web's own noise,
+not the setup's bias.  With repeated measurements per profile
+(``Commander(repeat_visits=k)``) the two sources can be separated:
+
+* **within-setup similarity** — pairwise tree similarity between repeated
+  visits of the same page by the *same* profile (the Web's noise floor);
+* **between-setup similarity** — pairwise similarity between visits of the
+  same page by *different* profiles (noise floor + setup bias);
+* **setup effect** — the gap between the two: how much of the observed
+  difference is actually attributable to the setup.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..blocklist.matcher import FilterList
+from ..crawler.storage import MeasurementStore
+from ..stats.descriptive import Summary, safe_mean, summarize
+from ..stats.nonparametric import TestResult, mann_whitney_u
+from ..trees.builder import TreeBuilder
+from .jaccard import jaccard
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """The variance decomposition over a repeated-measurement crawl."""
+
+    pages: int
+    within: Summary
+    between: Summary
+    per_profile_within: Dict[str, float]
+    significance: Optional[TestResult]
+
+    @property
+    def setup_effect(self) -> float:
+        """Similarity lost to the setup beyond the Web's own noise."""
+        return self.within.mean - self.between.mean
+
+    @property
+    def noise_share(self) -> float:
+        """Fraction of the total dissimilarity explained by Web noise.
+
+        ``(1 - within) / (1 - between)``: 1.0 means the setup adds nothing
+        beyond the noise floor; small values mean the setup dominates.
+        """
+        between_dissimilarity = 1.0 - self.between.mean
+        if between_dissimilarity <= 0:
+            return 1.0
+        return min(1.0, (1.0 - self.within.mean) / between_dissimilarity)
+
+
+class ReplicationAnalyzer:
+    """Decomposes variance from a crawl with ``repeat_visits >= 2``."""
+
+    def __init__(self, filter_list: Optional[FilterList] = None) -> None:
+        self.filter_list = filter_list
+
+    def analyze(
+        self, store: MeasurementStore, profiles: Sequence[str]
+    ) -> ReplicationReport:
+        builder = TreeBuilder(filter_list=self.filter_list)
+        within_values: List[float] = []
+        between_values: List[float] = []
+        per_profile: Dict[str, List[float]] = defaultdict(list)
+        pages = 0
+        for page_url in store.pages():
+            # All successful visits per profile (possibly several).
+            visits_by_profile: Dict[str, List[int]] = defaultdict(list)
+            for visit in store.visits_for_page(page_url):
+                if visit.success and visit.profile_name in profiles:
+                    visits_by_profile[visit.profile_name].append(visit.visit_id)
+            if any(len(ids) < 2 for ids in visits_by_profile.values()):
+                continue
+            if len(visits_by_profile) < 2:
+                continue
+            pages += 1
+            key_sets: Dict[Tuple[str, int], frozenset] = {}
+            for profile, visit_ids in visits_by_profile.items():
+                for visit_id in visit_ids:
+                    visit = store.visit(visit_id)
+                    tree = builder.build(visit, store.requests_for_visit(visit_id))
+                    key_sets[(profile, visit_id)] = frozenset(tree.keys())
+            keys = list(key_sets)
+            for i in range(len(keys)):
+                for j in range(i + 1, len(keys)):
+                    (profile_a, _), (profile_b, _) = keys[i], keys[j]
+                    value = jaccard(key_sets[keys[i]], key_sets[keys[j]])
+                    if profile_a == profile_b:
+                        within_values.append(value)
+                        per_profile[profile_a].append(value)
+                    else:
+                        between_values.append(value)
+        if not within_values or not between_values:
+            raise ValueError(
+                "replication analysis needs repeat_visits >= 2 and >= 2 profiles"
+            )
+        significance: Optional[TestResult] = None
+        if len(within_values) >= 3 and len(between_values) >= 3:
+            significance = mann_whitney_u(within_values, between_values)
+        return ReplicationReport(
+            pages=pages,
+            within=summarize(within_values),
+            between=summarize(between_values),
+            per_profile_within={
+                profile: safe_mean(values) for profile, values in sorted(per_profile.items())
+            },
+            significance=significance,
+        )

@@ -1,0 +1,92 @@
+"""Implicit-trust analysis (after Ikram et al., cited by the paper).
+
+A page *explicitly* trusts the third parties it embeds directly (depth
+one).  Everything a third party loads in turn — depth two and beyond — is
+only *implicitly* trusted: the site operator never chose it.  The paper's
+instability findings concentrate exactly there, so this analyzer measures
+how much of a page's third-party exposure is implicit, how deep the trust
+chains run, and which entities are the most implicitly trusted — and how
+*consistent* that exposure is across the five profiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..stats.descriptive import Summary, ratio, summarize
+from .dataset import AnalysisDataset
+from .jaccard import pairwise_mean_jaccard
+
+
+@dataclass(frozen=True)
+class TrustReport:
+    """Dataset-level implicit-trust statistics."""
+
+    explicit_third_party_share: float
+    implicit_third_party_share: float
+    chain_depth: Summary
+    top_implicit_entities: List[Tuple[str, int]]
+    implicit_sites_per_page: Summary
+    exposure_similarity: Summary
+    implicit_exposure_similarity: Summary
+
+
+class ImplicitTrustAnalyzer:
+    """Measures explicit vs implicit third-party exposure."""
+
+    def analyze(self, dataset: AnalysisDataset, top: int = 5) -> TrustReport:
+        explicit = 0
+        implicit = 0
+        chain_depths: List[float] = []
+        implicit_entities: Counter = Counter()
+        implicit_sites_per_page: List[float] = []
+        exposure_sims: List[float] = []
+        implicit_sims: List[float] = []
+        for entry in dataset:
+            comparison = entry.comparison
+            per_profile_sites: Dict[str, set] = defaultdict(set)
+            per_profile_implicit: Dict[str, set] = defaultdict(set)
+            page_implicit_sites: set = set()
+            for profile, tree in comparison.trees.items():
+                for node in tree.third_party_nodes():
+                    site = node.site or node.host
+                    per_profile_sites[profile].add(site)
+                    if node.depth == 1:
+                        explicit += 1
+                    else:
+                        implicit += 1
+                        chain_depths.append(float(node.depth))
+                        per_profile_implicit[profile].add(site)
+                        page_implicit_sites.add(site)
+                        implicit_entities[site] += 1
+            implicit_sites_per_page.append(float(len(page_implicit_sites)))
+            exposure_sims.append(
+                pairwise_mean_jaccard(
+                    [frozenset(per_profile_sites[p]) for p in comparison.profiles]
+                )
+            )
+            implicit_sims.append(
+                pairwise_mean_jaccard(
+                    [frozenset(per_profile_implicit[p]) for p in comparison.profiles]
+                )
+            )
+        total = explicit + implicit
+        return TrustReport(
+            explicit_third_party_share=ratio(explicit, total),
+            implicit_third_party_share=ratio(implicit, total),
+            chain_depth=summarize(chain_depths) if chain_depths else summarize([0.0]),
+            top_implicit_entities=implicit_entities.most_common(top),
+            implicit_sites_per_page=(
+                summarize(implicit_sites_per_page)
+                if implicit_sites_per_page
+                else summarize([0.0])
+            ),
+            exposure_similarity=(
+                summarize(exposure_sims) if exposure_sims else summarize([0.0])
+            ),
+            implicit_exposure_similarity=(
+                summarize(implicit_sims) if implicit_sims else summarize([0.0])
+            ),
+        )

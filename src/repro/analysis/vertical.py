@@ -1,0 +1,153 @@
+"""Vertical tree analysis: dependency chains and parents (paper §3.2, §4.2).
+
+The vertical pass works bottom-up from the last node of each branch and
+asks two questions:
+
+* **chain determinism** — is a node's entire dependency chain (all of its
+  (grand)parents) identical across the trees it occurs in?
+* **parent stability** — is a node always loaded by the same parent, and
+  how similar are the parent sets across trees (pairwise-mean Jaccard,
+  with absent trees contributing an empty set, Appendix D)?
+
+Nodes at depth one are excluded where the paper excludes them: their chain
+is a single parent (the visited page), so they are trivially identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..stats.descriptive import ratio, safe_mean
+from ..web.resources import ResourceType
+from .comparison import PageComparison
+from .dataset import AnalysisDataset
+
+
+@dataclass(frozen=True)
+class ChainRecord:
+    """Chain/parent determinism of one node on one page."""
+
+    page_url: str
+    key: str
+    depth: int
+    resource_type: ResourceType
+    is_third_party: bool
+    is_tracking: bool
+    presence_count: int
+    in_all_profiles: bool
+    same_chain: bool
+    unique_chains: int
+    same_parent: bool
+    parent_similarity: float
+    same_depth: bool
+
+
+@dataclass(frozen=True)
+class ChainStatistics:
+    """Aggregate chain behaviour across a dataset (§4.2 headline numbers)."""
+
+    nodes_considered: int
+    same_chain_share: float
+    unique_chain_share: float
+    same_chain_share_beyond_depth_one: float
+    same_chain_depth_distribution: Dict[int, float]
+
+
+class VerticalAnalyzer:
+    """Runs the bottom-up chain/parent comparison."""
+
+    def analyze_page(self, comparison: PageComparison) -> List[ChainRecord]:
+        """Chain records for every node of one page."""
+        records: List[ChainRecord] = []
+        for node in comparison.nodes():
+            records.append(
+                ChainRecord(
+                    page_url=comparison.page_url,
+                    key=node.key,
+                    depth=node.min_depth,
+                    resource_type=node.resource_type,
+                    is_third_party=node.is_third_party,
+                    is_tracking=node.is_tracking,
+                    presence_count=node.presence_count,
+                    in_all_profiles=node.in_all_profiles,
+                    same_chain=node.same_chain_everywhere(),
+                    unique_chains=node.unique_chain_count(),
+                    same_parent=node.same_parent_everywhere(),
+                    parent_similarity=node.parent_similarity(),
+                    same_depth=node.same_depth_everywhere,
+                )
+            )
+        return records
+
+    def all_records(self, dataset: AnalysisDataset) -> List[ChainRecord]:
+        records: List[ChainRecord] = []
+        for entry in dataset:
+            records.extend(self.analyze_page(entry.comparison))
+        return records
+
+    # -- aggregates ------------------------------------------------------------
+
+    def chain_statistics(
+        self, records: Iterable[ChainRecord], in_all_only: bool = True
+    ) -> ChainStatistics:
+        """The paper's §4.2 chain numbers.
+
+        ``in_all_only`` restricts to nodes present in all trees, which is
+        how the paper frames "75% of the nodes have the same dependency
+        chains".
+        """
+        considered = [
+            record
+            for record in records
+            if record.in_all_profiles or not in_all_only
+        ]
+        same_chain = [record for record in considered if record.same_chain]
+        unique = [record for record in considered if record.unique_chains > 0]
+        beyond_depth_one = [record for record in considered if record.depth >= 2]
+        same_beyond = [record for record in beyond_depth_one if record.same_chain]
+        depth_distribution: Dict[int, int] = {}
+        for record in same_chain:
+            if record.depth >= 2:
+                depth_distribution[record.depth] = depth_distribution.get(record.depth, 0) + 1
+        total = len(considered)
+        return ChainStatistics(
+            nodes_considered=total,
+            same_chain_share=ratio(len(same_chain), total),
+            unique_chain_share=ratio(len(unique), total),
+            same_chain_share_beyond_depth_one=ratio(len(same_beyond), len(beyond_depth_one)),
+            same_chain_depth_distribution={
+                depth: count / total for depth, count in sorted(depth_distribution.items())
+            },
+        )
+
+    def same_parent_share(
+        self, records: Iterable[ChainRecord], min_depth: int = 2
+    ) -> float:
+        """Share of same-depth nodes (depth ≥ 2) always loaded by the same
+        parent — the paper's "61% of the nodes are triggered by the same
+        parent in all five profiles" statistic."""
+        eligible = [
+            record
+            for record in records
+            if record.in_all_profiles and record.same_depth and record.depth >= min_depth
+        ]
+        return ratio(sum(1 for r in eligible if r.same_parent), len(eligible))
+
+    def divergent_parent_similarity(self, records: Iterable[ChainRecord]) -> float:
+        """Mean parent similarity over nodes with divergent parents (§4.2)."""
+        divergent = [
+            record.parent_similarity
+            for record in records
+            if record.in_all_profiles and not record.same_parent
+        ]
+        return safe_mean(divergent)
+
+
+def page_parent_similarity(comparison: PageComparison) -> Optional[float]:
+    """Page-average parent similarity over all nodes (used by Figure 5a)."""
+    nodes = comparison.nodes()
+    if not nodes:
+        return None
+    values = [node.parent_similarity() for node in nodes]
+    return sum(values) / len(values)

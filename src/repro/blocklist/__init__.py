@@ -1,0 +1,31 @@
+"""Adblock-Plus filter-list engine and the synthetic EasyList.
+
+Public API: :func:`~repro.blocklist.parser.parse_filter_list`,
+:class:`~repro.blocklist.matcher.FilterList`, and
+:func:`~repro.blocklist.easylist.build_filter_list` for the synthetic web.
+"""
+
+from .easylist import (
+    build_combined_list,
+    build_easyprivacy_list,
+    build_filter_list,
+    generate_easylist,
+    generate_easyprivacy,
+)
+from .matcher import FilterList, MatchContext, MatchResult
+from .parser import Filter, FilterOptions, parse_filter, parse_filter_list
+
+__all__ = [
+    "Filter",
+    "FilterList",
+    "FilterOptions",
+    "MatchContext",
+    "MatchResult",
+    "build_combined_list",
+    "build_easyprivacy_list",
+    "build_filter_list",
+    "generate_easyprivacy",
+    "generate_easylist",
+    "parse_filter",
+    "parse_filter_list",
+]

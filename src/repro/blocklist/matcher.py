@@ -1,0 +1,139 @@
+"""Filter-list matching: is a request a tracking request?
+
+:class:`FilterList` evaluates a URL (plus request context) against the
+parsed filters with EasyList semantics: a blocking filter must match and
+no exception filter may match.  Filters anchored to a domain (``||``)
+are indexed by host suffix so that the common case — checking a URL
+against a large list — touches only a handful of candidate filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from ..web import psl
+from ..web.resources import ResourceType
+from .parser import Filter, parse_filter_list
+
+
+@dataclass(frozen=True)
+class MatchContext:
+    """Everything besides the URL that filter options may consult."""
+
+    resource_type: ResourceType = ResourceType.OTHER
+    page_url: Optional[str] = None
+
+    @property
+    def page_host(self) -> Optional[str]:
+        if self.page_url is None:
+            return None
+        return (urlsplit(self.page_url).hostname or "").lower() or None
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """The verdict for one URL."""
+
+    blocked: bool
+    matched_filter: Optional[Filter] = None
+    exception_filter: Optional[Filter] = None
+
+
+class FilterList:
+    """A compiled filter list with domain-anchored indexing."""
+
+    def __init__(self, filters: Sequence[Filter]) -> None:
+        self._anchored_blocking: Dict[str, List[Filter]] = {}
+        self._generic_blocking: List[Filter] = []
+        self._anchored_exceptions: Dict[str, List[Filter]] = {}
+        self._generic_exceptions: List[Filter] = []
+        for flt in filters:
+            if flt.is_exception:
+                anchored, generic = self._anchored_exceptions, self._generic_exceptions
+            else:
+                anchored, generic = self._anchored_blocking, self._generic_blocking
+            if flt.anchor_domain:
+                anchored.setdefault(flt.anchor_domain, []).append(flt)
+            else:
+                generic.append(flt)
+        self._size = len(filters)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @classmethod
+    def from_text(cls, text: str) -> "FilterList":
+        """Compile a filter list document."""
+        return cls(parse_filter_list(text))
+
+    # -- matching ----------------------------------------------------------
+
+    def match(self, url: str, context: Optional[MatchContext] = None) -> MatchResult:
+        """Full evaluation: blocking filters, then exceptions."""
+        context = context or MatchContext()
+        blocking = self._first_match(
+            url, context, self._anchored_blocking, self._generic_blocking
+        )
+        if blocking is None:
+            return MatchResult(blocked=False)
+        exception = self._first_match(
+            url, context, self._anchored_exceptions, self._generic_exceptions
+        )
+        if exception is not None:
+            return MatchResult(blocked=False, matched_filter=blocking, exception_filter=exception)
+        return MatchResult(blocked=True, matched_filter=blocking)
+
+    def is_tracking(
+        self,
+        url: str,
+        resource_type: ResourceType = ResourceType.OTHER,
+        page_url: Optional[str] = None,
+    ) -> bool:
+        """The paper's classifier: URL on the list → tracking request."""
+        return self.match(
+            url, MatchContext(resource_type=resource_type, page_url=page_url)
+        ).blocked
+
+    # -- internals ---------------------------------------------------------
+
+    def _first_match(
+        self,
+        url: str,
+        context: MatchContext,
+        anchored: Dict[str, List[Filter]],
+        generic: List[Filter],
+    ) -> Optional[Filter]:
+        host = (urlsplit(url).hostname or "").lower()
+        for candidate_domain in _host_suffixes(host):
+            for flt in anchored.get(candidate_domain, ()):
+                if self._filter_matches(flt, url, host, context):
+                    return flt
+        for flt in generic:
+            if self._filter_matches(flt, url, host, context):
+                return flt
+        return None
+
+    def _filter_matches(
+        self, flt: Filter, url: str, host: str, context: MatchContext
+    ) -> bool:
+        options = flt.options
+        if not options.allows_type(context.resource_type):
+            return False
+        if options.third_party is not None:
+            page_host = context.page_host
+            is_third = page_host is not None and not psl.same_site(host, page_host)
+            if not options.allows_party(is_third):
+                return False
+        if not options.allows_page_domain(context.page_host):
+            return False
+        return flt.matches_url(url)
+
+
+def _host_suffixes(host: str) -> Tuple[str, ...]:
+    """All dot-suffixes of a host (``a.b.c`` → ``a.b.c``, ``b.c``, ``c``)."""
+    if not host:
+        return ()
+    labels = host.split(".")
+    return tuple(".".join(labels[i:]) for i in range(len(labels)))

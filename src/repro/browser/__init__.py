@@ -1,0 +1,64 @@
+"""Browser simulator: the stand-in for Firefox + OpenWPM.
+
+Public API: the five paper profiles, the RFC 6265 cookie jar, frame and
+call-stack bookkeeping, network records, the keystroke interaction model,
+and :class:`~repro.browser.engine.BrowserEngine`, which turns blueprint
+visits into OpenWPM-style records.
+"""
+
+from .callstack import CallStack, EMPTY_STACK, StackFrame
+from .cookies import Cookie, CookieJar
+from .engine import BrowserEngine
+from .frames import Frame, FrameTree, MAIN_FRAME_ID
+from .interaction import DEFAULT_SCRIPT, InteractionScript, KeyEvent, Keystroke, script_for
+from .network import (
+    CookieRecord,
+    RedirectRecord,
+    RequestIdAllocator,
+    RequestRecord,
+    VisitRecord,
+    VisitResult,
+)
+from .profile import (
+    BrowserProfile,
+    PAPER_PROFILES,
+    PROFILE_HEADLESS,
+    PROFILE_NOACTION,
+    PROFILE_OLD,
+    PROFILE_SIM1,
+    PROFILE_SIM2,
+    REFERENCE_PROFILE,
+    profile_by_name,
+)
+
+__all__ = [
+    "BrowserEngine",
+    "BrowserProfile",
+    "CallStack",
+    "Cookie",
+    "CookieJar",
+    "CookieRecord",
+    "DEFAULT_SCRIPT",
+    "EMPTY_STACK",
+    "Frame",
+    "FrameTree",
+    "InteractionScript",
+    "KeyEvent",
+    "Keystroke",
+    "MAIN_FRAME_ID",
+    "PAPER_PROFILES",
+    "PROFILE_HEADLESS",
+    "PROFILE_NOACTION",
+    "PROFILE_OLD",
+    "PROFILE_SIM1",
+    "PROFILE_SIM2",
+    "REFERENCE_PROFILE",
+    "RedirectRecord",
+    "RequestIdAllocator",
+    "RequestRecord",
+    "StackFrame",
+    "VisitRecord",
+    "VisitResult",
+    "profile_by_name",
+    "script_for",
+]

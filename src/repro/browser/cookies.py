@@ -1,0 +1,101 @@
+"""An RFC 6265 cookie jar.
+
+The paper's cookie case study (§5.2) identifies cookies by the RFC 6265
+triple ``(name, domain, path)`` and compares their presence and security
+attributes across profiles.  The jar implements exactly that identity, plus
+the domain-matching rules needed to answer "which cookies would be sent to
+this host".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Cookie:
+    """A cookie as stored by the browser."""
+
+    name: str
+    domain: str
+    path: str = "/"
+    value: str = ""
+    secure: bool = False
+    http_only: bool = False
+    same_site: str = "Lax"
+
+    @property
+    def identity(self) -> Tuple[str, str, str]:
+        """RFC 6265 identity: (name, domain, path)."""
+        return (self.name, self.domain, self.path)
+
+    @property
+    def attribute_signature(self) -> Tuple[bool, bool, str]:
+        """The security attributes the paper compares across profiles."""
+        return (self.secure, self.http_only, self.same_site)
+
+    def domain_matches(self, host: str) -> bool:
+        """RFC 6265 §5.1.3 domain matching (domain cookies match subdomains)."""
+        host = host.lower()
+        domain = self.domain.lower().lstrip(".")
+        if host == domain:
+            return True
+        return host.endswith("." + domain)
+
+    def path_matches(self, request_path: str) -> bool:
+        """RFC 6265 §5.1.4 path matching."""
+        cookie_path = self.path or "/"
+        if request_path == cookie_path:
+            return True
+        if request_path.startswith(cookie_path):
+            return cookie_path.endswith("/") or request_path[len(cookie_path)] == "/"
+        return False
+
+
+class CookieJar:
+    """Stores cookies for one browser instance (one visit when stateless).
+
+    Setting a cookie with an existing identity replaces it, as browsers do.
+    """
+
+    def __init__(self) -> None:
+        self._cookies: Dict[Tuple[str, str, str], Cookie] = {}
+
+    def __len__(self) -> int:
+        return len(self._cookies)
+
+    def __iter__(self) -> Iterator[Cookie]:
+        return iter(self._cookies.values())
+
+    def set(self, cookie: Cookie) -> None:
+        """Store ``cookie``, replacing any cookie with the same identity."""
+        self._cookies[cookie.identity] = cookie
+
+    def get(self, name: str, domain: str, path: str = "/") -> Optional[Cookie]:
+        """Exact-identity lookup."""
+        return self._cookies.get((name, domain, path))
+
+    def cookies_for(self, host: str, path: str = "/", secure_channel: bool = True) -> List[Cookie]:
+        """Cookies that would be attached to a request to ``host``/``path``."""
+        return [
+            cookie
+            for cookie in self._cookies.values()
+            if cookie.domain_matches(host)
+            and cookie.path_matches(path)
+            and (secure_channel or not cookie.secure)
+        ]
+
+    def clear(self) -> None:
+        """Drop all cookies (the stateless-crawl reset between visits)."""
+        self._cookies.clear()
+
+    def snapshot(self) -> Tuple[Cookie, ...]:
+        """An immutable copy of the jar contents, sorted by identity."""
+        return tuple(sorted(self._cookies.values(), key=lambda c: c.identity))
+
+    def update_value(self, name: str, domain: str, path: str, value: str) -> None:
+        """Replace the value of an existing cookie, keeping attributes."""
+        key = (name, domain, path)
+        if key in self._cookies:
+            self._cookies[key] = replace(self._cookies[key], value=value)

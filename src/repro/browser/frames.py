@@ -1,0 +1,90 @@
+"""Frame-tree bookkeeping for a page visit.
+
+OpenWPM stores, for every request, the frame it was issued from and that
+frame's parent; the tree builder uses this to place sub-frame content under
+the element that created the frame.  :class:`FrameTree` hands out frame ids
+the way Firefox does: the main frame is id 0, every ``<iframe>`` gets a
+fresh id with a recorded parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+MAIN_FRAME_ID = 0
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One (i)frame within a page visit."""
+
+    frame_id: int
+    parent_frame_id: Optional[int]
+    url: str
+    creator_request_id: Optional[int]
+
+    @property
+    def is_main(self) -> bool:
+        return self.frame_id == MAIN_FRAME_ID
+
+
+class FrameTree:
+    """Allocates frame ids and records parentage for one visit."""
+
+    def __init__(self, page_url: str) -> None:
+        self._frames: Dict[int, Frame] = {
+            MAIN_FRAME_ID: Frame(
+                frame_id=MAIN_FRAME_ID,
+                parent_frame_id=None,
+                url=page_url,
+                creator_request_id=None,
+            )
+        }
+        self._next_id = 1
+
+    def main_frame(self) -> Frame:
+        return self._frames[MAIN_FRAME_ID]
+
+    def create_subframe(
+        self, parent_frame_id: int, url: str, creator_request_id: int
+    ) -> Frame:
+        """Register a new sub-frame created inside ``parent_frame_id``.
+
+        ``creator_request_id`` is the request that loaded the frame document;
+        requests issued *from inside* the frame carry the new frame id, which
+        is how the tree builder attaches them to the frame node.
+        """
+        if parent_frame_id not in self._frames:
+            raise KeyError(f"unknown parent frame: {parent_frame_id}")
+        frame = Frame(
+            frame_id=self._next_id,
+            parent_frame_id=parent_frame_id,
+            url=url,
+            creator_request_id=creator_request_id,
+        )
+        self._frames[frame.frame_id] = frame
+        self._next_id += 1
+        return frame
+
+    def get(self, frame_id: int) -> Frame:
+        return self._frames[frame_id]
+
+    def __contains__(self, frame_id: int) -> bool:
+        return frame_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def all_frames(self) -> List[Frame]:
+        """All frames in creation order (main frame first)."""
+        return [self._frames[fid] for fid in sorted(self._frames)]
+
+    def ancestry(self, frame_id: int) -> List[int]:
+        """Frame ids from ``frame_id`` up to (and including) the main frame."""
+        chain: List[int] = []
+        current: Optional[int] = frame_id
+        while current is not None:
+            chain.append(current)
+            current = self._frames[current].parent_frame_id
+        return chain

@@ -1,0 +1,72 @@
+"""Mimicked user interaction (paper §3.1.1).
+
+After a page finishes loading, the interaction profiles send Page Down,
+Tab, and End keystrokes with short delays — keys chosen because they are
+unlikely to navigate away.  In the simulation the interaction script has
+two effects, both matching the measured reality:
+
+* it opens the *interaction phase*, during which interaction-gated slots
+  (lazy images, below-the-fold ad slots, infinite scroll) may load;
+* it advances the visit clock, so interaction-phase requests carry later
+  timestamps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+class Keystroke(enum.Enum):
+    """Keys the crawler sends to the loaded page."""
+
+    PAGE_DOWN = "Page Down"
+    TAB = "Tab"
+    END = "End"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class KeyEvent:
+    """One keystroke with the delay (seconds) before it is sent."""
+
+    key: Keystroke
+    delay: float
+
+
+@dataclass(frozen=True)
+class InteractionScript:
+    """The keystroke sequence an interaction profile replays per page."""
+
+    events: Tuple[KeyEvent, ...]
+
+    @property
+    def total_delay(self) -> float:
+        """Wall-clock time the script consumes."""
+        return sum(event.delay for event in self.events)
+
+    def __iter__(self) -> Iterator[KeyEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+#: The paper's script: Page Down, Tab, End with short delays in between.
+DEFAULT_SCRIPT = InteractionScript(
+    events=(
+        KeyEvent(Keystroke.PAGE_DOWN, delay=0.5),
+        KeyEvent(Keystroke.TAB, delay=0.5),
+        KeyEvent(Keystroke.END, delay=0.5),
+    )
+)
+
+
+def script_for(user_interaction: bool) -> InteractionScript:
+    """The script a profile runs: the default one, or nothing at all."""
+    if user_interaction:
+        return DEFAULT_SCRIPT
+    return InteractionScript(events=())

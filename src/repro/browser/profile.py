@@ -1,0 +1,80 @@
+"""Browser measurement profiles (paper Table 1).
+
+A profile bundles the configuration axes the paper varies: browser version,
+mimicked user interaction, and GUI vs. headless mode.  Two of the five paper
+profiles (Sim1/Sim2) are deliberately identical — comparing them isolates
+the Web's own nondeterminism from setup effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class BrowserProfile:
+    """One measurement setup: a named browser configuration."""
+
+    name: str
+    version: str
+    user_interaction: bool
+    gui: bool
+    country: str = "DE"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("profile name must be non-empty")
+        try:
+            int(self.version.split(".", 1)[0])
+        except (ValueError, IndexError):
+            raise ReproError(f"bad browser version: {self.version!r}") from None
+
+    @property
+    def major_version(self) -> int:
+        """The major Firefox version (e.g. 95 for "95.0")."""
+        return int(self.version.split(".", 1)[0])
+
+    @property
+    def headless(self) -> bool:
+        """Headless mode is the inverse of spawning a GUI."""
+        return not self.gui
+
+    def describe(self) -> str:
+        """A one-line human-readable description (Table 1 row)."""
+        interaction = "interaction" if self.user_interaction else "no interaction"
+        mode = "GUI" if self.gui else "headless"
+        return f"{self.name}: Firefox {self.version}, {interaction}, {mode}, {self.country}"
+
+
+#: The five profiles of Table 1, in paper order.
+PROFILE_OLD = BrowserProfile(name="Old", version="86.0.1", user_interaction=True, gui=True)
+PROFILE_SIM1 = BrowserProfile(name="Sim1", version="95.0", user_interaction=True, gui=True)
+PROFILE_SIM2 = BrowserProfile(name="Sim2", version="95.0", user_interaction=True, gui=True)
+PROFILE_NOACTION = BrowserProfile(
+    name="NoAction", version="95.0", user_interaction=False, gui=True
+)
+PROFILE_HEADLESS = BrowserProfile(
+    name="Headless", version="95.0", user_interaction=True, gui=False
+)
+
+PAPER_PROFILES: Tuple[BrowserProfile, ...] = (
+    PROFILE_OLD,
+    PROFILE_SIM1,
+    PROFILE_SIM2,
+    PROFILE_NOACTION,
+    PROFILE_HEADLESS,
+)
+
+#: The reference profile used for pairwise comparisons in Table 6.
+REFERENCE_PROFILE = PROFILE_SIM1
+
+
+def profile_by_name(name: str) -> BrowserProfile:
+    """Look up one of the paper profiles by name (case-insensitive)."""
+    for profile in PAPER_PROFILES:
+        if profile.name.lower() == name.lower():
+            return profile
+    raise ReproError(f"unknown paper profile: {name!r}")

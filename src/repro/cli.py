@@ -1,0 +1,202 @@
+"""The ``repro`` command line: crawl, analyze, export, inspect.
+
+Subcommands::
+
+    python -m repro crawl    --db run.sqlite --seed 1 --sites-per-bucket 2
+    python -m repro analyze  --db run.sqlite --seed 1 --experiments table2,table6
+    python -m repro export   --db run.sqlite --seed 1 --what nodes --out nodes.csv
+    python -m repro inspect  --seed 1 --rank 1 [--profile Sim1] [--visit 3]
+    python -m repro easylist --seed 1 [--out easylist.txt]
+
+``crawl`` persists an OpenWPM-style SQLite database; ``analyze`` rebuilds
+trees from it and prints any subset of the paper's tables/figures;
+``inspect`` simulates a single page visit and renders its dependency tree.
+The ``--seed`` must match between crawl and analyze so the synthetic
+EasyList and site ranks regenerate identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import AnalysisDataset
+from .blocklist import build_filter_list, generate_easylist
+from .browser import BrowserEngine, PAPER_PROFILES, profile_by_name
+from .crawler import Commander, MeasurementStore, sample_paper_buckets
+from . import export as export_mod
+from .experiments import ALL_EXPERIMENTS
+from .reporting.treeview import render_tree, render_tree_summary
+from .trees import TreeBuilder
+from .web import WebGenerator
+
+
+class AnalysisContext:
+    """Duck-typed stand-in for ExperimentContext backed by a stored crawl."""
+
+    def __init__(self, store: MeasurementStore, seed: int) -> None:
+        self.store = store
+        self.generator = WebGenerator(seed)
+        self.filter_list = build_filter_list(self.generator.ecosystem)
+        self.dataset = AnalysisDataset.from_store(store, filter_list=self.filter_list)
+        self.summary = None
+
+    @property
+    def profile_names(self) -> List[str]:
+        return self.store.profiles()
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    generator = WebGenerator(args.seed)
+    store = MeasurementStore(args.db)
+    commander = Commander(
+        generator, store, max_pages_per_site=args.pages_per_site
+    )
+    ranks = sample_paper_buckets(args.seed, per_bucket=args.sites_per_bucket)
+    summary = commander.run(ranks)
+    print(
+        f"crawled {summary.sites_crawled} sites, {summary.pages_discovered} pages, "
+        f"{summary.total_visits} visits -> {args.db}"
+    )
+    for profile in PAPER_PROFILES:
+        print(
+            f"  {profile.name:<9} visits: {summary.visits.get(profile.name, 0):>5} "
+            f"success: {summary.success_rate(profile.name):.0%}"
+        )
+    store.close()
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    store = MeasurementStore(args.db)
+    try:
+        ctx = AnalysisContext(store, seed=args.seed)
+        if not len(ctx.dataset):
+            print("no pages were crawled by all profiles; nothing to analyze")
+            return 1
+        selected = (
+            [item.strip() for item in args.experiments.split(",") if item.strip()]
+            if args.experiments
+            else list(ALL_EXPERIMENTS)
+        )
+        unknown = [item for item in selected if item not in ALL_EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        print(f"dataset: {len(ctx.dataset)} comparable pages\n")
+        for experiment_id in selected:
+            module = ALL_EXPERIMENTS[experiment_id]
+            print(f"{'=' * 70}\n[{experiment_id}]\n{'=' * 70}")
+            print(module.render(module.run(ctx)))
+            print()
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    store = MeasurementStore(args.db)
+    try:
+        if args.what in ("visits", "requests", "cookies"):
+            exporter = {
+                "visits": export_mod.export_visits_csv,
+                "requests": export_mod.export_requests_csv,
+                "cookies": export_mod.export_cookies_csv,
+            }[args.what]
+            rows = exporter(store, args.out)
+        else:
+            ctx = AnalysisContext(store, seed=args.seed)
+            if args.what == "trees":
+                rows = export_mod.export_trees_jsonl(ctx.dataset, args.out)
+            else:  # nodes
+                rows = export_mod.export_node_comparisons_csv(ctx.dataset, args.out)
+        print(f"wrote {rows} rows to {args.out}")
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    generator = WebGenerator(args.seed)
+    site = generator.site(args.rank)
+    page = site.pages[args.page] if args.page < len(site.pages) else site.landing_page
+    profile = profile_by_name(args.profile)
+    engine = BrowserEngine(profile, seed=args.seed)
+    result = engine.visit(page, site=site.domain, site_rank=args.rank, visit_id=args.visit)
+    if not result.success:
+        print(f"visit failed: {result.visit.failure_reason} (try another --visit)")
+        return 1
+    builder = TreeBuilder(filter_list=build_filter_list(generator.ecosystem))
+    tree = builder.build(result.visit, result.requests)
+    print(render_tree_summary(tree))
+    print()
+    print(render_tree(tree, max_depth=args.max_depth))
+    return 0
+
+
+def _cmd_easylist(args: argparse.Namespace) -> int:
+    generator = WebGenerator(args.seed)
+    text = generate_easylist(generator.ecosystem)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Web-measurement similarity reproduction."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    crawl = sub.add_parser("crawl", help="run a measurement into a SQLite db")
+    crawl.add_argument("--db", required=True)
+    crawl.add_argument("--seed", type=int, default=2023)
+    crawl.add_argument("--sites-per-bucket", type=int, default=2)
+    crawl.add_argument("--pages-per-site", type=int, default=4)
+    crawl.set_defaults(func=_cmd_crawl)
+
+    analyze = sub.add_parser("analyze", help="run paper analyses on a stored crawl")
+    analyze.add_argument("--db", required=True)
+    analyze.add_argument("--seed", type=int, default=2023)
+    analyze.add_argument(
+        "--experiments", default="", help=f"comma-separated ids ({', '.join(ALL_EXPERIMENTS)})"
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    export = sub.add_parser("export", help="dump crawl/analysis data to files")
+    export.add_argument("--db", required=True)
+    export.add_argument("--seed", type=int, default=2023)
+    export.add_argument(
+        "--what",
+        choices=["visits", "requests", "cookies", "trees", "nodes"],
+        required=True,
+    )
+    export.add_argument("--out", required=True)
+    export.set_defaults(func=_cmd_export)
+
+    inspect = sub.add_parser("inspect", help="simulate one visit, print its tree")
+    inspect.add_argument("--seed", type=int, default=2023)
+    inspect.add_argument("--rank", type=int, default=1)
+    inspect.add_argument("--page", type=int, default=0)
+    inspect.add_argument("--profile", default="Sim1")
+    inspect.add_argument("--visit", type=int, default=1)
+    inspect.add_argument("--max-depth", type=int, default=None)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    easylist = sub.add_parser("easylist", help="print the synthetic EasyList")
+    easylist.add_argument("--seed", type=int, default=2023)
+    easylist.add_argument("--out", default="")
+    easylist.set_defaults(func=_cmd_easylist)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

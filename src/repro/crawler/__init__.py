@@ -1,0 +1,37 @@
+"""Crawl framework: Tranco sampling, discovery, storage, clients, commander.
+
+This subpackage reproduces the measurement framework of Demir et al. that
+the paper builds on (Appendix C): a commander orchestrating per-profile
+clients with site-level synchronization, consolidating results into a
+single store.
+"""
+
+from .client import ClientStats, CrawlClient, SiteVisitPlan
+from .commander import Commander, CrawlSummary, run_measurement
+from .discovery import DiscoveryResult, discover_pages, first_party_links
+from .storage import MeasurementStore
+from .tranco import (
+    PAPER_BUCKETS,
+    RankBucket,
+    RankedList,
+    bucket_for_rank,
+    sample_paper_buckets,
+)
+
+__all__ = [
+    "ClientStats",
+    "Commander",
+    "CrawlClient",
+    "CrawlSummary",
+    "DiscoveryResult",
+    "MeasurementStore",
+    "PAPER_BUCKETS",
+    "RankBucket",
+    "RankedList",
+    "SiteVisitPlan",
+    "bucket_for_rank",
+    "discover_pages",
+    "first_party_links",
+    "run_measurement",
+    "sample_paper_buckets",
+]

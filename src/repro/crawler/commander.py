@@ -1,0 +1,174 @@
+"""The commander: semi-parallel crawl orchestration (paper Appendix C).
+
+The commander administers the experiment: it supplies each site's page set
+to all clients at once (site-level synchronization) and waits until every
+client finished the site before moving on.  Page visits within a site are
+*not* synchronized — each client works through the pages at its own pace —
+which is exactly the paper's "semi-parallel" design.
+
+The commander also runs the discovery pre-crawl and consolidates all
+results into the :class:`~repro.crawler.storage.MeasurementStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..browser.profile import BrowserProfile, PAPER_PROFILES
+from ..errors import CrawlError
+from ..web.sitegen import WebGenerator
+from .client import CrawlClient, SiteVisitPlan
+from .discovery import DiscoveryResult, discover_pages
+from .storage import MeasurementStore
+from .tranco import RankedList
+
+
+@dataclass
+class CrawlSummary:
+    """Aggregate outcome of a crawl, per profile and overall."""
+
+    sites_planned: int = 0
+    sites_crawled: int = 0
+    pages_discovered: int = 0
+    visits: Dict[str, int] = field(default_factory=dict)
+    successes: Dict[str, int] = field(default_factory=dict)
+
+    def success_rate(self, profile: str) -> float:
+        visits = self.visits.get(profile, 0)
+        return self.successes.get(profile, 0) / visits if visits else 0.0
+
+    @property
+    def total_visits(self) -> int:
+        return sum(self.visits.values())
+
+
+class Commander:
+    """Runs a full measurement: discovery, then the semi-parallel crawl.
+
+    Parameters mirror the paper's configuration: the profiles to run, pages
+    per site (25 in the paper), the per-visit timeout (30 s), stateless or
+    stateful cookie handling, and how many times each profile visits each
+    page (``repeat_visits``; the paper visits once).
+    """
+
+    def __init__(
+        self,
+        generator: WebGenerator,
+        store: MeasurementStore,
+        profiles: Sequence[BrowserProfile] = PAPER_PROFILES,
+        max_pages_per_site: int = 25,
+        timeout: float = 30.0,
+        stateful: bool = False,
+        repeat_visits: int = 1,
+    ) -> None:
+        if not profiles:
+            raise CrawlError("at least one profile is required")
+        names = [profile.name for profile in profiles]
+        if len(set(names)) != len(names):
+            raise CrawlError("profile names must be unique")
+        self.generator = generator
+        self.store = store
+        self.profiles = tuple(profiles)
+        self.max_pages_per_site = max_pages_per_site
+        self.timeout = timeout
+        self.stateful = stateful
+        if repeat_visits < 1:
+            raise CrawlError("repeat_visits must be >= 1")
+        self.repeat_visits = repeat_visits
+        self._next_visit_id = 1
+
+    # -- pipeline ----------------------------------------------------------
+
+    def run(self, ranks: Sequence[int]) -> CrawlSummary:
+        """Crawl the sites at ``ranks`` with all profiles; returns a summary."""
+        summary = CrawlSummary(sites_planned=len(ranks))
+        clients = {
+            profile.name: CrawlClient(
+                profile,
+                seed=self.generator.seed,
+                timeout=self.timeout,
+                stateful=self.stateful,
+            )
+            for profile in self.profiles
+        }
+        for rank in ranks:
+            plan = self._plan_site(rank)
+            if plan is None:
+                continue
+            self._crawl_site(plan, clients, summary)
+            summary.sites_crawled += 1
+            summary.pages_discovered += plan.page_count
+        for name, client in clients.items():
+            summary.visits[name] = client.stats.visits
+            summary.successes[name] = client.stats.successes
+        return summary
+
+    def discover(self, ranks: Sequence[int]) -> List[DiscoveryResult]:
+        """Run only the discovery pre-crawl (useful for inspection)."""
+        return [
+            discover_pages(self.generator.site(rank), self.max_pages_per_site)
+            for rank in ranks
+        ]
+
+    def ranked_list(self, ranks: Sequence[int]) -> RankedList:
+        """The Tranco-style list backing this crawl."""
+        return RankedList.from_generator(self.generator, ranks)
+
+    # -- internals ---------------------------------------------------------
+
+    def _plan_site(self, rank: int) -> Optional[SiteVisitPlan]:
+        site = self.generator.site(rank)
+        discovery = discover_pages(site, self.max_pages_per_site)
+        pages = [site.page_for(url) for url in discovery.pages]
+        pages = [page for page in pages if page is not None]
+        if not pages:
+            return None
+        return SiteVisitPlan(site=site.domain, rank=rank, pages=pages)
+
+    def _crawl_site(
+        self,
+        plan: SiteVisitPlan,
+        clients: Dict[str, CrawlClient],
+        summary: CrawlSummary,
+    ) -> None:
+        # Site-level barrier: all clients start the site together; stateful
+        # jars reset per site (cookies persist between the site's pages).
+        barrier = max(client.clock for client in clients.values())
+        for client in clients.values():
+            client.synchronize(barrier)
+            client.reset_state()
+        # Page-level: each client visits the pages independently; with
+        # repeat_visits > 1 every page is measured several times per
+        # profile (the paper's repeated-measurement recommendation).
+        for client in clients.values():
+            for page in plan.pages:
+                for _ in range(self.repeat_visits):
+                    visit_id = self._allocate_visit_id()
+                    result = client.visit_page(
+                        page, site=plan.site, site_rank=plan.rank, visit_id=visit_id
+                    )
+                    self.store.store_visit(result)
+
+    def _allocate_visit_id(self) -> int:
+        visit_id = self._next_visit_id
+        self._next_visit_id += 1
+        return visit_id
+
+
+def run_measurement(
+    seed: int,
+    ranks: Sequence[int],
+    store: Optional[MeasurementStore] = None,
+    profiles: Sequence[BrowserProfile] = PAPER_PROFILES,
+    max_pages_per_site: int = 25,
+    generator: Optional[WebGenerator] = None,
+) -> MeasurementStore:
+    """Convenience one-shot: generate the web, crawl it, return the store."""
+    generator = generator or WebGenerator(seed)
+    store = store or MeasurementStore()
+    commander = Commander(
+        generator, store, profiles=profiles, max_pages_per_site=max_pages_per_site
+    )
+    commander.run(ranks)
+    return store

@@ -1,0 +1,390 @@
+"""The measurement store: OpenWPM-style tables in SQLite.
+
+The original framework consolidates each VM's records into BigQuery; the
+reproduction stores the same logical tables in SQLite (stdlib, works
+in-memory or on disk).  The store is the only interface between the crawl
+and the analysis: trees are rebuilt purely from stored records.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..browser.callstack import CallStack
+from ..browser.network import (
+    CookieRecord,
+    RedirectRecord,
+    RequestRecord,
+    ResponseRecord,
+    VisitRecord,
+    VisitResult,
+)
+from ..errors import StorageError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS visits (
+    visit_id INTEGER PRIMARY KEY,
+    profile TEXT NOT NULL,
+    site TEXT NOT NULL,
+    site_rank INTEGER NOT NULL,
+    page_url TEXT NOT NULL,
+    success INTEGER NOT NULL,
+    started_at REAL NOT NULL,
+    duration REAL NOT NULL,
+    failure_reason TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_visits_page ON visits (page_url);
+CREATE INDEX IF NOT EXISTS idx_visits_profile ON visits (profile);
+
+CREATE TABLE IF NOT EXISTS http_requests (
+    visit_id INTEGER NOT NULL,
+    request_id INTEGER NOT NULL,
+    url TEXT NOT NULL,
+    top_level_url TEXT NOT NULL,
+    resource_type TEXT NOT NULL,
+    frame_id INTEGER NOT NULL,
+    parent_frame_id INTEGER,
+    timestamp REAL NOT NULL,
+    call_stack TEXT NOT NULL,
+    redirect_from INTEGER,
+    during_interaction INTEGER NOT NULL,
+    PRIMARY KEY (visit_id, request_id)
+);
+
+CREATE TABLE IF NOT EXISTS http_responses (
+    visit_id INTEGER NOT NULL,
+    request_id INTEGER NOT NULL,
+    status INTEGER NOT NULL,
+    headers TEXT NOT NULL,
+    PRIMARY KEY (visit_id, request_id)
+);
+
+CREATE TABLE IF NOT EXISTS http_redirects (
+    visit_id INTEGER NOT NULL,
+    from_request_id INTEGER NOT NULL,
+    to_request_id INTEGER NOT NULL,
+    from_url TEXT NOT NULL,
+    to_url TEXT NOT NULL,
+    status INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_redirects_visit ON http_redirects (visit_id);
+
+CREATE TABLE IF NOT EXISTS javascript_cookies (
+    visit_id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    path TEXT NOT NULL,
+    value TEXT NOT NULL,
+    secure INTEGER NOT NULL,
+    http_only INTEGER NOT NULL,
+    same_site TEXT NOT NULL,
+    set_by_url TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_cookies_visit ON javascript_cookies (visit_id);
+"""
+
+
+class MeasurementStore:
+    """Stores and retrieves crawl records.
+
+    Use as a context manager or call :meth:`close` explicitly.  All write
+    operations are wrapped in transactions per visit.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "MeasurementStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writes ------------------------------------------------------------
+
+    def store_visit(self, result: VisitResult) -> None:
+        """Persist one visit's records atomically."""
+        visit = result.visit
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        visit.visit_id,
+                        visit.profile_name,
+                        visit.site,
+                        visit.site_rank,
+                        visit.page_url,
+                        int(visit.success),
+                        visit.started_at,
+                        visit.duration,
+                        visit.failure_reason,
+                    ),
+                )
+                self._conn.executemany(
+                    "INSERT INTO http_requests VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            req.visit_id,
+                            req.request_id,
+                            req.url,
+                            req.top_level_url,
+                            req.resource_type,
+                            req.frame_id,
+                            req.parent_frame_id,
+                            req.timestamp,
+                            req.call_stack.format(),
+                            req.redirect_from,
+                            int(req.during_interaction),
+                        )
+                        for req in result.requests
+                    ],
+                )
+                self._conn.executemany(
+                    "INSERT INTO http_responses VALUES (?, ?, ?, ?)",
+                    [
+                        (
+                            resp.visit_id,
+                            resp.request_id,
+                            resp.status,
+                            json.dumps(list(resp.headers)),
+                        )
+                        for resp in result.responses
+                    ],
+                )
+                self._conn.executemany(
+                    "INSERT INTO http_redirects VALUES (?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            red.visit_id,
+                            red.from_request_id,
+                            red.to_request_id,
+                            red.from_url,
+                            red.to_url,
+                            red.status,
+                        )
+                        for red in result.redirects
+                    ],
+                )
+                self._conn.executemany(
+                    "INSERT INTO javascript_cookies VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            c.visit_id,
+                            c.name,
+                            c.domain,
+                            c.path,
+                            c.value,
+                            int(c.secure),
+                            int(c.http_only),
+                            c.same_site,
+                            c.set_by_url,
+                        )
+                        for c in result.cookies
+                    ],
+                )
+        except sqlite3.IntegrityError as exc:
+            raise StorageError(f"duplicate visit id {visit.visit_id}") from exc
+
+    # -- reads: visits -----------------------------------------------------
+
+    def visit(self, visit_id: int) -> Optional[VisitRecord]:
+        row = self._conn.execute(
+            "SELECT * FROM visits WHERE visit_id = ?", (visit_id,)
+        ).fetchone()
+        return _visit_from_row(row) if row else None
+
+    def visits_for_page(self, page_url: str) -> List[VisitRecord]:
+        """All visits (any profile, any outcome) to ``page_url``."""
+        rows = self._conn.execute(
+            "SELECT * FROM visits WHERE page_url = ? ORDER BY visit_id", (page_url,)
+        ).fetchall()
+        return [_visit_from_row(row) for row in rows]
+
+    def visit_count(self, profile: Optional[str] = None, success_only: bool = False) -> int:
+        query = "SELECT COUNT(*) FROM visits WHERE 1=1"
+        params: List = []
+        if profile is not None:
+            query += " AND profile = ?"
+            params.append(profile)
+        if success_only:
+            query += " AND success = 1"
+        return self._conn.execute(query, params).fetchone()[0]
+
+    def profiles(self) -> List[str]:
+        rows = self._conn.execute("SELECT DISTINCT profile FROM visits ORDER BY profile")
+        return [row[0] for row in rows]
+
+    def pages(self) -> List[str]:
+        rows = self._conn.execute("SELECT DISTINCT page_url FROM visits ORDER BY page_url")
+        return [row[0] for row in rows]
+
+    def sites(self) -> List[str]:
+        rows = self._conn.execute("SELECT DISTINCT site FROM visits ORDER BY site")
+        return [row[0] for row in rows]
+
+    def site_rank(self, site: str) -> Optional[int]:
+        row = self._conn.execute(
+            "SELECT site_rank FROM visits WHERE site = ? LIMIT 1", (site,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def pages_crawled_by_all(self, profiles: Sequence[str]) -> List[str]:
+        """Pages successfully visited by *every* profile in ``profiles``.
+
+        This is the paper's vetting step (§3.2): pages missing from any
+        profile are dropped from the analysis.
+        """
+        placeholders = ",".join("?" for _ in profiles)
+        rows = self._conn.execute(
+            f"""
+            SELECT page_url FROM visits
+            WHERE success = 1 AND profile IN ({placeholders})
+            GROUP BY page_url
+            HAVING COUNT(DISTINCT profile) = ?
+            ORDER BY page_url
+            """,
+            (*profiles, len(profiles)),
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def successful_visits_for_page(
+        self, page_url: str, profiles: Sequence[str]
+    ) -> Dict[str, VisitRecord]:
+        """Map profile name → its successful visit of ``page_url``.
+
+        When a profile visited the page successfully more than once, the
+        first visit wins (the paper's crawl visits each page once per
+        profile).
+        """
+        result: Dict[str, VisitRecord] = {}
+        for visit in self.visits_for_page(page_url):
+            if visit.success and visit.profile_name in profiles:
+                result.setdefault(visit.profile_name, visit)
+        return result
+
+    # -- reads: traffic ----------------------------------------------------
+
+    def requests_for_visit(self, visit_id: int) -> List[RequestRecord]:
+        rows = self._conn.execute(
+            "SELECT * FROM http_requests WHERE visit_id = ? ORDER BY request_id",
+            (visit_id,),
+        ).fetchall()
+        return [_request_from_row(row) for row in rows]
+
+    def responses_for_visit(self, visit_id: int) -> List[ResponseRecord]:
+        rows = self._conn.execute(
+            "SELECT * FROM http_responses WHERE visit_id = ? ORDER BY request_id",
+            (visit_id,),
+        ).fetchall()
+        return [
+            ResponseRecord(
+                visit_id=row[0],
+                request_id=row[1],
+                status=row[2],
+                headers=tuple((name, value) for name, value in json.loads(row[3])),
+            )
+            for row in rows
+        ]
+
+    def document_response(self, visit_id: int) -> Optional[ResponseRecord]:
+        """The response of the visit's main document (request id 1)."""
+        row = self._conn.execute(
+            "SELECT * FROM http_responses WHERE visit_id = ? AND request_id = 1",
+            (visit_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        return ResponseRecord(
+            visit_id=row[0],
+            request_id=row[1],
+            status=row[2],
+            headers=tuple((name, value) for name, value in json.loads(row[3])),
+        )
+
+    def redirects_for_visit(self, visit_id: int) -> List[RedirectRecord]:
+        rows = self._conn.execute(
+            "SELECT * FROM http_redirects WHERE visit_id = ? ORDER BY from_request_id",
+            (visit_id,),
+        ).fetchall()
+        return [
+            RedirectRecord(
+                visit_id=row[0],
+                from_request_id=row[1],
+                to_request_id=row[2],
+                from_url=row[3],
+                to_url=row[4],
+                status=row[5],
+            )
+            for row in rows
+        ]
+
+    def cookies_for_visit(self, visit_id: int) -> List[CookieRecord]:
+        rows = self._conn.execute(
+            "SELECT * FROM javascript_cookies WHERE visit_id = ? ORDER BY domain, name",
+            (visit_id,),
+        ).fetchall()
+        return [
+            CookieRecord(
+                visit_id=row[0],
+                name=row[1],
+                domain=row[2],
+                path=row[3],
+                value=row[4],
+                secure=bool(row[5]),
+                http_only=bool(row[6]),
+                same_site=row[7],
+                set_by_url=row[8],
+            )
+            for row in rows
+        ]
+
+    def request_count(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM http_requests").fetchone()[0]
+
+    def iter_visits(self, success_only: bool = True) -> Iterator[VisitRecord]:
+        """Stream all visits (ordered by id)."""
+        query = "SELECT * FROM visits"
+        if success_only:
+            query += " WHERE success = 1"
+        query += " ORDER BY visit_id"
+        for row in self._conn.execute(query):
+            yield _visit_from_row(row)
+
+
+def _visit_from_row(row: Tuple) -> VisitRecord:
+    return VisitRecord(
+        visit_id=row[0],
+        profile_name=row[1],
+        site=row[2],
+        site_rank=row[3],
+        page_url=row[4],
+        success=bool(row[5]),
+        started_at=row[6],
+        duration=row[7],
+        failure_reason=row[8],
+    )
+
+
+def _request_from_row(row: Tuple) -> RequestRecord:
+    return RequestRecord(
+        visit_id=row[0],
+        request_id=row[1],
+        url=row[2],
+        top_level_url=row[3],
+        resource_type=row[4],
+        frame_id=row[5],
+        parent_frame_id=row[6],
+        timestamp=row[7],
+        call_stack=CallStack.parse(row[8]),
+        redirect_from=row[9],
+        during_interaction=bool(row[10]),
+    )

@@ -1,0 +1,153 @@
+"""Tranco-style ranked site list and the paper's bucket sampling (§3.1.2).
+
+The paper samples 25k sites from the Tranco list: the full top 5k plus 5k
+random sites from each of four deeper rank buckets.  :class:`RankedList`
+models the list (backed by the synthetic web's rank space) and
+:func:`sample_paper_buckets` reproduces the sampling scheme at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import CrawlError
+from ..rng import child_rng
+
+
+@dataclass(frozen=True)
+class RankBucket:
+    """A half-open rank range ``[start, end]`` (inclusive, 1-based)."""
+
+    name: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 1 or self.end < self.start:
+            raise CrawlError(f"bad bucket range: {self.start}-{self.end}")
+
+    def __contains__(self, rank: int) -> bool:
+        return self.start <= rank <= self.end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start + 1
+
+
+#: The paper's five buckets (Table 7 / §3.1.2).
+PAPER_BUCKETS: Tuple[RankBucket, ...] = (
+    RankBucket("1-5k", 1, 5_000),
+    RankBucket("5,001-10k", 5_001, 10_000),
+    RankBucket("10,001-50k", 10_001, 50_000),
+    RankBucket("50,001-250k", 50_001, 250_000),
+    RankBucket("250,001-500k", 250_001, 500_000),
+)
+
+
+def bucket_for_rank(
+    rank: int, buckets: Sequence[RankBucket] = PAPER_BUCKETS
+) -> RankBucket:
+    """Return the bucket containing ``rank``."""
+    for bucket in buckets:
+        if rank in bucket:
+            return bucket
+    raise CrawlError(f"rank {rank} outside all buckets")
+
+
+def sample_paper_buckets(
+    seed: int,
+    per_bucket: int,
+    buckets: Sequence[RankBucket] = PAPER_BUCKETS,
+) -> List[int]:
+    """Sample ranks the way the paper does, scaled to ``per_bucket`` sites.
+
+    The first bucket is taken *top-down* (the paper uses the full top 5k);
+    every deeper bucket contributes ``per_bucket`` uniformly sampled ranks.
+    The result is sorted, unique, and deterministic in ``seed``.
+    """
+    if per_bucket < 1:
+        raise CrawlError("per_bucket must be >= 1")
+    rng = child_rng(seed, "tranco-sample")
+    ranks: List[int] = list(range(1, min(per_bucket, buckets[0].size) + 1))
+    for bucket in buckets[1:]:
+        count = min(per_bucket, bucket.size)
+        ranks.extend(rng.sample(range(bucket.start, bucket.end + 1), count))
+    return sorted(set(ranks))
+
+
+class RankedList:
+    """A materialized ranked list: rank → domain.
+
+    In a real study this is the downloaded Tranco CSV; here domains come
+    from the synthetic web generator so the list and the web agree.
+    """
+
+    def __init__(self, entries: Dict[int, str]) -> None:
+        if not entries:
+            raise CrawlError("ranked list must not be empty")
+        self._by_rank = dict(entries)
+        self._by_domain = {domain: rank for rank, domain in entries.items()}
+        if len(self._by_domain) != len(self._by_rank):
+            raise CrawlError("duplicate domains in ranked list")
+
+    def __len__(self) -> int:
+        return len(self._by_rank)
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self._by_rank
+
+    def domain(self, rank: int) -> str:
+        try:
+            return self._by_rank[rank]
+        except KeyError:
+            raise CrawlError(f"rank {rank} not in list") from None
+
+    def rank(self, domain: str) -> int:
+        try:
+            return self._by_domain[domain]
+        except KeyError:
+            raise CrawlError(f"domain {domain} not in list") from None
+
+    def ranks(self) -> List[int]:
+        return sorted(self._by_rank)
+
+    def domains(self) -> List[str]:
+        return [self._by_rank[rank] for rank in self.ranks()]
+
+    @classmethod
+    def from_generator(cls, generator, ranks: Sequence[int]) -> "RankedList":
+        """Build the list for ``ranks`` from a ``WebGenerator``."""
+        return cls({rank: generator.domain_for_rank(rank) for rank in ranks})
+
+    # -- Tranco CSV interchange ---------------------------------------------
+
+    def to_csv(self, path) -> int:
+        """Write the list in Tranco's ``rank,domain`` CSV format."""
+        count = 0
+        with open(path, "w") as handle:
+            for rank in self.ranks():
+                handle.write(f"{rank},{self._by_rank[rank]}\n")
+                count += 1
+        return count
+
+    @classmethod
+    def from_csv(cls, path) -> "RankedList":
+        """Read a Tranco-format ``rank,domain`` CSV.
+
+        Blank lines are skipped; malformed lines raise
+        :class:`~repro.errors.CrawlError` with the offending line number.
+        """
+        entries: Dict[int, str] = {}
+        with open(path) as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                rank_text, _, domain = line.partition(",")
+                if not domain or not rank_text.isdigit():
+                    raise CrawlError(
+                        f"malformed Tranco line {line_number}: {line!r}"
+                    )
+                entries[int(rank_text)] = domain.strip()
+        return cls(entries)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package-level failures with a single ``except`` clause
+while still letting programming errors (``TypeError`` and friends) surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidURLError(ReproError, ValueError):
+    """Raised when a string cannot be parsed as a URL."""
+
+
+class BlueprintError(ReproError):
+    """Raised when a site/page blueprint is structurally invalid."""
+
+
+class CrawlError(ReproError):
+    """Raised when the crawl framework encounters an unrecoverable problem."""
+
+
+class VisitFailed(CrawlError):
+    """Raised by the browser engine when a page visit fails (e.g. timeout).
+
+    The crawler catches this and records the visit as unsuccessful; the
+    analysis then drops pages that were not crawled by all profiles, exactly
+    as the paper does.
+    """
+
+    def __init__(self, url: str, reason: str) -> None:
+        super().__init__(f"visit to {url} failed: {reason}")
+        self.url = url
+        self.reason = reason
+
+
+class StorageError(CrawlError):
+    """Raised when the measurement store rejects an operation."""
+
+
+class FilterParseError(ReproError, ValueError):
+    """Raised when an Adblock-Plus filter line cannot be parsed."""
+
+
+class TreeConstructionError(ReproError):
+    """Raised when a dependency tree cannot be built from visit records."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an analysis routine receives inconsistent input."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is misconfigured."""

@@ -1,0 +1,75 @@
+"""Experiment harness: one module per paper table/figure/case study.
+
+Each module exposes ``run(ctx) -> <Result>`` and ``render(result) -> str``.
+Get a context with :func:`run_pipeline` (cached per config), then::
+
+    from repro.experiments import runner, table2
+    ctx = runner.run_pipeline()
+    print(table2.render(table2.run(ctx)))
+
+``python -m repro.experiments`` runs everything.
+"""
+
+from . import (
+    ablation_blocklist,
+    ablation_timeout,
+    ablations,
+    case_cookies,
+    case_tracking,
+    case_unique,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure7,
+    figure8,
+    implicit_trust,
+    replication,
+    security_headers,
+    study_comparability,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    variance_metric,
+)
+from .runner import ExperimentConfig, ExperimentContext, clear_cache, run_pipeline
+
+#: All experiment modules in paper order (id → module).
+ALL_EXPERIMENTS = {
+    "table2": table2,
+    "figure1": figure1,
+    "figure2": figure2,
+    "table3": table3,
+    "figure3": figure3,
+    "table4": table4,
+    "figure4": figure4,
+    "figure5": figure5,
+    "table5": table5,
+    "table6": table6,
+    "case_unique": case_unique,
+    "case_cookies": case_cookies,
+    "case_tracking": case_tracking,
+    "table7": table7,
+    "figure7": figure7,
+    "figure8": figure8,
+    "variance": variance_metric,
+    "security_headers": security_headers,
+    "replication": replication,
+    "implicit_trust": implicit_trust,
+    "study_comparability": study_comparability,
+    "ablations": ablations,
+    "ablation_timeout": ablation_timeout,
+    "ablation_blocklist": ablation_blocklist,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentContext",
+    "clear_cache",
+    "run_pipeline",
+]

@@ -1,0 +1,71 @@
+"""Run every experiment and print the paper-style output.
+
+Usage::
+
+    python -m repro.experiments [--seed N] [--sites-per-bucket N]
+                                [--pages-per-site N] [--only ID[,ID...]]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+from .runner import ExperimentConfig, run_pipeline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--sites-per-bucket", type=int, default=3)
+    parser.add_argument("--pages-per-site", type=int, default=4)
+    parser.add_argument(
+        "--only",
+        type=str,
+        default="",
+        help="comma-separated experiment ids (default: all); "
+        f"known: {', '.join(ALL_EXPERIMENTS)}",
+    )
+    args = parser.parse_args(argv)
+    selected = (
+        [item.strip() for item in args.only.split(",") if item.strip()]
+        if args.only
+        else list(ALL_EXPERIMENTS)
+    )
+    unknown = [item for item in selected if item not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    config = ExperimentConfig(
+        seed=args.seed,
+        sites_per_bucket=args.sites_per_bucket,
+        pages_per_site=args.pages_per_site,
+    )
+    started = time.time()
+    print(
+        f"running pipeline: seed={config.seed}, "
+        f"{config.sites_per_bucket} sites/bucket, {config.pages_per_site} pages/site"
+    )
+    ctx = run_pipeline(config)
+    print(
+        f"crawled {ctx.summary.sites_crawled} sites, {ctx.summary.total_visits} visits, "
+        f"{len(ctx.dataset)} comparable pages ({time.time() - started:.1f}s)\n"
+    )
+    for experiment_id in selected:
+        module = ALL_EXPERIMENTS[experiment_id]
+        result = module.run(ctx)
+        print("=" * 72)
+        print(f"[{experiment_id}]")
+        print("=" * 72)
+        print(module.render(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

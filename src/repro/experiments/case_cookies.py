@@ -1,0 +1,45 @@
+"""Experiment: §5.2 case study — implications on cookies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import CookieAnalyzer, CookieReport
+from ..reporting import percent, render_kv
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class CookieCaseResult:
+    report: CookieReport
+
+
+def run(ctx: ExperimentContext) -> CookieCaseResult:
+    report = CookieAnalyzer().analyze(ctx.store, ctx.profile_names)
+    return CookieCaseResult(report=report)
+
+
+def render(result: CookieCaseResult) -> str:
+    report = result.report
+    pairs = [
+        ("total cookies observed", report.total_cookies),
+        (
+            "cookies per profile",
+            f"mean {report.cookies_per_profile.mean:.0f} "
+            f"(SD {report.cookies_per_profile.sd:.0f}, min {report.cookies_per_profile.minimum:.0f}, "
+            f"max {report.cookies_per_profile.maximum:.0f})",
+        ),
+        ("cookies in all profiles", percent(report.in_all_profiles_share)),
+        ("cookies in one profile", percent(report.in_one_profile_share)),
+        (
+            "page-level cookie similarity",
+            f"{report.page_similarity.mean:.2f} (SD {report.page_similarity.sd:.2f})",
+        ),
+        (
+            "vs NoAction similarity",
+            f"{report.noaction_similarity.mean:.2f} (SD {report.noaction_similarity.sd:.2f})",
+        ),
+        ("NoAction cookie count", report.noaction_cookie_count),
+        ("cookies with conflicting security attributes", report.attribute_conflicts),
+    ]
+    return render_kv(pairs, title="Case study 5.2: Implications on cookies")

@@ -1,0 +1,77 @@
+"""Experiment: §5.3 case study — tracking requests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis import TrackingAnalyzer, TrackingReport
+from ..reporting import percent, render_kv
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class TrackingCaseResult:
+    report: TrackingReport
+    same_chain_contrast: Dict[str, float]
+
+
+def run(ctx: ExperimentContext) -> TrackingCaseResult:
+    analyzer = TrackingAnalyzer()
+    return TrackingCaseResult(
+        report=analyzer.analyze(ctx.dataset),
+        same_chain_contrast=analyzer.same_chain_contrast(ctx.dataset),
+    )
+
+
+def render(result: TrackingCaseResult) -> str:
+    report = result.report
+    pairs = [
+        ("tracking node share", percent(report.tracking_node_share)),
+        ("tracking node presence similarity", f"{report.node_similarity.mean:.2f}"),
+        (
+            "child similarity (tracking)",
+            f"{report.child_similarity_tracking.mean:.2f}"
+            if report.child_similarity_tracking
+            else "-",
+        ),
+        (
+            "child similarity (non-tracking)",
+            f"{report.child_similarity_non_tracking.mean:.2f}"
+            if report.child_similarity_non_tracking
+            else "-",
+        ),
+        ("children per tracking node", f"{report.mean_children_tracking:.1f}"),
+        ("children per non-tracking node", f"{report.mean_children_non_tracking:.1f}"),
+        (
+            "parent similarity (tracking)",
+            f"{report.parent_similarity_tracking.mean:.2f}"
+            if report.parent_similarity_tracking
+            else "-",
+        ),
+        (
+            "parent similarity (non-tracking)",
+            f"{report.parent_similarity_non_tracking.mean:.2f}"
+            if report.parent_similarity_non_tracking
+            else "-",
+        ),
+        ("trackers triggered by other trackers", percent(report.triggered_by_tracker_share)),
+        (
+            "tracker parents in third-party context",
+            percent(report.tracker_parent_third_party_share),
+        ),
+        (
+            "same parent (tracking vs non-tracking)",
+            f"{result.same_chain_contrast.get('tracking', 0):.0%} vs "
+            f"{result.same_chain_contrast.get('non_tracking', 0):.0%}",
+        ),
+    ]
+    body = render_kv(pairs, title="Case study 5.3: Tracking requests")
+    depth = ", ".join(
+        f"d{depth}{'+' if depth == 4 else ''}={share:.0%}"
+        for depth, share in report.depth_distribution.items()
+    )
+    parents = ", ".join(
+        f"{kind}={share:.0%}" for kind, share in report.parent_type_shares.items()
+    )
+    return f"{body}\n  tracking depth distribution: {depth}\n  tracker parent types: {parents}"

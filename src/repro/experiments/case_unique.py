@@ -1,0 +1,38 @@
+"""Experiment: §5.1 case study — unique nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import UniqueNodeAnalyzer, UniqueNodeReport
+from ..reporting import percent, render_kv
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class UniqueCaseResult:
+    report: UniqueNodeReport
+
+
+def run(ctx: ExperimentContext) -> UniqueCaseResult:
+    return UniqueCaseResult(report=UniqueNodeAnalyzer().analyze(ctx.dataset))
+
+
+def render(result: UniqueCaseResult) -> str:
+    report = result.report
+    pairs = [
+        ("total nodes", report.total_nodes),
+        ("unique nodes", report.unique_nodes),
+        ("unique share", percent(report.unique_share)),
+        ("unique nodes that are tracking", percent(report.tracking_share)),
+        ("unique nodes that are third-party", percent(report.third_party_share)),
+        ("mean depth of unique nodes", f"{report.depth.mean:.1f} (SD {report.depth.sd:.1f})"),
+        ("unique nodes at depth one", percent(report.depth_one_share)),
+        ("mean unique share per tree", percent(report.mean_unique_share_per_tree)),
+    ]
+    body = render_kv(pairs, title="Case study 5.1: Unique nodes")
+    types = ", ".join(
+        f"{rtype.value}={share:.0%}" for rtype, share in list(report.type_shares.items())[:5]
+    )
+    hosts = ", ".join(f"{site} ({share:.0%})" for site, share in report.top_hosting_sites)
+    return f"{body}\n  top resource types: {types}\n  top hosting sites: {hosts}"

@@ -1,0 +1,40 @@
+"""Experiment: Figure 1 — distribution of the observed trees' depth/breadth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..analysis import TreeStatsAnalyzer
+from ..reporting import render_heatmap
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    cells: Dict[Tuple[int, int], int]  # (depth, breadth) -> tree count
+    shallow_broad_share: float
+
+
+def run(ctx: ExperimentContext) -> Figure1Result:
+    analyzer = TreeStatsAnalyzer()
+    return Figure1Result(
+        cells=analyzer.depth_breadth_distribution(ctx.dataset),
+        shallow_broad_share=analyzer.shallow_broad_share(ctx.dataset),
+    )
+
+
+def render(result: Figure1Result) -> str:
+    # Heatmap axes: x = breadth, y = depth (as in the paper's figure).
+    remapped = {(breadth, depth): count for (depth, breadth), count in result.cells.items()}
+    heatmap = render_heatmap(
+        remapped,
+        title="Figure 1: Distribution of the observed trees' depth/breadth",
+        x_label="breadth",
+        y_label="depth",
+    )
+    note = (
+        f"trees with depth<6 and breadth<21: {result.shallow_broad_share * 100:.0f}% "
+        "(paper: 56%)"
+    )
+    return f"{heatmap}\n\n{note}"

@@ -1,0 +1,48 @@
+"""Experiment: Figure 2 — distribution of node children/parent similarities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import HorizontalAnalyzer, VerticalAnalyzer, category_shares
+from ..reporting import render_histogram
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    child_similarities: List[float]
+    parent_similarities: List[float]
+
+
+def run(ctx: ExperimentContext) -> Figure2Result:
+    child = [
+        record.similarity
+        for record in HorizontalAnalyzer().all_records(ctx.dataset)
+    ]
+    parent = [
+        record.parent_similarity
+        for record in VerticalAnalyzer().all_records(ctx.dataset)
+    ]
+    return Figure2Result(child_similarities=child, parent_similarities=parent)
+
+
+def render(result: Figure2Result) -> str:
+    children = render_histogram(
+        result.child_similarities,
+        title="Figure 2: similarity of nodes' children (relative frequency)",
+    )
+    parents = render_histogram(
+        result.parent_similarities,
+        title="Figure 2: similarity of nodes' parents (relative frequency)",
+    )
+    child_shares = category_shares(result.child_similarities)
+    parent_shares = category_shares(result.parent_similarities)
+    notes = [
+        "children by category: "
+        + ", ".join(f"{cat.value}={share:.0%}" for cat, share in child_shares.items()),
+        "parents by category:  "
+        + ", ".join(f"{cat.value}={share:.0%}" for cat, share in parent_shares.items()),
+    ]
+    return f"{children}\n\n{parents}\n\n" + "\n".join(notes)

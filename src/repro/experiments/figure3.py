@@ -1,0 +1,36 @@
+"""Experiment: Figure 3 — volume of different types of nodes in the trees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import DepthTypeComposition, TreeStatsAnalyzer
+from ..reporting import render_series
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    rows: List[DepthTypeComposition]
+
+
+def run(ctx: ExperimentContext) -> Figure3Result:
+    return Figure3Result(
+        rows=TreeStatsAnalyzer().composition_by_depth(ctx.dataset, combine_after=6)
+    )
+
+
+def render(result: Figure3Result) -> str:
+    series = {
+        "first-party": {row.depth: row.first_party for row in result.rows},
+        "third-party": {row.depth: row.third_party for row in result.rows},
+        "tracking": {row.depth: row.tracking for row in result.rows},
+        "non-tracking": {row.depth: row.non_tracking for row in result.rows},
+    }
+    chart = render_series(
+        series,
+        title="Figure 3: Proportion of node types per tree depth (6 = depth 6+)",
+    )
+    counts = ", ".join(f"d{row.depth}={row.total_nodes}" for row in result.rows)
+    return f"{chart}\n\nnode volume per depth: {counts}"

@@ -1,0 +1,48 @@
+"""Experiment: Figure 4 — similarity of children and parents by depth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..analysis import ChildrenAnalyzer, DepthSimilarityPoint
+from ..reporting import render_series
+from ..stats import TestResult
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    points: List[DepthSimilarityPoint]
+    count_vs_similarity: Tuple[TestResult, float, float]
+
+
+def run(ctx: ExperimentContext) -> Figure4Result:
+    analyzer = ChildrenAnalyzer()
+    return Figure4Result(
+        points=analyzer.similarity_by_depth(ctx.dataset, combine_after=4),
+        count_vs_similarity=analyzer.child_count_vs_similarity(ctx.dataset),
+    )
+
+
+def render(result: Figure4Result) -> str:
+    series = {
+        "children": {
+            f"{p.depth}{'+' if p.depth == 4 else ''}": p.child_similarity
+            for p in result.points
+        },
+        "parent": {
+            f"{p.depth}{'+' if p.depth == 4 else ''}": p.parent_similarity
+            for p in result.points
+        },
+    }
+    chart = render_series(
+        series, title="Figure 4: similarity of children and parents by depth"
+    )
+    test, small, large = result.count_vs_similarity
+    note = (
+        f"children count vs similarity (Wilcoxon): p={test.p_value:.4f} "
+        f"({'significant' if test.significant else 'not significant'}); "
+        f"mean similarity for nodes with <=1 child: {small:.2f}, >1 child: {large:.2f}"
+    )
+    return f"{chart}\n\n{note}"

@@ -1,0 +1,58 @@
+"""Experiment: Figure 5 — resource types by average page similarity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis import ResourceTypeAnalyzer
+from ..reporting import render_series
+from ..web.resources import ResourceType
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    by_parent_similarity: Dict[float, Dict[ResourceType, float]]
+    by_child_similarity: Dict[float, Dict[ResourceType, float]]
+    subframe_impact: Dict[str, Dict[str, float]]
+
+
+def run(ctx: ExperimentContext) -> Figure5Result:
+    analyzer = ResourceTypeAnalyzer()
+    return Figure5Result(
+        by_parent_similarity=analyzer.page_similarity_composition(ctx.dataset, kind="parent"),
+        by_child_similarity=analyzer.page_similarity_composition(ctx.dataset, kind="child"),
+        subframe_impact=analyzer.subframe_impact(ctx.dataset),
+    )
+
+
+def _series(data: Dict[float, Dict[ResourceType, float]]) -> Dict[str, Dict[float, float]]:
+    series: Dict[str, Dict[float, float]] = {}
+    for upper, shares in sorted(data.items()):
+        for rtype, share in shares.items():
+            series.setdefault(rtype.value, {})[round(upper, 1)] = share
+    return series
+
+
+def render(result: Figure5Result) -> str:
+    parent = render_series(
+        _series(result.by_parent_similarity),
+        title="Figure 5a: resource-type share by avg page parent similarity",
+    )
+    child = render_series(
+        _series(result.by_child_similarity),
+        title="Figure 5b: resource-type share by avg page child similarity",
+    )
+    impact = result.subframe_impact
+    lines = []
+    for group, values in impact.items():
+        parent_v = values.get("parent")
+        child_v = values.get("child")
+        lines.append(
+            f"  {group}: parent="
+            + (f"{parent_v:.2f}" if parent_v is not None else "-")
+            + ", children="
+            + (f"{child_v:.2f}" if child_v is not None else "-")
+        )
+    return f"{parent}\n\n{child}\n\nsubframe impact on page similarity:\n" + "\n".join(lines)

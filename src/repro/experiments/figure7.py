@@ -1,0 +1,33 @@
+"""Experiment: Figure 7 (Appendix G) — similarity per resource type and depth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..analysis import ResourceTypeAnalyzer
+from ..reporting import render_series
+from ..web.resources import ResourceType
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    data: Dict[ResourceType, Dict[int, Tuple[float, float]]]
+
+
+def run(ctx: ExperimentContext) -> Figure7Result:
+    return Figure7Result(
+        data=ResourceTypeAnalyzer().similarity_by_type_and_depth(ctx.dataset)
+    )
+
+
+def render(result: Figure7Result) -> str:
+    blocks = []
+    for rtype, per_depth in sorted(result.data.items(), key=lambda kv: kv[0].value):
+        series = {
+            "children": {depth: pair[0] for depth, pair in sorted(per_depth.items())},
+            "parent": {depth: pair[1] for depth, pair in sorted(per_depth.items())},
+        }
+        blocks.append(render_series(series, title=f"Figure 7 [{rtype.value}]"))
+    return "\n\n".join(blocks)

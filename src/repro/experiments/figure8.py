@@ -1,0 +1,57 @@
+"""Experiment: Figure 8 (Appendix E) — number of children per node depth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis import ChildCountStats, ChildrenAnalyzer
+from ..reporting import render_table
+from ..stats import Summary
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    per_depth: Dict[int, Summary]
+    per_depth_with_children: Dict[int, Summary]
+    counts: ChildCountStats
+
+
+def run(ctx: ExperimentContext) -> Figure8Result:
+    analyzer = ChildrenAnalyzer()
+    return Figure8Result(
+        per_depth=analyzer.children_per_depth(ctx.dataset, combine_after=20),
+        per_depth_with_children=analyzer.children_per_depth(
+            ctx.dataset, combine_after=20, with_children_only=True
+        ),
+        counts=analyzer.child_counts(ctx.dataset),
+    )
+
+
+def render(result: Figure8Result) -> str:
+    rows = []
+    for depth, summary in sorted(result.per_depth.items()):
+        with_children = result.per_depth_with_children.get(depth)
+        rows.append(
+            [
+                f"{depth}{'+' if depth == 20 else ''}",
+                summary.mean,
+                summary.maximum,
+                with_children.mean if with_children else 0.0,
+            ]
+        )
+    table = render_table(
+        headers=["depth", "children (mean)", "max", "mean (nodes w/ children)"],
+        rows=rows,
+        title="Figure 8: Number of children each node has at a specific depth",
+    )
+    counts = result.counts
+    notes = [
+        f"children per node: mean {counts.per_node.mean:.2f} (SD {counts.per_node.sd:.1f}, "
+        f"max {counts.per_node.maximum:.0f})",
+        f"children of the visited page (depth 0): mean {counts.per_page_root.mean:.1f}",
+        f"nodes beyond the root with <=1 child: "
+        f"{counts.share_with_at_most_one_child_beyond_root * 100:.0f}% (paper: 92%)",
+    ]
+    return table + "\n\n" + "\n".join(notes)

@@ -1,0 +1,73 @@
+"""Experiment: within- vs between-setup variance (repeated measurements).
+
+Extension experiment: quantifies the paper's §4.4 observation (identical
+setups differ) by decomposing the observed variance into the Web's own
+noise floor and the setup's contribution.  Runs its own small crawl with
+``repeat_visits=2`` because the main pipeline, like the paper, visits each
+page once per profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.replication import ReplicationAnalyzer, ReplicationReport
+from ..crawler import Commander, MeasurementStore
+from ..reporting import percent, render_kv
+from ..web import WebGenerator
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    report: ReplicationReport
+
+
+def run(ctx: ExperimentContext, repeat_visits: int = 2) -> ReplicationResult:
+    generator = WebGenerator(ctx.config.seed, config=ctx.config.web_config)
+    store = MeasurementStore()
+    commander = Commander(
+        generator,
+        store,
+        profiles=ctx.config.profiles,
+        max_pages_per_site=max(2, ctx.config.pages_per_site // 2),
+        repeat_visits=repeat_visits,
+    )
+    commander.run(ctx.ranks[: max(4, len(ctx.ranks) // 2)])
+    analyzer = ReplicationAnalyzer(filter_list=ctx.filter_list)
+    report = analyzer.analyze(store, [profile.name for profile in ctx.config.profiles])
+    store.close()
+    return ReplicationResult(report=report)
+
+
+def render(result: ReplicationResult) -> str:
+    report = result.report
+    pairs = [
+        ("pages with repeated measurements", report.pages),
+        (
+            "within-setup similarity (same profile, repeated visits)",
+            f"{report.within.mean:.2f} (SD {report.within.sd:.2f})",
+        ),
+        (
+            "between-setup similarity (different profiles)",
+            f"{report.between.mean:.2f} (SD {report.between.sd:.2f})",
+        ),
+        ("setup effect (similarity lost to the setup)", f"{report.setup_effect:.3f}"),
+        (
+            "share of dissimilarity explained by Web noise",
+            percent(report.noise_share),
+        ),
+    ]
+    if report.significance is not None:
+        pairs.append(
+            (
+                "within vs between differ (Mann-Whitney U)",
+                f"p={report.significance.p_value:.4f}"
+                f" ({'significant' if report.significance.significant else 'not significant'})",
+            )
+        )
+    body = render_kv(pairs, title="Variance decomposition (repeat_visits=2)")
+    per_profile = ", ".join(
+        f"{profile}={value:.2f}" for profile, value in report.per_profile_within.items()
+    )
+    return f"{body}\n  within-setup similarity per profile: {per_profile}"

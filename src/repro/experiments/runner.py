@@ -1,0 +1,83 @@
+"""The end-to-end experiment pipeline.
+
+One :class:`ExperimentContext` holds everything the per-table/figure
+experiment modules need: the synthetic web, the crawl results, the filter
+list, and the vetted analysis dataset.  Pipelines are cached per config so
+that the benchmark suite crawls once and reuses the data across all
+tables and figures — the same economy the paper's own evaluation has
+(one measurement, many analyses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..blocklist import FilterList, build_filter_list
+from ..browser.profile import BrowserProfile, PAPER_PROFILES
+from ..crawler import Commander, CrawlSummary, MeasurementStore, sample_paper_buckets
+from ..analysis import AnalysisDataset
+from ..web import WebConfig, WebGenerator
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale knobs for a reproduction run.
+
+    The defaults give a crawl of ``5 buckets × sites_per_bucket`` sites ×
+    ``pages_per_site`` pages × 5 profiles — seconds on a laptop.  The
+    paper-scale equivalent is ``sites_per_bucket=5000, pages_per_site=25``.
+    """
+
+    seed: int = 2023
+    sites_per_bucket: int = 3
+    pages_per_site: int = 4
+    profiles: Tuple[BrowserProfile, ...] = PAPER_PROFILES
+    web_config: WebConfig = field(default_factory=WebConfig)
+
+    def __post_init__(self) -> None:
+        if self.sites_per_bucket < 1 or self.pages_per_site < 1:
+            raise ValueError("scale parameters must be >= 1")
+
+
+class ExperimentContext:
+    """The materialized pipeline for one config."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.generator = WebGenerator(config.seed, config=config.web_config)
+        self.store = MeasurementStore()
+        self.ranks: List[int] = sample_paper_buckets(
+            config.seed, per_bucket=config.sites_per_bucket
+        )
+        commander = Commander(
+            self.generator,
+            self.store,
+            profiles=config.profiles,
+            max_pages_per_site=config.pages_per_site,
+        )
+        self.summary: CrawlSummary = commander.run(self.ranks)
+        self.filter_list: FilterList = build_filter_list(self.generator.ecosystem)
+        self.dataset: AnalysisDataset = AnalysisDataset.from_store(
+            self.store, filter_list=self.filter_list
+        )
+
+    @property
+    def profile_names(self) -> List[str]:
+        return [profile.name for profile in self.config.profiles]
+
+
+_CACHE: Dict[ExperimentConfig, ExperimentContext] = {}
+
+
+def run_pipeline(config: Optional[ExperimentConfig] = None) -> ExperimentContext:
+    """Run (or reuse) the pipeline for ``config``."""
+    config = config or ExperimentConfig()
+    if config not in _CACHE:
+        _CACHE[config] = ExperimentContext(config)
+    return _CACHE[config]
+
+
+def clear_cache() -> None:
+    """Drop all cached pipelines (tests use this for isolation)."""
+    _CACHE.clear()

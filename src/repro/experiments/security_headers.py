@@ -1,0 +1,45 @@
+"""Experiment: the security lottery — header consistency across profiles.
+
+Extension experiment (the paper cites Roth et al.'s "Security Lottery" as
+a setup-sensitive phenomenon; this measures it within our framework).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.headers import HeaderReport, SecurityHeaderAnalyzer
+from ..reporting import percent, render_table
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class SecurityHeaderResult:
+    report: HeaderReport
+
+
+def run(ctx: ExperimentContext) -> SecurityHeaderResult:
+    analyzer = SecurityHeaderAnalyzer()
+    return SecurityHeaderResult(report=analyzer.analyze(ctx.store, ctx.profile_names))
+
+
+def render(result: SecurityHeaderResult) -> str:
+    report = result.report
+    table = render_table(
+        headers=["header", "adoption", "presence lottery", "value lottery"],
+        rows=[
+            [
+                header,
+                percent(report.adoption[header]),
+                percent(report.presence_lottery_rate[header], 1),
+                percent(report.value_lottery_rate[header], 1),
+            ]
+            for header in sorted(report.adoption)
+        ],
+        title="Security-header consistency across the five profiles",
+    )
+    note = (
+        f"pages with at least one inconsistent security header: "
+        f"{percent(report.inconsistent_page_share, 1)} of {report.pages}"
+    )
+    return f"{table}\n\n{note}"

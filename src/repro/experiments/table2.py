@@ -1,0 +1,50 @@
+"""Experiment: Table 2 — high-level overview of the measured trees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import TreeOverview, TreeStatsAnalyzer
+from ..reporting import percent, render_table
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    overview: TreeOverview
+    pairwise_variation: float
+    shallow_broad_share: float
+
+
+def run(ctx: ExperimentContext) -> Table2Result:
+    analyzer = TreeStatsAnalyzer()
+    return Table2Result(
+        overview=analyzer.overview(ctx.dataset),
+        pairwise_variation=analyzer.pairwise_data_variation(ctx.dataset),
+        shallow_broad_share=analyzer.shallow_broad_share(ctx.dataset),
+    )
+
+
+def render(result: Table2Result) -> str:
+    overview = result.overview
+    dims = render_table(
+        headers=["Tree", "avg.", "SD", "min", "max"],
+        rows=[
+            ["nodes", overview.nodes.mean, overview.nodes.sd, overview.nodes.minimum, overview.nodes.maximum],
+            ["depth", overview.depth.mean, overview.depth.sd, overview.depth.minimum, overview.depth.maximum],
+            ["breadth", overview.breadth.mean, overview.breadth.sd, overview.breadth.minimum, overview.breadth.maximum],
+        ],
+        title="Table 2: High-level overview of the measured trees",
+        float_digits=1,
+    )
+    presence = render_table(
+        headers=["Node(s)...", "value"],
+        rows=[
+            ["each present in X profiles (avg)", f"{overview.mean_presence:.1f}"],
+            ["present in all profiles", percent(overview.present_in_all_share)],
+            ["present in one profile", percent(overview.present_in_one_share)],
+            ["pairwise data variation", percent(result.pairwise_variation)],
+            ["trees with depth<6 and breadth<21", percent(result.shallow_broad_share)],
+        ],
+    )
+    return f"{dims}\n\n{presence}"

@@ -1,0 +1,47 @@
+"""Experiment: Table 3 — similarity of nodes at different depths."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import DepthAnalyzer, DepthSimilarityRow
+from ..reporting import render_table
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    rows: List[DepthSimilarityRow]
+    same_depth_share: float
+
+
+def run(ctx: ExperimentContext) -> Table3Result:
+    analyzer = DepthAnalyzer()
+    return Table3Result(
+        rows=analyzer.table3(ctx.dataset),
+        same_depth_share=analyzer.same_depth_share_for_common_nodes(ctx.dataset),
+    )
+
+
+def render(result: Table3Result) -> str:
+    table = render_table(
+        headers=["Test", "cat.", "sim.", "SD", "max", "min"],
+        rows=[
+            [
+                row.label,
+                str(row.category),
+                row.summary.mean,
+                row.summary.sd,
+                row.summary.maximum,
+                row.summary.minimum,
+            ]
+            for row in result.rows
+        ],
+        title="Table 3: Similarity of nodes at different depths",
+    )
+    note = (
+        f"nodes present in all trees appear at the same depth in "
+        f"{result.same_depth_share * 100:.1f}% of cases"
+    )
+    return f"{table}\n\n{note}"

@@ -1,0 +1,80 @@
+"""Experiment: Table 4 — effects of resource type on loading dependencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis import ResourceTypeAnalyzer, TypeChainRow, VerticalAnalyzer
+from ..reporting import percent, render_table
+from ..stats import TestResult
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    same_chain_rows: List[TypeChainRow]  # Table 4a
+    low_similarity_rows: List[TypeChainRow]  # Table 4b
+    party_same_chain: Dict[str, float]
+    tracking_same_chain: Dict[str, float]
+    type_effect: TestResult
+
+
+def run(ctx: ExperimentContext) -> Table4Result:
+    analyzer = ResourceTypeAnalyzer()
+    vertical = VerticalAnalyzer()
+    records = vertical.all_records(ctx.dataset)
+    party_counts = {"first": [0, 0], "third": [0, 0]}
+    tracking_counts = {"tracking": [0, 0], "non_tracking": [0, 0]}
+    for record in records:
+        if not record.in_all_profiles:
+            continue
+        party = "third" if record.is_third_party else "first"
+        party_counts[party][1] += 1
+        if record.same_chain:
+            party_counts[party][0] += 1
+        bucket = "tracking" if record.is_tracking else "non_tracking"
+        tracking_counts[bucket][1] += 1
+        if record.same_parent:
+            tracking_counts[bucket][0] += 1
+    return Table4Result(
+        same_chain_rows=analyzer.table4a(ctx.dataset),
+        low_similarity_rows=analyzer.table4b(ctx.dataset),
+        party_same_chain={
+            key: same / total if total else 0.0
+            for key, (same, total) in party_counts.items()
+        },
+        tracking_same_chain={
+            key: same / total if total else 0.0
+            for key, (same, total) in tracking_counts.items()
+        },
+        type_effect=analyzer.type_effect_test(ctx.dataset),
+    )
+
+
+def render(result: Table4Result) -> str:
+    table_a = render_table(
+        headers=["Node type", "Same chains"],
+        rows=[
+            [row.resource_type.value, percent(row.same_chain_share)]
+            for row in result.same_chain_rows
+        ],
+        title="Table 4a: Same dependency chain",
+    )
+    table_b = render_table(
+        headers=["Node type", "Similarity"],
+        rows=[
+            [row.resource_type.value, row.mean_parent_similarity]
+            for row in result.low_similarity_rows
+        ],
+        title="Table 4b: Lowest similarity",
+    )
+    notes = [
+        f"first-party nodes with same chain:  {percent(result.party_same_chain['first'])}",
+        f"third-party nodes with same chain:  {percent(result.party_same_chain['third'])}",
+        f"tracking nodes same parent:         {percent(result.tracking_same_chain['tracking'])}",
+        f"non-tracking nodes same parent:     {percent(result.tracking_same_chain['non_tracking'])}",
+        f"resource type affects similarity:   Kruskal-Wallis p={result.type_effect.p_value:.4f}"
+        f" ({'significant' if result.type_effect.significant else 'not significant'})",
+    ]
+    return f"{table_a}\n\n{table_b}\n\n" + "\n".join(notes)

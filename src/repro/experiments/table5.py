@@ -1,0 +1,37 @@
+"""Experiment: Table 5 — implications depending on different profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import ProfileAnalyzer, ProfileTreeTotals
+from ..reporting import render_table
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    rows: List[ProfileTreeTotals]
+
+
+def run(ctx: ExperimentContext) -> Table5Result:
+    return Table5Result(rows=ProfileAnalyzer().totals(ctx.dataset))
+
+
+def render(result: Table5Result) -> str:
+    return render_table(
+        headers=["Name", "Nodes", "Third party", "Tracker", "Depth", "Breadth"],
+        rows=[
+            [
+                row.profile,
+                row.nodes,
+                row.third_party,
+                row.tracker,
+                row.max_depth,
+                row.max_breadth,
+            ]
+            for row in result.rows
+        ],
+        title="Table 5: Implications depending on different profiles",
+    )

@@ -1,0 +1,67 @@
+"""Experiment: Table 6 — profile differences compared to Sim1 (§4.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis import ProfileAnalyzer, ProfilePairComparison
+from ..reporting import percent, render_table
+from ..stats import TestResult
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    columns: List[ProfilePairComparison]
+    same_config_similarity: Tuple[float, float]  # Sim1 vs Sim2 (upper, deeper)
+    interaction_effect: Dict[str, float]
+    interaction_depth_test: TestResult
+    reference: str = "Sim1"
+
+
+def run(ctx: ExperimentContext, reference: str = "Sim1") -> Table6Result:
+    analyzer = ProfileAnalyzer()
+    return Table6Result(
+        columns=analyzer.table6(ctx.dataset, reference=reference),
+        same_config_similarity=analyzer.same_configuration_similarity(ctx.dataset),
+        interaction_effect=analyzer.interaction_effect(ctx.dataset),
+        interaction_depth_test=analyzer.interaction_depth_test(ctx.dataset),
+        reference=reference,
+    )
+
+
+def render(result: Table6Result) -> str:
+    names = [column.other for column in result.columns]
+    rows = [
+        ["First Party nodes' children"] + ["" for _ in names],
+        ["  perfect similarity"] + [percent(c.fp_children.perfect) for c in result.columns],
+        ["  no similarity"] + [percent(c.fp_children.none) for c in result.columns],
+        ["Third Party nodes' children"] + ["" for _ in names],
+        ["  perfect similarity"] + [percent(c.tp_children.perfect) for c in result.columns],
+        ["  no similarity"] + [percent(c.tp_children.none) for c in result.columns],
+        ["First Party nodes' parent"] + ["" for _ in names],
+        ["  perfect similarity"] + [percent(c.fp_parent.perfect) for c in result.columns],
+        ["  no similarity"] + [percent(c.fp_parent.none) for c in result.columns],
+        ["Third Party nodes' parent"] + ["" for _ in names],
+        ["  perfect similarity"] + [percent(c.tp_parent.perfect) for c in result.columns],
+        ["  no similarity"] + [percent(c.tp_parent.none) for c in result.columns],
+        ["Dependencies"] + ["" for _ in names],
+        ["  parent similarity (mean)*"] + [f"{c.parent_similarity_mean:.2f}" for c in result.columns],
+        ["  child similarity (mean)+"] + [f"{c.child_similarity_mean:.2f}" for c in result.columns],
+    ]
+    table = render_table(
+        headers=[f"vs {result.reference}"] + names,
+        rows=rows,
+        title="Table 6: Profile differences compared to profile Sim1",
+    )
+    upper, deeper = result.same_config_similarity
+    notes = [
+        "*: starting at depth two.  +: for nodes with at least one child.",
+        f"identical setups (Sim1 vs Sim2): upper levels (<=5) {upper:.2f}, deeper {deeper:.2f}",
+        "interaction effect vs NoAction: "
+        + ", ".join(f"{key}={value:+.0%}" for key, value in result.interaction_effect.items()),
+        f"interaction affects node depth: Mann-Whitney U p={result.interaction_depth_test.p_value:.4f}"
+        f" ({'significant' if result.interaction_depth_test.significant else 'not significant'})",
+    ]
+    return table + "\n\n" + "\n".join(notes)

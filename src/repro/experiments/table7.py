@@ -1,0 +1,50 @@
+"""Experiment: Table 7 (Appendix F) — implications of site popularity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import PopularityAnalyzer, PopularityReport
+from ..reporting import render_table
+from ..stats import interpret_epsilon_squared
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Table7Result:
+    report: PopularityReport
+
+
+def run(ctx: ExperimentContext) -> Table7Result:
+    return Table7Result(report=PopularityAnalyzer().analyze(ctx.dataset))
+
+
+def render(result: Table7Result) -> str:
+    report = result.report
+    table = render_table(
+        headers=["#", "Bucket", "pages", "mean nodes", "child sim", "parent sim"],
+        rows=[
+            [
+                index + 1,
+                row.bucket.name,
+                row.page_count,
+                round(row.mean_nodes, 1),
+                row.child_similarity,
+                row.parent_similarity,
+            ]
+            for index, row in enumerate(report.rows)
+        ],
+        title="Table 7: Tree size and similarity across popularity buckets",
+    )
+    notes = []
+    if report.nodes_test is not None:
+        notes.append(
+            f"rank affects node count: Kruskal-Wallis p={report.nodes_test.p_value:.4f}"
+        )
+    if report.similarity_test is not None and report.similarity_effect_size is not None:
+        notes.append(
+            f"rank vs similarity: p={report.similarity_test.p_value:.4f}, "
+            f"epsilon^2={report.similarity_effect_size:.4f} "
+            f"({interpret_epsilon_squared(report.similarity_effect_size)})"
+        )
+    return table + ("\n\n" + "\n".join(notes) if notes else "")

@@ -1,0 +1,94 @@
+"""Experiment: the measurement-variance metric (paper takeaways #1 and #4).
+
+Not a paper table — the paper *calls for* this metric as future work
+("developing a metric to understand a measurement's potential
+error/variance is vital").  The experiment computes:
+
+* the distribution of the per-page fluctuation index,
+* the profile coverage curve (how much of a page's behaviour k profiles
+  capture) and the profile count needed for 95% coverage,
+* bootstrap confidence intervals for the headline similarity statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..analysis import VarianceAnalyzer, bootstrap_ci, page_child_similarity
+from ..analysis.variance import FluctuationScore
+from ..reporting import percent, render_kv, render_series
+from ..stats import Summary
+from .runner import ExperimentContext
+
+
+@dataclass(frozen=True)
+class VarianceResult:
+    fluctuation: Summary
+    most_fluctuating: FluctuationScore
+    most_stable: FluctuationScore
+    coverage_curve: Dict[int, float]
+    profiles_for_95: Optional[int]
+    child_similarity_ci: Tuple[float, float, float]
+
+
+def run(ctx: ExperimentContext) -> VarianceResult:
+    analyzer = VarianceAnalyzer()
+    scores = [analyzer.fluctuation(entry.comparison) for entry in ctx.dataset]
+    ordered = sorted(scores, key=lambda score: score.score)
+    return VarianceResult(
+        fluctuation=analyzer.fluctuation_summary(ctx.dataset),
+        most_fluctuating=ordered[-1],
+        most_stable=ordered[0],
+        coverage_curve=analyzer.mean_coverage_curve(ctx.dataset),
+        profiles_for_95=analyzer.profiles_needed(ctx.dataset, target=0.95),
+        child_similarity_ci=bootstrap_ci(
+            ctx.dataset, page_child_similarity, iterations=300
+        ),
+    )
+
+
+def render(result: VarianceResult) -> str:
+    point, low, high = result.child_similarity_ci
+    header = render_kv(
+        [
+            (
+                "fluctuation index",
+                f"mean {result.fluctuation.mean:.2f} (SD {result.fluctuation.sd:.2f}, "
+                f"min {result.fluctuation.minimum:.2f}, max {result.fluctuation.maximum:.2f})",
+            ),
+            (
+                "most stable page",
+                f"{result.most_stable.page_url} ({result.most_stable.score:.2f}, "
+                f"{result.most_stable.band()})",
+            ),
+            (
+                "most fluctuating page",
+                f"{result.most_fluctuating.page_url} ({result.most_fluctuating.score:.2f}, "
+                f"{result.most_fluctuating.band()})",
+            ),
+            (
+                "child similarity (bootstrap 95% CI)",
+                f"{point:.3f} [{low:.3f}, {high:.3f}]",
+            ),
+            (
+                "profiles needed for 95% node coverage",
+                result.profiles_for_95 if result.profiles_for_95 else ">5",
+            ),
+        ],
+        title="Measurement-variance metric (takeaways #1 and #4)",
+    )
+    curve = render_series(
+        {
+            "coverage": {
+                k: value for k, value in result.coverage_curve.items()
+            }
+        },
+        title="Expected union coverage by number of profiles:",
+    )
+    single = result.coverage_curve.get(1, 1.0)
+    note = (
+        f"a single-profile study captures {percent(single)} of the observable"
+        " page behaviour on average"
+    )
+    return f"{header}\n\n{curve}\n\n{note}"

@@ -1,0 +1,140 @@
+"""Data export: CSV/JSONL dumps of crawl records and analysis results.
+
+The original framework consolidates into BigQuery; downstream users then
+query tables of visits, requests, and cookies.  This module provides the
+equivalent flat-file exports, plus an export of the *aligned* per-node
+comparison metrics that the paper's evaluation is built on — the dataset a
+follow-up study would start from.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from .analysis.dataset import AnalysisDataset
+from .crawler.storage import MeasurementStore
+
+PathLike = Union[str, Path]
+
+
+def export_visits_csv(store: MeasurementStore, path: PathLike) -> int:
+    """Dump the visits table; returns the row count."""
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["visit_id", "profile", "site", "site_rank", "page_url", "success",
+             "started_at", "duration", "failure_reason"]
+        )
+        for visit in store.iter_visits(success_only=False):
+            writer.writerow(
+                [visit.visit_id, visit.profile_name, visit.site, visit.site_rank,
+                 visit.page_url, int(visit.success), visit.started_at,
+                 visit.duration, visit.failure_reason or ""]
+            )
+            rows += 1
+    return rows
+
+
+def export_requests_csv(store: MeasurementStore, path: PathLike) -> int:
+    """Dump all requests of successful visits; returns the row count."""
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["visit_id", "request_id", "url", "resource_type", "frame_id",
+             "parent_frame_id", "timestamp", "initiator", "redirect_from",
+             "during_interaction"]
+        )
+        for visit in store.iter_visits():
+            for request in store.requests_for_visit(visit.visit_id):
+                writer.writerow(
+                    [request.visit_id, request.request_id, request.url,
+                     request.resource_type, request.frame_id,
+                     request.parent_frame_id if request.parent_frame_id is not None else "",
+                     request.timestamp,
+                     request.call_stack.initiating_script_url or "",
+                     request.redirect_from if request.redirect_from is not None else "",
+                     int(request.during_interaction)]
+                )
+                rows += 1
+    return rows
+
+
+def export_cookies_csv(store: MeasurementStore, path: PathLike) -> int:
+    """Dump all observed cookies; returns the row count."""
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["visit_id", "name", "domain", "path", "secure", "http_only",
+             "same_site", "set_by_url"]
+        )
+        for visit in store.iter_visits():
+            for cookie in store.cookies_for_visit(visit.visit_id):
+                writer.writerow(
+                    [cookie.visit_id, cookie.name, cookie.domain, cookie.path,
+                     int(cookie.secure), int(cookie.http_only), cookie.same_site,
+                     cookie.set_by_url]
+                )
+                rows += 1
+    return rows
+
+
+def export_trees_jsonl(dataset: AnalysisDataset, path: PathLike) -> int:
+    """One JSON document per page: the five trees, node by node."""
+    pages = 0
+    with open(path, "w") as handle:
+        for entry in dataset:
+            comparison = entry.comparison
+            document = {
+                "page": comparison.page_url,
+                "site": entry.site,
+                "rank": entry.site_rank,
+                "profiles": {},
+            }
+            for profile, tree in comparison.trees.items():
+                document["profiles"][profile] = [
+                    {
+                        "key": node.key,
+                        "depth": node.depth,
+                        "parent": node.parent_key(),
+                        "type": node.resource_type.value,
+                        "third_party": node.is_third_party,
+                        "tracking": node.is_tracking,
+                    }
+                    for node in tree.nodes()
+                ]
+            handle.write(json.dumps(document) + "\n")
+            pages += 1
+    return pages
+
+
+def export_node_comparisons_csv(dataset: AnalysisDataset, path: PathLike) -> int:
+    """The aligned per-node metrics behind the paper's evaluation."""
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["page", "key", "type", "third_party", "tracking", "min_depth",
+             "presence_count", "in_all", "same_depth", "same_parent",
+             "same_chain", "child_similarity", "parent_similarity"]
+        )
+        for entry in dataset:
+            for node in entry.comparison.nodes():
+                writer.writerow(
+                    [entry.comparison.page_url, node.key,
+                     node.resource_type.value, int(node.is_third_party),
+                     int(node.is_tracking), node.min_depth,
+                     node.presence_count, int(node.in_all_profiles),
+                     int(node.same_depth_everywhere),
+                     int(node.same_parent_everywhere()),
+                     int(node.same_chain_everywhere()),
+                     f"{node.child_similarity():.4f}",
+                     f"{node.parent_similarity():.4f}"]
+                )
+                rows += 1
+    return rows

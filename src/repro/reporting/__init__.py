@@ -1,0 +1,22 @@
+"""Plain-text rendering of tables, histograms, and heatmaps."""
+
+from .histogram import render_bar_chart, render_heatmap, render_histogram, render_series
+from .tables import (
+    format_value,
+    percent,
+    render_kv,
+    render_markdown_table,
+    render_table,
+)
+
+__all__ = [
+    "format_value",
+    "percent",
+    "render_bar_chart",
+    "render_heatmap",
+    "render_histogram",
+    "render_kv",
+    "render_markdown_table",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,118 @@
+"""ASCII histograms and heatmaps for the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+_BAR = "#"
+_SHADES = " .:-=+*#%@"
+
+
+def render_bar_chart(
+    data: Mapping[object, float],
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render label → value as horizontal bars."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not data:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    label_width = max(len(str(label)) for label in data)
+    peak = max(abs(v) for v in data.values()) or 1.0
+    for label, value in data.items():
+        bar = _BAR * max(0, round(abs(value) / peak * width))
+        lines.append(
+            f"  {str(label).ljust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Bin scalar values into a fixed range and render the distribution."""
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    counts = [0] * bins
+    span = hi - lo
+    for value in values:
+        index = int((value - lo) / span * bins)
+        index = min(max(index, 0), bins - 1)
+        counts[index] += 1
+    total = sum(counts) or 1
+    data: Dict[str, float] = {}
+    for index, count in enumerate(counts):
+        upper = lo + span * (index + 1) / bins
+        data[f"<= {upper:.2f}"] = count / total
+    return render_bar_chart(data, title=title, width=width, value_format="{:.2%}")
+
+
+def render_heatmap(
+    cells: Mapping[Tuple[int, int], int],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    max_axis: int = 24,
+) -> str:
+    """Render (x, y) → count as a shaded character grid (Figure 1 style)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not cells:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    xs = sorted({min(x, max_axis) for x, _ in cells})
+    ys = sorted({min(y, max_axis) for _, y in cells})
+    grid: Dict[Tuple[int, int], int] = {}
+    for (x, y), count in cells.items():
+        key = (min(x, max_axis), min(y, max_axis))
+        grid[key] = grid.get(key, 0) + count
+    peak = max(grid.values()) or 1
+    lines.append(f"  rows: {y_label} (desc), cols: {x_label} (asc), shade = count")
+    for y in reversed(ys):
+        row_chars = []
+        for x in xs:
+            count = grid.get((x, y), 0)
+            shade = _SHADES[min(len(_SHADES) - 1, round(count / peak * (len(_SHADES) - 1)))]
+            row_chars.append(shade)
+        lines.append(f"  {y:>3} |{''.join(row_chars)}")
+    lines.append(f"      +{'-' * len(xs)}")
+    axis = "".join(str(x % 10) for x in xs)
+    lines.append(f"       {axis}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Mapping[object, float]],
+    title: str = "",
+) -> str:
+    """Render multiple named series over a shared x-axis as columns."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    keys: List[object] = []
+    for values in series.values():
+        for key in values:
+            if key not in keys:
+                keys.append(key)
+    names = list(series)
+    header = "  x".ljust(8) + "".join(name.rjust(14) for name in names)
+    lines.append(header)
+    for key in keys:
+        row = f"  {str(key)}".ljust(8)
+        for name in names:
+            value = series[name].get(key)
+            row += (f"{value:.3f}" if value is not None else "-").rjust(14)
+        lines.append(row)
+    return "\n".join(lines)

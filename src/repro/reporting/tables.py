@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module renders them as aligned ASCII tables (and, on request, as
+Markdown for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+Cell = object  # anything with a sensible str()
+
+
+def format_value(value: Cell, float_digits: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows: List[List[str]] = [
+        [format_value(cell, float_digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    float_digits: int = 2,
+) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(format_value(cell, float_digits) for cell in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[Sequence[Cell]], title: Optional[str] = None) -> str:
+    """Render key/value pairs, one per line."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(str(key)) for key, _ in pairs), default=0)
+    for key, value in pairs:
+        lines.append(f"  {str(key).ljust(width)} : {format_value(value)}")
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 0) -> str:
+    """Format a ratio as a percentage string."""
+    return f"{value * 100:.{digits}f}%"

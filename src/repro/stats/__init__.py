@@ -1,0 +1,31 @@
+"""Statistics: descriptive summaries, non-parametric tests, effect sizes."""
+
+from .descriptive import Summary, mean, median, percentile, ratio, safe_mean, summarize
+from .effect_size import epsilon_squared, interpret_epsilon_squared, rank_biserial
+from .nonparametric import (
+    ALPHA,
+    TestResult,
+    kruskal_wallis,
+    mann_whitney_u,
+    spearman_rho,
+    wilcoxon_signed_rank,
+)
+
+__all__ = [
+    "ALPHA",
+    "Summary",
+    "TestResult",
+    "epsilon_squared",
+    "interpret_epsilon_squared",
+    "kruskal_wallis",
+    "mann_whitney_u",
+    "mean",
+    "median",
+    "percentile",
+    "rank_biserial",
+    "ratio",
+    "safe_mean",
+    "spearman_rho",
+    "summarize",
+    "wilcoxon_signed_rank",
+]

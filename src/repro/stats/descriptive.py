@@ -1,0 +1,91 @@
+"""Descriptive statistics used throughout the result tables."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / SD / min / max / median / n — the paper's table format."""
+
+    n: int
+    mean: float
+    sd: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def format(self, digits: int = 2) -> str:
+        return (
+            f"mean: {self.mean:.{digits}f}; SD: {self.sd:.{digits}f}; "
+            f"min: {self.minimum:.{digits}f}; max: {self.maximum:.{digits}f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary`; raises ``ValueError`` on empty input."""
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        n=n,
+        mean=mean,
+        sd=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        median=median(values),
+    )
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def safe_mean(values: Sequence[float], default: float = 0.0) -> float:
+    """Mean that tolerates empty input (for sparse aggregation cells)."""
+    return sum(values) / len(values) if values else default
+
+
+def ratio(part: int, whole: int) -> float:
+    """``part / whole`` with a 0-denominator guard."""
+    return part / whole if whole else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q / 100.0
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return float(ordered[low])
+    weight = position - low
+    interpolated = ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # Clamp: float interpolation between equal values can overshoot by an ulp.
+    return min(max(interpolated, ordered[0]), ordered[-1])

@@ -1,0 +1,56 @@
+"""Effect sizes accompanying the hypothesis tests.
+
+The paper reports epsilon-squared for its Kruskal-Wallis result on site
+popularity (Appendix F): a significant but practically negligible effect
+(ε² = .002).  We implement epsilon-squared plus the common rank-biserial
+correlation for two-sample comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def epsilon_squared(h_statistic: float, n_total: int) -> float:
+    """Epsilon-squared effect size for a Kruskal-Wallis H statistic.
+
+    ``ε² = H · (n + 1) / (n² − 1)``; ranges from 0 (no effect) to 1.
+    """
+    if n_total < 2:
+        raise ValueError("epsilon squared needs n >= 2")
+    return h_statistic * (n_total + 1) / (n_total**2 - 1)
+
+
+def interpret_epsilon_squared(value: float) -> str:
+    """Conventional verbal interpretation of ε² magnitudes."""
+    if value < 0.01:
+        return "negligible"
+    if value < 0.04:
+        return "weak"
+    if value < 0.16:
+        return "moderate"
+    if value < 0.36:
+        return "relatively strong"
+    if value < 0.64:
+        return "strong"
+    return "very strong"
+
+
+def rank_biserial(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Rank-biserial correlation from the Mann-Whitney U statistic.
+
+    ``r = 1 − 2U / (n1·n2)`` where U counts pairs in which ``sample_a``
+    loses; positive r means ``sample_a`` tends to be larger.
+    """
+    n1, n2 = len(sample_a), len(sample_b)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be non-empty")
+    wins = 0.0
+    for a in sample_a:
+        for b in sample_b:
+            if a > b:
+                wins += 1.0
+            elif a == b:
+                wins += 0.5
+    u = n1 * n2 - wins
+    return 1.0 - 2.0 * u / (n1 * n2)

@@ -1,0 +1,218 @@
+"""Non-parametric hypothesis tests (paper §3.1).
+
+The paper uses three tests, chosen for its non-normal data:
+
+* the **Wilcoxon signed-rank test** for paired continuous samples,
+* the **Mann-Whitney U test** for two independent samples,
+* the **Kruskal-Wallis test** for the central tendency across groups,
+
+all at significance level α = .05.  The implementations below are
+self-contained (normal approximation with tie and continuity corrections,
+the standard large-sample treatment) and are cross-validated against SciPy
+in the test suite when SciPy is available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+ALPHA = 0.05
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a hypothesis test."""
+
+    statistic: float
+    p_value: float
+    test_name: str
+
+    @property
+    def significant(self) -> bool:
+        """Significant at the paper's α = .05."""
+        return self.p_value < ALPHA
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _rank(values: Sequence[float]) -> Tuple[List[float], Dict[float, int]]:
+    """Midranks plus tie counts (value → multiplicity for ties only)."""
+    indexed = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    ties: Dict[float, int] = {}
+    i = 0
+    while i < len(indexed):
+        j = i
+        while j + 1 < len(indexed) and values[indexed[j + 1]] == values[indexed[i]]:
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[indexed[k]] = midrank
+        if j > i:
+            ties[values[indexed[i]]] = j - i + 1
+        i = j + 1
+    return ranks, ties
+
+
+def _normal_sf(z: float) -> float:
+    """Survival function of the standard normal distribution."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def _chi2_sf(x: float, df: int) -> float:
+    """Chi-squared survival function via the regularized gamma function."""
+    if x <= 0:
+        return 1.0
+    return 1.0 - _gamma_p(df / 2.0, x / 2.0)
+
+
+def _gamma_p(s: float, x: float) -> float:
+    """Regularized lower incomplete gamma P(s, x) (series / continued frac.)."""
+    if x < 0 or s <= 0:
+        raise ValueError("invalid arguments to gamma_p")
+    if x == 0:
+        return 0.0
+    if x < s + 1.0:
+        # Series expansion.
+        term = 1.0 / s
+        total = term
+        k = s
+        for _ in range(1000):
+            k += 1.0
+            term *= x / k
+            total += term
+            if abs(term) < abs(total) * 1e-14:
+                break
+        return total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+    # Continued fraction for Q(s, x), then P = 1 - Q.
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 1000):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    q = math.exp(-x + s * math.log(x) - math.lgamma(s)) * h
+    return 1.0 - q
+
+
+# -- tests --------------------------------------------------------------------
+
+
+def wilcoxon_signed_rank(
+    sample_a: Sequence[float], sample_b: Sequence[float]
+) -> TestResult:
+    """Two-sided Wilcoxon signed-rank test for paired samples.
+
+    Zero differences are dropped (the standard Wilcoxon treatment); the
+    statistic is ``W = min(W+, W-)`` with a normal approximation including
+    tie correction.
+    """
+    if len(sample_a) != len(sample_b):
+        raise ValueError("paired samples must have equal length")
+    diffs = [a - b for a, b in zip(sample_a, sample_b) if a != b]
+    n = len(diffs)
+    if n == 0:
+        return TestResult(statistic=0.0, p_value=1.0, test_name="wilcoxon")
+    abs_diffs = [abs(d) for d in diffs]
+    ranks, ties = _rank(abs_diffs)
+    w_plus = sum(rank for rank, diff in zip(ranks, diffs) if diff > 0)
+    w_minus = sum(rank for rank, diff in zip(ranks, diffs) if diff < 0)
+    statistic = min(w_plus, w_minus)
+    mean = n * (n + 1) / 4.0
+    variance = n * (n + 1) * (2 * n + 1) / 24.0
+    tie_correction = sum(t**3 - t for t in ties.values()) / 48.0
+    variance -= tie_correction
+    if variance <= 0:
+        return TestResult(statistic=statistic, p_value=1.0, test_name="wilcoxon")
+    z = (statistic - mean) / math.sqrt(variance)
+    p = min(1.0, 2.0 * _normal_sf(abs(z)))
+    return TestResult(statistic=statistic, p_value=p, test_name="wilcoxon")
+
+
+def mann_whitney_u(sample_a: Sequence[float], sample_b: Sequence[float]) -> TestResult:
+    """Two-sided Mann-Whitney U test for independent samples."""
+    n1, n2 = len(sample_a), len(sample_b)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be non-empty")
+    combined = list(sample_a) + list(sample_b)
+    ranks, ties = _rank(combined)
+    rank_sum_a = sum(ranks[:n1])
+    u1 = rank_sum_a - n1 * (n1 + 1) / 2.0
+    u2 = n1 * n2 - u1
+    statistic = min(u1, u2)
+    mean = n1 * n2 / 2.0
+    n = n1 + n2
+    tie_term = sum(t**3 - t for t in ties.values())
+    variance = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if variance <= 0:
+        return TestResult(statistic=statistic, p_value=1.0, test_name="mann-whitney")
+    z = (statistic - mean + 0.5) / math.sqrt(variance)  # continuity correction
+    p = min(1.0, 2.0 * _normal_sf(abs(z)))
+    return TestResult(statistic=statistic, p_value=p, test_name="mann-whitney")
+
+
+def spearman_rho(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Spearman rank correlation (midranks for ties).
+
+    Computed as the Pearson correlation of the rank vectors — the standard
+    tie-robust formulation.  Returns a value in [-1, 1]; degenerate inputs
+    (any constant sample) return 0.0.
+    """
+    if len(sample_a) != len(sample_b):
+        raise ValueError("samples must have equal length")
+    if len(sample_a) < 2:
+        raise ValueError("spearman needs at least two observations")
+    ranks_a, _ = _rank(sample_a)
+    ranks_b, _ = _rank(sample_b)
+    n = len(ranks_a)
+    mean_a = sum(ranks_a) / n
+    mean_b = sum(ranks_b) / n
+    cov = sum((a - mean_a) * (b - mean_b) for a, b in zip(ranks_a, ranks_b))
+    var_a = sum((a - mean_a) ** 2 for a in ranks_a)
+    var_b = sum((b - mean_b) ** 2 for b in ranks_b)
+    if var_a == 0 or var_b == 0:
+        return 0.0
+    return cov / math.sqrt(var_a * var_b)
+
+
+def kruskal_wallis(*groups: Sequence[float]) -> TestResult:
+    """Kruskal-Wallis H test across two or more independent groups."""
+    if len(groups) < 2:
+        raise ValueError("kruskal-wallis needs at least two groups")
+    if any(len(group) == 0 for group in groups):
+        raise ValueError("all groups must be non-empty")
+    combined: List[float] = [v for group in groups for v in group]
+    n = len(combined)
+    ranks, ties = _rank(combined)
+    h = 0.0
+    offset = 0
+    for group in groups:
+        size = len(group)
+        rank_sum = sum(ranks[offset : offset + size])
+        h += rank_sum**2 / size
+        offset += size
+    h = 12.0 / (n * (n + 1)) * h - 3.0 * (n + 1)
+    tie_term = sum(t**3 - t for t in ties.values())
+    correction = 1.0 - tie_term / (n**3 - n) if n > 1 else 1.0
+    if correction <= 0:
+        return TestResult(statistic=0.0, p_value=1.0, test_name="kruskal-wallis")
+    h /= correction
+    df = len(groups) - 1
+    p = _chi2_sf(h, df)
+    return TestResult(statistic=h, p_value=p, test_name="kruskal-wallis")

@@ -1,0 +1,34 @@
+"""Dependency trees: the paper's core representation of a page visit.
+
+Public API: :class:`~repro.trees.tree.DependencyTree`,
+:class:`~repro.trees.builder.TreeBuilder`, URL normalization, and the
+convenience constructors :func:`~repro.trees.builder.build_tree` /
+:func:`~repro.trees.builder.trees_for_store`.
+"""
+
+from .builder import TreeBuilder, build_tree, trees_for_store
+from .node import TreeNode, node_resource_type
+from .normalize import NormalizationStats, UrlNormalizer, normalize_url
+from .tree import DependencyTree
+from .treedist import (
+    depth_weighted_distance,
+    edit_distance,
+    hamming_distance,
+    similarity_from_distance,
+)
+
+__all__ = [
+    "DependencyTree",
+    "NormalizationStats",
+    "TreeBuilder",
+    "TreeNode",
+    "UrlNormalizer",
+    "build_tree",
+    "depth_weighted_distance",
+    "edit_distance",
+    "hamming_distance",
+    "similarity_from_distance",
+    "node_resource_type",
+    "normalize_url",
+    "trees_for_store",
+]

@@ -1,0 +1,129 @@
+"""Tree nodes: one loaded resource, identified by its normalized URL."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..web import psl
+from ..web.resources import ResourceType, parse_resource_type
+
+
+class TreeNode:
+    """A node in a dependency tree.
+
+    Identity is the normalized URL (``key``).  A node keeps the raw URLs
+    that mapped onto it, its resource type, and party/tracking annotations.
+    Children are ordered by first observation and unique per key.
+    """
+
+    __slots__ = (
+        "key",
+        "resource_type",
+        "parent",
+        "_children",
+        "depth",
+        "raw_urls",
+        "request_ids",
+        "is_third_party",
+        "is_tracking",
+        "during_interaction",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        resource_type: ResourceType,
+        parent: Optional["TreeNode"] = None,
+        is_third_party: bool = False,
+    ) -> None:
+        self.key = key
+        self.resource_type = resource_type
+        self.parent = parent
+        self._children: Dict[str, TreeNode] = {}
+        self.depth: int = parent.depth + 1 if parent is not None else 0
+        self.raw_urls: Set[str] = set()
+        self.request_ids: List[int] = []
+        self.is_third_party = is_third_party
+        self.is_tracking = False
+        self.during_interaction = False
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def children(self) -> Tuple["TreeNode", ...]:
+        return tuple(self._children.values())
+
+    def child_keys(self) -> Set[str]:
+        return set(self._children)
+
+    def child(self, key: str) -> Optional["TreeNode"]:
+        return self._children.get(key)
+
+    def add_child(self, node: "TreeNode") -> None:
+        if node.key not in self._children:
+            self._children[node.key] = node
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self._children
+
+    def walk(self) -> Iterator["TreeNode"]:
+        """This node and all descendants, depth-first preorder."""
+        yield self
+        for child in self._children.values():
+            yield from child.walk()
+
+    def ancestors(self) -> Iterator["TreeNode"]:
+        """Parent, grandparent, ..., root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def chain(self) -> Tuple[str, ...]:
+        """The dependency chain: keys from the root down to this node.
+
+        The paper compares these chains to judge whether a resource was
+        loaded through the same sequence of requests in every profile.
+        """
+        keys = [self.key]
+        keys.extend(anc.key for anc in self.ancestors())
+        return tuple(reversed(keys))
+
+    def parent_key(self) -> Optional[str]:
+        return self.parent.key if self.parent is not None else None
+
+    # -- annotations -------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        """Best-effort host of the node's URL (empty if unparseable)."""
+        key = self.key
+        scheme_sep = key.find("://")
+        if scheme_sep < 0:
+            return ""
+        rest = key[scheme_sep + 3 :]
+        for stop in ("/", "?", "#"):
+            index = rest.find(stop)
+            if index >= 0:
+                rest = rest[:index]
+        return rest.rsplit("@", 1)[-1].split(":", 1)[0].lower()
+
+    @property
+    def site(self) -> Optional[str]:
+        return psl.registrable_domain(self.host)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TreeNode({self.key!r}, depth={self.depth}, type={self.resource_type.value})"
+
+
+def node_resource_type(value: str) -> ResourceType:
+    """Robust resource-type parsing for stored records."""
+    try:
+        return parse_resource_type(value)
+    except ValueError:
+        return ResourceType.OTHER

@@ -1,0 +1,64 @@
+"""Synthetic-web substrate: URLs, public suffixes, entities, blueprints.
+
+The subpackage stands in for the live Web in the reproduction (see
+DESIGN.md §2).  Public API:
+
+* :class:`~repro.web.url.URL` and :mod:`repro.web.psl` — URL/site handling;
+* :class:`~repro.web.resources.ResourceType` — Firefox content types;
+* :func:`~repro.web.entities.build_ecosystem` — the third-party ecosystem;
+* blueprint dataclasses — latent page structure;
+* :class:`~repro.web.sitegen.WebGenerator` — seeded web generation;
+* :mod:`repro.web.dynamics` — per-visit sampling.
+"""
+
+from .blueprint import (
+    ALWAYS,
+    CookieTemplate,
+    InclusionRule,
+    InitiatorKind,
+    PageBlueprint,
+    ResourceSlot,
+    SiteBlueprint,
+)
+from .dynamics import SlotSampler, VisitConditions, expected_slot_count, sample_page
+from .entities import (
+    Ecosystem,
+    EcosystemConfig,
+    EntityCategory,
+    ThirdPartyEntity,
+    TRACKING_CATEGORIES,
+    build_ecosystem,
+)
+from .psl import public_suffix, registrable_domain, same_site
+from .resources import ResourceType, STATIC_LEAF_TYPES, parse_resource_type
+from .sitegen import WebConfig, WebGenerator
+from .url import URL
+
+__all__ = [
+    "ALWAYS",
+    "CookieTemplate",
+    "Ecosystem",
+    "EcosystemConfig",
+    "EntityCategory",
+    "InclusionRule",
+    "InitiatorKind",
+    "PageBlueprint",
+    "ResourceSlot",
+    "ResourceType",
+    "STATIC_LEAF_TYPES",
+    "SiteBlueprint",
+    "SlotSampler",
+    "ThirdPartyEntity",
+    "TRACKING_CATEGORIES",
+    "URL",
+    "VisitConditions",
+    "WebConfig",
+    "WebGenerator",
+    "build_ecosystem",
+    "expected_slot_count",
+    "parse_resource_type",
+    "public_suffix",
+    "registrable_domain",
+    "same_site",
+    "sample_page",
+]

@@ -1,0 +1,248 @@
+"""Blueprints: the *latent* structure of a synthetic page.
+
+A blueprint describes everything a page *could* load; a concrete visit by a
+browser profile samples from it (see :mod:`repro.web.dynamics`).  The split
+matters: the paper's entire point is that the same page yields different
+observations per visit, so the generator must separate the stable latent
+structure from the per-visit draw.
+
+A :class:`ResourceSlot` is one potential resource with
+
+* the URL it is served from (before per-visit session parameters),
+* its resource type and the mechanism its parent uses to load it,
+* an :class:`InclusionRule` describing when/how often it appears,
+* an optional redirect chain and cookies it sets, and
+* child slots it may load in turn (recursively forming the latent tree).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import BlueprintError
+from .resources import ResourceType
+from .url import URL
+
+
+class InitiatorKind(enum.Enum):
+    """How a parent causes a child resource to load.
+
+    This determines which OpenWPM instrumentation records the dependency:
+    frames are recorded in the frame tree, script/CSS loads in call stacks,
+    redirects in the redirect table, and document loads have no initiator.
+    """
+
+    DOCUMENT = "document"  # loaded by the page markup itself
+    FRAME = "frame"  # embedded in an (i)frame the parent created
+    SCRIPT = "script"  # requested by the parent script (call stack)
+    CSS = "css"  # pulled in by a stylesheet (Firefox reports via stack)
+    FETCH = "fetch"  # XHR/fetch issued by the parent script
+
+
+@dataclass(frozen=True)
+class InclusionRule:
+    """When a slot is included in a concrete visit.
+
+    ``probability`` is the base inclusion chance per visit. The gates narrow
+    it: interaction-gated slots only load when the profile mimics user
+    interaction (lazy loading); version gates model resources served only to
+    sufficiently new (or old) browsers; ``headless_visible`` models the rare
+    content withheld from headless browsers (bot detection).  Slots sharing
+    a ``rotation_group`` on one page are mutually exclusive per visit — the
+    ad-auction model: exactly one candidate wins each auction.
+    """
+
+    probability: float = 1.0
+    requires_interaction: bool = False
+    min_version: Optional[int] = None
+    max_version: Optional[int] = None
+    headless_visible: bool = True
+    rotation_group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise BlueprintError(f"probability out of range: {self.probability}")
+        if (
+            self.min_version is not None
+            and self.max_version is not None
+            and self.min_version > self.max_version
+        ):
+            raise BlueprintError("min_version greater than max_version")
+
+
+ALWAYS = InclusionRule()
+
+
+@dataclass(frozen=True)
+class HeaderTemplate:
+    """A security header a document response may carry.
+
+    ``presence_probability`` below 1 models the "security lottery":
+    identically configured requests answered by different server instances
+    receive different security headers.  ``flaky_value``/``flaky_probability``
+    model value-level inconsistency (e.g. two CSP variants in rotation).
+    """
+
+    name: str
+    value: str
+    presence_probability: float = 1.0
+    flaky_value: Optional[str] = None
+    flaky_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise BlueprintError("header name must be non-empty")
+        if not 0.0 <= self.presence_probability <= 1.0:
+            raise BlueprintError("header presence_probability out of range")
+        if not 0.0 <= self.flaky_probability <= 1.0:
+            raise BlueprintError("header flaky_probability out of range")
+        if self.flaky_probability > 0 and self.flaky_value is None:
+            raise BlueprintError("flaky_probability needs a flaky_value")
+
+
+@dataclass(frozen=True)
+class CookieTemplate:
+    """A cookie a resource may set on its response.
+
+    RFC 6265 identifies a cookie by (name, domain, path).  ``per_visit_value``
+    marks session cookies whose value is freshly random each visit;
+    ``set_probability`` models cookies set only on some visits;
+    ``flaky_attributes`` models the paper's surprising 0.2% of cookies whose
+    security attributes differ across profiles; ``random_name_suffix``
+    models A/B-test cookies whose *name* is fresh per visit — these can
+    only ever be observed in a single profile.
+    """
+
+    name: str
+    domain: str
+    path: str = "/"
+    secure: bool = False
+    http_only: bool = False
+    same_site: str = "Lax"
+    per_visit_value: bool = True
+    set_probability: float = 1.0
+    flaky_attributes: bool = False
+    random_name_suffix: bool = False
+
+    def __post_init__(self) -> None:
+        if self.same_site not in ("Strict", "Lax", "None"):
+            raise BlueprintError(f"bad SameSite value: {self.same_site}")
+        if not 0.0 <= self.set_probability <= 1.0:
+            raise BlueprintError("cookie set_probability out of range")
+
+
+@dataclass(frozen=True)
+class ResourceSlot:
+    """One potential resource on a page (recursive).
+
+    ``session_param`` names a query key that receives a fresh random value
+    on every visit (the paper's motivation for stripping query values);
+    ``unique_path_token`` makes the *path* itself unique per visit (rotating
+    ad creatives — these survive normalization and become the paper's
+    "unique nodes").  ``redirect_via`` is a fixed redirect chain (e.g. an
+    http→https or CDN hop), while ``redirect_pool``/``redirect_hops`` model
+    cookie-sync chains whose partners are drawn *per visit* — the main
+    source of dependency-chain nondeterminism.
+    """
+
+    slot_id: str
+    url: URL
+    resource_type: ResourceType
+    initiator: InitiatorKind = InitiatorKind.DOCUMENT
+    rule: InclusionRule = ALWAYS
+    children: Tuple["ResourceSlot", ...] = ()
+    redirect_via: Tuple[URL, ...] = ()
+    redirect_pool: Tuple[URL, ...] = ()
+    redirect_hops: Tuple[int, int] = (0, 0)
+    cookies: Tuple[CookieTemplate, ...] = ()
+    session_param: Optional[str] = None
+    unique_path_token: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.slot_id:
+            raise BlueprintError("slot_id must be non-empty")
+        if self.children and not self.resource_type.can_load_children:
+            raise BlueprintError(
+                f"{self.resource_type} slot {self.slot_id!r} cannot have children"
+            )
+        low, high = self.redirect_hops
+        if low < 0 or high < low:
+            raise BlueprintError(f"bad redirect_hops range: {self.redirect_hops}")
+        if high > len(self.redirect_pool):
+            raise BlueprintError("redirect_hops exceeds redirect_pool size")
+        if self.redirect_via and self.redirect_pool:
+            raise BlueprintError("use either redirect_via or redirect_pool, not both")
+        if self.redirect_pool and self.children:
+            raise BlueprintError(
+                "redirect_pool slots cannot have children (the chain ends at "
+                "a sync partner, which loads nothing further)"
+            )
+
+    def walk(self) -> Iterator["ResourceSlot"]:
+        """Yield this slot and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def count(self) -> int:
+        """Total number of slots in this subtree."""
+        return sum(1 for _ in self.walk())
+
+
+@dataclass(frozen=True)
+class PageBlueprint:
+    """The latent structure of one page: URL, slots, outgoing links, and
+    the security headers its document response carries."""
+
+    url: URL
+    slots: Tuple[ResourceSlot, ...] = ()
+    links: Tuple[URL, ...] = ()
+    fail_probability: float = 0.0
+    headers: Tuple[HeaderTemplate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fail_probability <= 1.0:
+            raise BlueprintError("fail_probability out of range")
+        seen: set = set()
+        for slot in self.walk_slots():
+            if slot.slot_id in seen:
+                raise BlueprintError(f"duplicate slot_id: {slot.slot_id!r}")
+            seen.add(slot.slot_id)
+
+    def walk_slots(self) -> Iterator[ResourceSlot]:
+        """Yield every slot on the page, depth-first."""
+        for slot in self.slots:
+            yield from slot.walk()
+
+    def slot_count(self) -> int:
+        return sum(1 for _ in self.walk_slots())
+
+
+@dataclass(frozen=True)
+class SiteBlueprint:
+    """A ranked site: a landing page plus subpages keyed by URL string."""
+
+    domain: str
+    rank: int
+    landing_page: PageBlueprint
+    subpages: Tuple[PageBlueprint, ...] = ()
+    _index: Dict[str, PageBlueprint] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise BlueprintError(f"rank must be >= 1, got {self.rank}")
+        index = {str(self.landing_page.url): self.landing_page}
+        for page in self.subpages:
+            index[str(page.url)] = page
+        object.__setattr__(self, "_index", index)
+
+    @property
+    def pages(self) -> Tuple[PageBlueprint, ...]:
+        """Landing page followed by all subpages."""
+        return (self.landing_page,) + self.subpages
+
+    def page_for(self, url: str) -> Optional[PageBlueprint]:
+        """Look up a page blueprint by its exact URL string."""
+        return self._index.get(url)

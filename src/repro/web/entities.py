@@ -1,0 +1,176 @@
+"""The synthetic third-party ecosystem.
+
+Real pages embed content from ad networks, trackers, CDNs, analytics
+providers, social widgets, font services, tag managers, and consent
+platforms.  The paper's findings hinge on the *behavioral differences*
+between these categories — ads rotate per visit, trackers chain into each
+other (cookie syncing), CDNs serve stable static assets — so the ecosystem
+generator assigns each entity a category with the corresponding dynamics.
+
+Entities and their domains are generated deterministically from a seed so
+that every crawl of the same synthetic web sees the same ecosystem, while
+different experiment seeds produce disjoint webs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rng import child_rng
+
+
+class EntityCategory(enum.Enum):
+    """Functional category of a third-party entity."""
+
+    AD_NETWORK = "ad_network"
+    TRACKER = "tracker"
+    ANALYTICS = "analytics"
+    CDN = "cdn"
+    SOCIAL = "social"
+    FONT_PROVIDER = "font_provider"
+    TAG_MANAGER = "tag_manager"
+    CONSENT = "consent"
+    VIDEO = "video"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Categories whose requests the synthetic EasyList flags as tracking.
+TRACKING_CATEGORIES = frozenset(
+    {EntityCategory.AD_NETWORK, EntityCategory.TRACKER, EntityCategory.ANALYTICS}
+)
+
+
+@dataclass(frozen=True)
+class ThirdPartyEntity:
+    """A third-party organization with one or more serving domains."""
+
+    name: str
+    category: EntityCategory
+    domains: Tuple[str, ...]
+
+    @property
+    def primary_domain(self) -> str:
+        return self.domains[0]
+
+    @property
+    def is_tracking(self) -> bool:
+        """Whether the synthetic filter list targets this entity."""
+        return self.category in TRACKING_CATEGORIES
+
+
+_NAME_STEMS = {
+    EntityCategory.AD_NETWORK: ("adsrv", "displaymax", "bidexch", "promoloop", "clickgrid"),
+    EntityCategory.TRACKER: ("pixelsync", "trackline", "idgraph", "beaconhub", "audiencelab"),
+    EntityCategory.ANALYTICS: ("metricsly", "statwave", "pagepulse", "visitlens"),
+    EntityCategory.CDN: ("fastasset", "edgecache", "staticgrid", "cdnplane"),
+    EntityCategory.SOCIAL: ("sharebar", "socialkit", "likewidget"),
+    EntityCategory.FONT_PROVIDER: ("typeserve", "fontcloud"),
+    EntityCategory.TAG_MANAGER: ("tagrouter", "loadmanager"),
+    EntityCategory.CONSENT: ("consentbox", "cmpshield"),
+    EntityCategory.VIDEO: ("vidstream", "playerhub"),
+}
+
+_TLDS = ("com", "net", "io", "org")
+
+
+@dataclass(frozen=True)
+class EcosystemConfig:
+    """How many entities of each category to generate."""
+
+    ad_networks: int = 6
+    trackers: int = 10
+    analytics: int = 4
+    cdns: int = 4
+    social: int = 3
+    font_providers: int = 2
+    tag_managers: int = 2
+    consent: int = 2
+    video: int = 2
+
+    def count_for(self, category: EntityCategory) -> int:
+        return {
+            EntityCategory.AD_NETWORK: self.ad_networks,
+            EntityCategory.TRACKER: self.trackers,
+            EntityCategory.ANALYTICS: self.analytics,
+            EntityCategory.CDN: self.cdns,
+            EntityCategory.SOCIAL: self.social,
+            EntityCategory.FONT_PROVIDER: self.font_providers,
+            EntityCategory.TAG_MANAGER: self.tag_managers,
+            EntityCategory.CONSENT: self.consent,
+            EntityCategory.VIDEO: self.video,
+        }[category]
+
+
+class Ecosystem:
+    """The full set of third-party entities for one synthetic web.
+
+    Provides category lookups used by the site generator (e.g. "pick an ad
+    network for this slot") and a reverse domain → entity index used by the
+    analysis and the synthetic EasyList.
+    """
+
+    def __init__(self, entities: Sequence[ThirdPartyEntity]) -> None:
+        self.entities: Tuple[ThirdPartyEntity, ...] = tuple(entities)
+        self._by_category: Dict[EntityCategory, List[ThirdPartyEntity]] = {}
+        self._by_domain: Dict[str, ThirdPartyEntity] = {}
+        for entity in self.entities:
+            self._by_category.setdefault(entity.category, []).append(entity)
+            for domain in entity.domains:
+                if domain in self._by_domain:
+                    raise ValueError(f"duplicate ecosystem domain: {domain}")
+                self._by_domain[domain] = entity
+
+    def by_category(self, category: EntityCategory) -> Tuple[ThirdPartyEntity, ...]:
+        """All entities in ``category`` (possibly empty)."""
+        return tuple(self._by_category.get(category, ()))
+
+    def entity_for_domain(self, domain: str) -> Optional[ThirdPartyEntity]:
+        """The entity serving ``domain``, if it belongs to the ecosystem."""
+        return self._by_domain.get(domain)
+
+    def tracking_domains(self) -> Tuple[str, ...]:
+        """All domains belonging to tracking-category entities (sorted)."""
+        return tuple(
+            sorted(
+                domain
+                for entity in self.entities
+                if entity.is_tracking
+                for domain in entity.domains
+            )
+        )
+
+    def all_domains(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._by_domain))
+
+
+def build_ecosystem(seed: int, config: Optional[EcosystemConfig] = None) -> Ecosystem:
+    """Generate the deterministic third-party ecosystem for ``seed``.
+
+    Entity names combine a category stem with a short index; ad networks and
+    trackers get an extra serving/beacon domain each because real ones
+    spread across several eTLD+1s (e.g. doubleclick.net vs
+    googlesyndication.com).
+    """
+    config = config or EcosystemConfig()
+    rng = child_rng(seed, "ecosystem")
+    entities: List[ThirdPartyEntity] = []
+    for category in EntityCategory:
+        stems = _NAME_STEMS[category]
+        for index in range(config.count_for(category)):
+            stem = stems[index % len(stems)]
+            name = f"{stem}{index}"
+            tld = rng.choice(_TLDS)
+            domains = [f"{name}.{tld}"]
+            if category in (EntityCategory.AD_NETWORK, EntityCategory.TRACKER):
+                # A second domain for serving creatives / sync beacons.
+                alt_tld = rng.choice([t for t in _TLDS if t != tld])
+                suffix = rng.choice(("cdn", "sync", "static", "pix"))
+                domains.append(f"{name}-{suffix}.{alt_tld}")
+            entities.append(
+                ThirdPartyEntity(name=name, category=category, domains=tuple(domains))
+            )
+    return Ecosystem(entities)

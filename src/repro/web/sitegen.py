@@ -1,0 +1,1145 @@
+"""Deterministic synthetic-web generation.
+
+:class:`WebGenerator` produces ranked :class:`~repro.web.blueprint.SiteBlueprint`
+objects on demand.  The generated structure encodes the behaviors the paper
+attributes differences to:
+
+* **first-party content** — images, stylesheets, scripts included with very
+  high probability, mostly at depth one, with stable children;
+* **third-party embeds** — tag managers, analytics, consent platforms, CDNs,
+  fonts, social widgets, video players, each with category-typical dynamics;
+* **ad slots** — a primary placement with a page-fixed network plus rotated
+  secondary placements; creatives carry per-visit path tokens, subtrees
+  recurse (nested iframes), and tracking pixels sync through *per-visit*
+  redirect chains — creating the deep, unstable, tracker-dominated lower
+  tree levels the paper reports;
+* **shared libraries** — the same library URL reachable through several
+  parent scripts, so the observed parent (and dependency chain) of a node
+  varies across visits even when the node itself is stable;
+* **lazy content** — slots gated on mimicked user interaction;
+* **version/headless gates** — small fractions of version-dependent and
+  bot-hidden content.
+
+Every structural draw is made from a stable RNG keyed by
+``(seed, site rank, page index, ...)`` so the same seed always yields the
+same web, while the *per-visit* draws (handled in
+:mod:`repro.web.dynamics`) differ between visits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rng import child_rng
+from .blueprint import (
+    CookieTemplate,
+    HeaderTemplate,
+    InclusionRule,
+    InitiatorKind,
+    PageBlueprint,
+    ResourceSlot,
+    SiteBlueprint,
+)
+from .entities import Ecosystem, EcosystemConfig, EntityCategory, ThirdPartyEntity, build_ecosystem
+from .resources import ResourceType
+from .url import URL
+
+_SITE_TLDS = ("com", "org", "net", "de", "io", "co.uk")
+
+_FP_SCRIPT_NAMES = ("app", "main", "bundle", "vendor", "theme", "menu", "search")
+_FP_IMAGE_DIRS = ("img", "assets", "media", "static")
+_FP_SECTIONS = ("news", "products", "about", "blog", "category", "article", "help", "team")
+
+
+@dataclass(frozen=True)
+class WebConfig:
+    """Tunable knobs of the synthetic web.
+
+    Defaults are calibrated so that dataset-level statistics land near the
+    paper's headline shapes (node presence across profiles, first- vs
+    third-party stability, chain determinism, interaction effect).
+    ``subpages_per_site`` corresponds to the paper's 25 collected subpages;
+    scale it up for paper-sized runs.
+    """
+
+    subpages_per_site: int = 8
+    min_fp_images: int = 10
+    max_fp_images: int = 22
+    min_ad_slots: int = 2
+    max_ad_slots: int = 4
+    lazy_image_fraction: float = 0.08
+    interaction_gated_ad_probability: float = 0.8
+    version_gate_fraction: float = 0.04
+    headless_gate_fraction: float = 0.01
+    max_ad_depth: int = 10
+    page_fail_probability: float = 0.04
+    creative_unique_probability: float = 0.75
+    creative_cdn_probability: float = 0.7
+    social_probability: float = 0.7
+    video_probability: float = 0.35
+    page_tracker_count: int = 3
+    duplicate_reference_probability: float = 0.5
+    csp_report_probability: float = 0.25
+    deep_site_fraction: float = 0.05
+    deep_site_max_ad_depth: int = 24
+
+
+class WebGenerator:
+    """Generates (and caches) site blueprints for a seeded synthetic web."""
+
+    def __init__(
+        self,
+        seed: int,
+        config: Optional[WebConfig] = None,
+        ecosystem_config: Optional[EcosystemConfig] = None,
+    ) -> None:
+        self.seed = seed
+        self.config = config or WebConfig()
+        self.ecosystem = build_ecosystem(seed, ecosystem_config)
+        self._cache: Dict[int, SiteBlueprint] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def site(self, rank: int) -> SiteBlueprint:
+        """Return the blueprint for the site at Tranco-style ``rank``."""
+        if rank not in self._cache:
+            self._cache[rank] = self._build_site(rank)
+        return self._cache[rank]
+
+    def sites(self, ranks: Sequence[int]) -> List[SiteBlueprint]:
+        """Return blueprints for all ``ranks`` (in the given order)."""
+        return [self.site(rank) for rank in ranks]
+
+    def domain_for_rank(self, rank: int) -> str:
+        """The eTLD+1 for ``rank`` (stable, without building the site)."""
+        rng = child_rng(self.seed, "site", rank, "domain")
+        tld = rng.choice(_SITE_TLDS)
+        return f"site{rank:06d}.{tld}"
+
+    # -- site construction -------------------------------------------------
+
+    def _build_site(self, rank: int) -> SiteBlueprint:
+        domain = self.domain_for_rank(rank)
+        rng = child_rng(self.seed, "site", rank, "structure")
+        # Popular sites are a bit richer (paper Table 7: more nodes at the
+        # top of the list, similar similarity everywhere).
+        richness = _richness_for_rank(rank, rng)
+        deep_site = rng.random() < self.config.deep_site_fraction
+        headers = _security_headers(rng)
+        subpage_urls = self._subpage_urls(domain, rng)
+        landing = self._build_page(
+            domain, rank, 0, URL.parse(f"https://{domain}/"), subpage_urls,
+            richness, headers, deep_site
+        )
+        subpages = tuple(
+            self._build_page(
+                domain, rank, index + 1, url, subpage_urls, richness, headers, deep_site
+            )
+            for index, url in enumerate(subpage_urls)
+        )
+        return SiteBlueprint(domain=domain, rank=rank, landing_page=landing, subpages=subpages)
+
+    def _subpage_urls(self, domain: str, rng: random.Random) -> Tuple[URL, ...]:
+        count = self.config.subpages_per_site
+        urls: List[URL] = []
+        for index in range(count):
+            section = rng.choice(_FP_SECTIONS)
+            urls.append(URL.parse(f"https://{domain}/{section}/page-{index}"))
+        return tuple(urls)
+
+    def _build_page(
+        self,
+        domain: str,
+        rank: int,
+        page_index: int,
+        url: URL,
+        links: Tuple[URL, ...],
+        richness: float,
+        headers: Tuple[HeaderTemplate, ...] = (),
+        deep_site: bool = False,
+    ) -> PageBlueprint:
+        rng = child_rng(self.seed, "site", rank, "page", page_index)
+        builder = _PageBuilder(
+            domain=domain,
+            page_url=url,
+            rng=rng,
+            config=self.config,
+            ecosystem=self.ecosystem,
+            richness=richness,
+            deep_site=deep_site,
+        )
+        slots = builder.build()
+        return PageBlueprint(
+            url=url,
+            slots=slots,
+            links=links,
+            fail_probability=self.config.page_fail_probability,
+            headers=headers,
+        )
+
+
+def _security_headers(rng: random.Random) -> Tuple[HeaderTemplate, ...]:
+    """The site's security-header policy.
+
+    Adoption rates loosely follow real measurements; a minority of sites
+    plays the "security lottery": the header's presence or value depends on
+    which server instance answers, so identically configured profiles can
+    observe different security configurations for the same page.
+    """
+    headers = []
+    if rng.random() < 0.85:
+        headers.append(
+            HeaderTemplate(name="strict-transport-security", value="max-age=31536000")
+        )
+    if rng.random() < 0.8:
+        headers.append(HeaderTemplate(name="x-content-type-options", value="nosniff"))
+    if rng.random() < 0.6:
+        headers.append(
+            HeaderTemplate(
+                name="x-frame-options",
+                value="SAMEORIGIN",
+                presence_probability=0.97,
+            )
+        )
+    if rng.random() < 0.45:
+        lottery = rng.random() < 0.25
+        flaky_value = rng.random() < 0.2
+        headers.append(
+            HeaderTemplate(
+                name="content-security-policy",
+                value="default-src 'self'; script-src 'self' 'unsafe-inline'",
+                presence_probability=0.7 if lottery else 1.0,
+                flaky_value="default-src 'self'" if flaky_value else None,
+                flaky_probability=0.3 if flaky_value else 0.0,
+            )
+        )
+    if rng.random() < 0.55:
+        headers.append(
+            HeaderTemplate(name="referrer-policy", value="strict-origin-when-cross-origin")
+        )
+    return tuple(headers)
+
+
+def _richness_for_rank(rank: int, rng: random.Random) -> float:
+    """Scale factor for page complexity; decays mildly with rank."""
+    if rank <= 5_000:
+        base = 1.15
+    elif rank <= 10_000:
+        base = 1.1
+    elif rank <= 50_000:
+        base = 1.05
+    elif rank <= 250_000:
+        base = 1.0
+    else:
+        base = 0.9
+    return base * rng.uniform(0.85, 1.15)
+
+
+class _PageBuilder:
+    """Builds the slot forest for one page.
+
+    Stateful helper: keeps a slot-id counter and the page RNG.  All methods
+    return fully-formed :class:`ResourceSlot` subtrees.
+    """
+
+    def __init__(
+        self,
+        domain: str,
+        page_url: URL,
+        rng: random.Random,
+        config: WebConfig,
+        ecosystem: Ecosystem,
+        richness: float,
+        deep_site: bool = False,
+    ) -> None:
+        self.domain = domain
+        self.page_url = page_url
+        self.rng = rng
+        self.config = config
+        self.ecosystem = ecosystem
+        self.richness = richness
+        self.max_ad_depth = (
+            config.deep_site_max_ad_depth if deep_site else config.max_ad_depth
+        )
+        self._counter = 0
+        # The page-wide shared libraries: several parents may pull them in,
+        # so the observed parent differs between visits (first loader wins).
+        cdn = self._pick(EntityCategory.CDN)
+        lib_host = cdn.primary_domain if cdn else domain
+        self._shared_lib_url = URL.parse(f"https://{lib_host}/libs/shared-utils.js")
+        self._fp_helper_url = URL.parse(f"https://{domain}/assets/helper.js")
+        # A small per-page tracker roster: real pages work with a handful
+        # of tracking partners, so the same pixel URL recurs under several
+        # parents — a second source of parent variance.
+        trackers = list(self.ecosystem.by_category(EntityCategory.TRACKER))
+        self._page_trackers = (
+            self.rng.sample(trackers, min(len(trackers), config.page_tracker_count))
+            if trackers
+            else []
+        )
+
+    # -- top level ---------------------------------------------------------
+
+    def build(self) -> Tuple[ResourceSlot, ...]:
+        slots: List[ResourceSlot] = []
+        slots.extend(self._first_party_slots())
+        slots.extend(self._infrastructure_slots())
+        slots.extend(self._ad_slots())
+        if self.rng.random() < self.config.social_probability:
+            slots.append(self._social_widget())
+        if self.rng.random() < self.config.video_probability:
+            slots.append(self._video_player())
+        if self.rng.random() < 0.3:
+            slots.append(self._error_reporting_sdk())
+        return self._add_duplicate_references(slots)
+
+    def _add_duplicate_references(
+        self, slots: List[ResourceSlot]
+    ) -> Tuple[ResourceSlot, ...]:
+        """Reference some depth-two resources from a second depth-one parent.
+
+        Real pages request the same URL from several places (utility
+        scripts, shared pixels, images used twice).  With first-request-wins
+        attribution and per-visit network races, the observed parent of such
+        a node differs between visits — the paper's finding that ~40% of
+        node parents vary across profiles.  Only simple leaf slots are
+        duplicated, and always between depth-one parents, so the node's
+        depth stays stable (as the paper observes for recurring nodes).
+        """
+        new_slots = list(slots)
+        script_indices = [
+            index
+            for index, slot in enumerate(new_slots)
+            if slot.resource_type is ResourceType.SCRIPT
+            and not slot.rule.requires_interaction
+            and slot.rule.rotation_group is None
+        ]
+        if not script_indices:
+            return tuple(new_slots)
+        candidates: List[ResourceSlot] = []
+        for slot in slots:
+            if slot.rule.requires_interaction or slot.rule.rotation_group is not None:
+                continue
+            third_party_parent = slot.url.host != self.domain
+            for child in slot.children:
+                if child.children or child.unique_path_token or child.redirect_pool:
+                    continue
+                if child.rule.requires_interaction or child.rule.rotation_group:
+                    continue
+                # Parent races are common for third-party resources and
+                # rare for first-party ones (Table 6: 6% vs 30-ish% "no
+                # similarity" parents).
+                third_party_child = child.url.host != self.domain
+                chance = (
+                    self.config.duplicate_reference_probability
+                    if third_party_parent or third_party_child
+                    else self.config.duplicate_reference_probability * 0.25
+                )
+                if self.rng.random() < chance:
+                    candidates.append(child)
+        for child in candidates:
+            parent_index = self.rng.choice(script_indices)
+            parent = new_slots[parent_index]
+            duplicate = dataclasses.replace(
+                child,
+                slot_id=self._next_id("dup"),
+                initiator=InitiatorKind.SCRIPT,
+                rule=InclusionRule(probability=1.0),
+                cookies=(),
+            )
+            new_slots[parent_index] = dataclasses.replace(
+                parent, children=parent.children + (duplicate,)
+            )
+        return tuple(new_slots)
+
+    # -- identifiers -------------------------------------------------------
+
+    def _next_id(self, kind: str) -> str:
+        self._counter += 1
+        return f"{kind}-{self._counter:03d}"
+
+    def _maybe_gates(self, rule: InclusionRule) -> InclusionRule:
+        """Randomly attach version/headless gates to a small slot fraction."""
+        draw = self.rng.random()
+        if draw < self.config.version_gate_fraction / 2:
+            return InclusionRule(
+                probability=rule.probability,
+                requires_interaction=rule.requires_interaction,
+                min_version=90,
+                rotation_group=rule.rotation_group,
+            )
+        if draw < self.config.version_gate_fraction:
+            return InclusionRule(
+                probability=rule.probability,
+                requires_interaction=rule.requires_interaction,
+                max_version=90,
+                rotation_group=rule.rotation_group,
+            )
+        if draw < self.config.version_gate_fraction + self.config.headless_gate_fraction:
+            return InclusionRule(
+                probability=rule.probability,
+                requires_interaction=rule.requires_interaction,
+                headless_visible=False,
+                rotation_group=rule.rotation_group,
+            )
+        return rule
+
+    def _shared_lib_child(self, probability: float) -> ResourceSlot:
+        """One parent's reference to the page's shared (CDN) library."""
+        return ResourceSlot(
+            slot_id=self._next_id("shared-lib"),
+            url=self._shared_lib_url,
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.SCRIPT,
+            rule=InclusionRule(probability=probability),
+        )
+
+    def _fp_helper_child(self, probability: float) -> ResourceSlot:
+        """One parent's reference to the first-party helper script."""
+        return ResourceSlot(
+            slot_id=self._next_id("fp-helper"),
+            url=self._fp_helper_url,
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.SCRIPT,
+            rule=InclusionRule(probability=probability),
+            children=self._fp_helper_slot_children(),
+        )
+
+    def _fp_helper_slot_children(self) -> Tuple[ResourceSlot, ...]:
+        return (
+            ResourceSlot(
+                slot_id=self._next_id("fp-helper-img"),
+                url=URL.parse(f"https://{self.domain}/assets/icons.png"),
+                resource_type=ResourceType.IMAGE,
+                initiator=InitiatorKind.SCRIPT,
+                rule=InclusionRule(probability=0.96),
+            ),
+        )
+
+    def _page_tracker(self) -> Optional[ThirdPartyEntity]:
+        if not self._page_trackers:
+            return None
+        return self.rng.choice(self._page_trackers)
+
+    # -- first party -------------------------------------------------------
+
+    def _first_party_slots(self) -> List[ResourceSlot]:
+        slots: List[ResourceSlot] = []
+        slots.append(self._fp_stylesheet())
+        slots.append(self._fp_app_script())
+        if self.rng.random() < 0.7:
+            slots.append(self._fp_secondary_script())
+        if self.rng.random() < 0.8:
+            slots.extend(self._lazy_content_block())
+        if self.rng.random() < 0.6:
+            slots.append(
+                ResourceSlot(
+                    slot_id=self._next_id("fp-hero"),
+                    url=URL.parse(f"https://{self.domain}/media/hero.jpg"),
+                    resource_type=ResourceType.IMAGE,
+                    initiator=InitiatorKind.DOCUMENT,
+                    rule=InclusionRule(probability=0.92),
+                    unique_path_token=True,
+                )
+            )
+        image_count = max(
+            2,
+            round(
+                self.rng.randint(self.config.min_fp_images, self.config.max_fp_images)
+                * self.richness
+            ),
+        )
+        for index in range(image_count):
+            lazy = self.rng.random() < self.config.lazy_image_fraction
+            directory = self.rng.choice(_FP_IMAGE_DIRS)
+            responsive = self.rng.random() < 0.2
+            rtype = ResourceType.IMAGESET if responsive else ResourceType.IMAGE
+            slots.append(
+                ResourceSlot(
+                    slot_id=self._next_id("fp-img"),
+                    url=URL.parse(
+                        f"https://{self.domain}/{directory}/photo-{index}.{rtype.extension}"
+                    ),
+                    resource_type=rtype,
+                    initiator=InitiatorKind.DOCUMENT,
+                    rule=InclusionRule(probability=0.99, requires_interaction=lazy),
+                )
+            )
+        return slots
+
+    def _lazy_content_block(self) -> List[ResourceSlot]:
+        """Below-the-fold content: loads only after (mimicked) interaction."""
+        block: List[ResourceSlot] = [
+            ResourceSlot(
+                slot_id=self._next_id("fp-scroll-xhr"),
+                url=URL.parse(f"https://{self.domain}/api/feed"),
+                resource_type=ResourceType.XHR,
+                initiator=InitiatorKind.FETCH,
+                rule=InclusionRule(probability=0.95, requires_interaction=True),
+                session_param="cursor",
+            )
+        ]
+        for index in range(self.rng.randint(3, 5)):
+            block.append(
+                ResourceSlot(
+                    slot_id=self._next_id("fp-lazy-img"),
+                    url=URL.parse(f"https://{self.domain}/media/feed-{index}.jpg"),
+                    resource_type=ResourceType.IMAGE,
+                    initiator=InitiatorKind.DOCUMENT,
+                    rule=InclusionRule(probability=0.95, requires_interaction=True),
+                )
+            )
+        return block
+
+    def _fp_stylesheet(self) -> ResourceSlot:
+        children: List[ResourceSlot] = [
+            ResourceSlot(
+                slot_id=self._next_id("fp-font"),
+                url=URL.parse(f"https://{self.domain}/assets/brand.woff2"),
+                resource_type=ResourceType.FONT,
+                initiator=InitiatorKind.CSS,
+                rule=InclusionRule(probability=0.98),
+            ),
+            ResourceSlot(
+                slot_id=self._next_id("fp-bg"),
+                url=URL.parse(f"https://{self.domain}/assets/background.png"),
+                resource_type=ResourceType.IMAGE,
+                initiator=InitiatorKind.CSS,
+                rule=InclusionRule(probability=0.98),
+            ),
+        ]
+        return ResourceSlot(
+            slot_id=self._next_id("fp-css"),
+            url=URL.parse(f"https://{self.domain}/assets/site.css").with_param("v", "3"),
+            resource_type=ResourceType.STYLESHEET,
+            initiator=InitiatorKind.DOCUMENT,
+            rule=InclusionRule(probability=0.995),
+            children=tuple(children),
+        )
+
+    def _fp_app_script(self) -> ResourceSlot:
+        name = self.rng.choice(_FP_SCRIPT_NAMES)
+        children: List[ResourceSlot] = [
+            ResourceSlot(
+                slot_id=self._next_id("fp-xhr"),
+                url=URL.parse(f"https://{self.domain}/api/content"),
+                resource_type=ResourceType.XHR,
+                initiator=InitiatorKind.FETCH,
+                rule=InclusionRule(probability=0.97),
+                session_param="session",
+            ),
+            self._shared_lib_child(probability=0.75),
+            self._fp_helper_child(probability=0.8),
+        ]
+        if self.rng.random() < self.config.csp_report_probability:
+            children.append(self._csp_report_slot())
+        if self.rng.random() < 0.5:
+            children.append(
+                ResourceSlot(
+                    slot_id=self._next_id("fp-lazy-xhr"),
+                    url=URL.parse(f"https://{self.domain}/api/more"),
+                    resource_type=ResourceType.XHR,
+                    initiator=InitiatorKind.FETCH,
+                    rule=InclusionRule(probability=0.9, requires_interaction=True),
+                    session_param="offset",
+                )
+            )
+        return ResourceSlot(
+            slot_id=self._next_id("fp-js"),
+            url=URL.parse(f"https://{self.domain}/assets/{name}.js").with_param("v", "12"),
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.DOCUMENT,
+            rule=InclusionRule(probability=0.995),
+            children=tuple(children),
+            cookies=(
+                CookieTemplate(
+                    name="session_id",
+                    domain=self.domain,
+                    per_visit_value=True,
+                ),
+            ),
+        )
+
+    def _fp_secondary_script(self) -> ResourceSlot:
+        """A widget/theme script; another potential shared-lib loader."""
+        children: List[ResourceSlot] = [
+            self._shared_lib_child(probability=0.45),
+            self._fp_helper_child(probability=0.5),
+            ResourceSlot(
+                slot_id=self._next_id("fp-sprite"),
+                url=URL.parse(f"https://{self.domain}/assets/sprite.png"),
+                resource_type=ResourceType.IMAGE,
+                initiator=InitiatorKind.SCRIPT,
+                rule=InclusionRule(probability=0.96),
+            ),
+        ]
+        return ResourceSlot(
+            slot_id=self._next_id("fp-js2"),
+            url=URL.parse(f"https://{self.domain}/assets/widgets.js").with_param("v", "4"),
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.DOCUMENT,
+            rule=InclusionRule(probability=0.98),
+            children=tuple(children),
+        )
+
+    # -- common third-party infrastructure ----------------------------------
+
+    def _infrastructure_slots(self) -> List[ResourceSlot]:
+        slots: List[ResourceSlot] = []
+        cdn = self._pick(EntityCategory.CDN)
+        if cdn is not None:
+            slots.append(
+                ResourceSlot(
+                    slot_id=self._next_id("cdn-lib"),
+                    url=URL.parse(
+                        f"https://{cdn.primary_domain}/libs/framework-3.2.min.js"
+                    ),
+                    resource_type=ResourceType.SCRIPT,
+                    initiator=InitiatorKind.DOCUMENT,
+                    rule=InclusionRule(probability=0.99),
+                    children=(self._shared_lib_child(probability=0.5),),
+                )
+            )
+            # Stable CDN-hosted static assets (icons, polyfills): the kind
+            # of non-tracking third-party content that dominates real pages.
+            for index in range(self.rng.randint(3, 6)):
+                slots.append(
+                    ResourceSlot(
+                        slot_id=self._next_id("cdn-asset"),
+                        url=URL.parse(
+                            f"https://{cdn.primary_domain}/static/asset-{index}.png"
+                        ),
+                        resource_type=ResourceType.IMAGE,
+                        initiator=InitiatorKind.DOCUMENT,
+                        rule=InclusionRule(probability=0.98),
+                    )
+                )
+        font = self._pick(EntityCategory.FONT_PROVIDER)
+        if font is not None and self.rng.random() < 0.75:
+            slots.append(self._font_embed(font))
+        consent = self._pick(EntityCategory.CONSENT)
+        if consent is not None and self.rng.random() < 0.7:
+            slots.append(self._consent_platform(consent))
+        slots.append(self._tag_manager())
+        return slots
+
+    def _font_embed(self, provider: ThirdPartyEntity) -> ResourceSlot:
+        fonts = tuple(
+            ResourceSlot(
+                slot_id=self._next_id("tp-font"),
+                url=URL.parse(
+                    f"https://{provider.primary_domain}/s/family{i}/font.woff2"
+                ),
+                resource_type=ResourceType.FONT,
+                initiator=InitiatorKind.CSS,
+                rule=InclusionRule(probability=0.97),
+            )
+            for i in range(self.rng.randint(1, 3))
+        )
+        return ResourceSlot(
+            slot_id=self._next_id("tp-fontcss"),
+            url=URL.parse(f"https://{provider.primary_domain}/css").with_param(
+                "family", "Sans"
+            ),
+            resource_type=ResourceType.STYLESHEET,
+            initiator=InitiatorKind.DOCUMENT,
+            rule=InclusionRule(probability=0.98),
+            children=fonts,
+        )
+
+    def _consent_platform(self, consent: ThirdPartyEntity) -> ResourceSlot:
+        return ResourceSlot(
+            slot_id=self._next_id("consent"),
+            url=URL.parse(f"https://{consent.primary_domain}/cmp/stub.js"),
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.DOCUMENT,
+            rule=InclusionRule(probability=0.97),
+            children=(
+                ResourceSlot(
+                    slot_id=self._next_id("consent-cfg"),
+                    url=URL.parse(
+                        f"https://{consent.primary_domain}/cmp/config.json"
+                    ).with_param("site", self.domain),
+                    resource_type=ResourceType.XHR,
+                    initiator=InitiatorKind.FETCH,
+                    rule=InclusionRule(probability=0.97),
+                ),
+            ),
+            cookies=(
+                CookieTemplate(
+                    name="euconsent",
+                    domain=self.domain,
+                    per_visit_value=False,
+                    flaky_attributes=self.rng.random() < 0.01,
+                ),
+            ),
+        )
+
+    def _tag_manager(self) -> ResourceSlot:
+        manager = self._pick(EntityCategory.TAG_MANAGER)
+        analytics = self._pick(EntityCategory.ANALYTICS)
+        children: List[ResourceSlot] = []
+        if analytics is not None:
+            children.append(self._analytics_embed(analytics))
+        for _ in range(self.rng.randint(1, 2)):
+            tracker = self._page_tracker()
+            if tracker is not None:
+                children.append(self._tracker_pixel(tracker, probability=0.9))
+        domain = manager.primary_domain if manager else self.domain
+        if analytics is not None:
+            children.append(
+                ResourceSlot(
+                    slot_id=self._next_id("ana-scroll"),
+                    url=URL.parse(f"https://{analytics.primary_domain}/event").with_param(
+                        "t", "scroll"
+                    ),
+                    resource_type=ResourceType.BEACON,
+                    initiator=InitiatorKind.FETCH,
+                    rule=InclusionRule(probability=0.9, requires_interaction=True),
+                    session_param="cid",
+                )
+            )
+        children.append(
+            ResourceSlot(
+                slot_id=self._next_id("tagmgr-cfg"),
+                url=URL.parse(f"https://{domain}/container.json").with_param("id", "TM-1"),
+                resource_type=ResourceType.XHR,
+                initiator=InitiatorKind.FETCH,
+                rule=InclusionRule(probability=0.98),
+            )
+        )
+        return ResourceSlot(
+            slot_id=self._next_id("tagmgr"),
+            url=URL.parse(f"https://{domain}/gtm.js").with_param("id", "TM-1"),
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.DOCUMENT,
+            rule=InclusionRule(probability=0.98),
+            children=tuple(children),
+        )
+
+    def _analytics_embed(self, analytics: ThirdPartyEntity) -> ResourceSlot:
+        beacon = ResourceSlot(
+            slot_id=self._next_id("ana-beacon"),
+            url=URL.parse(f"https://{analytics.primary_domain}/collect"),
+            resource_type=ResourceType.BEACON,
+            initiator=InitiatorKind.FETCH,
+            rule=InclusionRule(probability=0.96),
+            session_param="cid",
+        )
+        return ResourceSlot(
+            slot_id=self._next_id("ana-js"),
+            url=URL.parse(f"https://{analytics.primary_domain}/analytics.js"),
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.SCRIPT,
+            rule=InclusionRule(probability=0.97),
+            children=(beacon,),
+            cookies=(
+                CookieTemplate(
+                    name="_va",
+                    domain=self.domain,
+                    per_visit_value=False,
+                ),
+            ),
+        )
+
+    def _tracker_pixel(
+        self, tracker: ThirdPartyEntity, probability: float, sync: bool = True
+    ) -> ResourceSlot:
+        """A tracking pixel syncing through a per-visit redirect chain.
+
+        Cookie syncing shows up as HTTP redirects across tracker domains;
+        the *partners differ per visit*, so the pixel's dependency chain is
+        non-deterministic — the behaviour behind the paper's §4.2 chain
+        findings.  The tree builder turns each hop into a parent/child edge.
+        """
+        pool = tuple(
+            URL.parse(f"https://{partner.primary_domain}/sync").with_param("partner", "x")
+            for partner in self._page_trackers
+            if partner is not tracker
+        ) if sync else ()
+        max_hops = min(1, len(pool))
+        pixel_domain = tracker.domains[-1]
+        return ResourceSlot(
+            slot_id=self._next_id("trk-px"),
+            url=URL.parse(f"https://{pixel_domain}/pixel.gif"),
+            resource_type=ResourceType.BEACON,
+            initiator=InitiatorKind.SCRIPT,
+            rule=self._maybe_gates(InclusionRule(probability=probability)),
+            redirect_pool=pool,
+            redirect_hops=(0, max_hops),
+            session_param="uid",
+            cookies=(
+                CookieTemplate(
+                    name="sync_id",
+                    domain=pixel_domain,
+                    per_visit_value=True,
+                    set_probability=0.9,
+                ),
+            ),
+        )
+
+    # -- advertising -------------------------------------------------------
+
+    def _ad_slots(self) -> List[ResourceSlot]:
+        """The page's ad placements.
+
+        The primary placement is served by a page-fixed network (stable
+        across visits); secondary placements rotate between candidate
+        networks per visit and are usually lazy (below the fold).
+        """
+        slots: List[ResourceSlot] = []
+        count = max(
+            1,
+            round(
+                self.rng.randint(self.config.min_ad_slots, self.config.max_ad_slots)
+                * self.richness
+            ),
+        )
+        primary = self._pick(EntityCategory.AD_NETWORK)
+        if primary is not None:
+            slots.append(
+                self._ad_network_embed(
+                    primary,
+                    rule=InclusionRule(probability=0.96),
+                    deep=True,
+                    shared_child_probability=0.55,
+                )
+            )
+        for index in range(1, count):
+            lazy = self.rng.random() < self.config.interaction_gated_ad_probability
+            slots.extend(self._ad_rotation(index, lazy=lazy))
+        # A sticky footer placement only materializes after scrolling; its
+        # subtree is deep, so mimicked interaction shifts nodes to deeper
+        # levels (the paper's Mann-Whitney finding in §4.4).
+        footer_network = self._pick(EntityCategory.AD_NETWORK)
+        if footer_network is not None and self.rng.random() < 0.75:
+            slots.append(
+                self._ad_network_embed(
+                    footer_network,
+                    rule=InclusionRule(probability=0.93, requires_interaction=True),
+                    deep=True,
+                    shared_child_probability=0.75,
+                )
+            )
+        return slots
+
+    def _ad_rotation(self, slot_index: int, lazy: bool) -> List[ResourceSlot]:
+        """One rotated ad placement: a rotation group of candidate networks.
+
+        Rotated placements get *shallow* subtrees: the winning creative is
+        a frame with its assets, but without the nested resale frames the
+        primary placement can grow — real secondary placements are smaller.
+        """
+        networks = list(self.ecosystem.by_category(EntityCategory.AD_NETWORK))
+        if not networks:
+            return []
+        candidates = self.rng.sample(networks, min(len(networks), self.rng.randint(3, 4)))
+        group = f"ad-slot-{slot_index}"
+        slots = []
+        for network in candidates:
+            slots.append(
+                self._ad_network_embed(
+                    network,
+                    rule=InclusionRule(
+                        probability=0.92,
+                        requires_interaction=lazy,
+                        rotation_group=group,
+                    ),
+                    deep=False,
+                    shared_child_probability=0.9,
+                )
+            )
+        return slots
+
+    def _ad_network_embed(
+        self,
+        network: ThirdPartyEntity,
+        rule: InclusionRule,
+        deep: bool = True,
+        shared_child_probability: float = 0.7,
+    ) -> ResourceSlot:
+        frame = self._ad_frame(
+            network,
+            depth=1,
+            deep=deep,
+            shared_child_probability=shared_child_probability,
+        )
+        return ResourceSlot(
+            slot_id=self._next_id("ad-js"),
+            url=URL.parse(f"https://{network.primary_domain}/ads/adsbygoogle.js"),
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.DOCUMENT,
+            rule=rule,
+            children=(frame,),
+        )
+
+    def _ad_frame(
+        self,
+        network: ThirdPartyEntity,
+        depth: int,
+        deep: bool = True,
+        shared_child_probability: float = 0.7,
+    ) -> ResourceSlot:
+        """The ad creative iframe; recursively may contain further ad frames."""
+        serving_domain = network.domains[-1]
+        cdn = self._pick(EntityCategory.CDN)
+        creative_from_cdn = (
+            cdn is not None and self.rng.random() < self.config.creative_cdn_probability
+        )
+        creative_domain = cdn.primary_domain if creative_from_cdn else serving_domain
+        children: List[ResourceSlot] = [
+            ResourceSlot(
+                slot_id=self._next_id("ad-creative"),
+                url=URL.parse(f"https://{creative_domain}/creative/banner.jpg"),
+                resource_type=ResourceType.IMAGE,
+                initiator=InitiatorKind.DOCUMENT,
+                rule=InclusionRule(probability=0.92),
+                unique_path_token=self.rng.random()
+                < self.config.creative_unique_probability,
+            ),
+        ]
+        if deep:
+            children.append(
+                ResourceSlot(
+                    slot_id=self._next_id("ad-style"),
+                    url=URL.parse(f"https://{creative_domain}/frame/ad.css"),
+                    resource_type=ResourceType.STYLESHEET,
+                    initiator=InitiatorKind.DOCUMENT,
+                    rule=InclusionRule(probability=0.97),
+                )
+            )
+        children += [
+            ResourceSlot(
+                slot_id=self._next_id("ad-imp"),
+                url=URL.parse(f"https://{serving_domain}/impression"),
+                resource_type=ResourceType.BEACON,
+                initiator=InitiatorKind.SCRIPT,
+                rule=InclusionRule(probability=0.92),
+                session_param="imp",
+            ),
+        ]
+        # The page-wide viewability-measurement script: every ad frame may
+        # pull it in, so its observed parent depends on which frames loaded
+        # (and, for the primary frame, on this lower inclusion probability).
+        viewability_tracker = self._page_trackers[0] if self._page_trackers else None
+        if viewability_tracker is not None:
+            children.append(
+                ResourceSlot(
+                    slot_id=self._next_id("ad-view"),
+                    url=URL.parse(
+                        f"https://{viewability_tracker.primary_domain}/viewability.js"
+                    ),
+                    resource_type=ResourceType.SCRIPT,
+                    initiator=InitiatorKind.SCRIPT,
+                    rule=InclusionRule(probability=shared_child_probability),
+                )
+            )
+        tracker = self._page_tracker()
+        if deep and tracker is not None and self.rng.random() < 0.7:
+            children.append(
+                self._tracker_pixel(tracker, probability=0.9, sync=depth == 1)
+            )
+        if deep:
+            children.append(
+                ResourceSlot(
+                    slot_id=self._next_id("ad-scroll"),
+                    url=URL.parse(f"https://{serving_domain}/viewable"),
+                    resource_type=ResourceType.BEACON,
+                    initiator=InitiatorKind.SCRIPT,
+                    rule=InclusionRule(probability=0.85, requires_interaction=True),
+                    session_param="v",
+                )
+            )
+        # Stable static frame furniture (logos, AdChoices icon): the bulk
+        # of a real creative frame is boring, stable content.
+        if deep:
+            for index in range(2):
+                children.append(
+                    ResourceSlot(
+                        slot_id=self._next_id("ad-asset"),
+                        url=URL.parse(
+                            f"https://{creative_domain}/frame/asset-{index}.png"
+                        ),
+                        resource_type=ResourceType.IMAGE,
+                        initiator=InitiatorKind.DOCUMENT,
+                        rule=InclusionRule(probability=0.97),
+                    )
+                )
+        if deep and self.rng.random() < 0.35:
+            children.append(
+                ResourceSlot(
+                    slot_id=self._next_id("ad-bid"),
+                    url=URL.parse(f"https://{network.primary_domain}/bid"),
+                    resource_type=ResourceType.XHR,
+                    initiator=InitiatorKind.FETCH,
+                    rule=InclusionRule(probability=0.9),
+                    session_param="auction",
+                )
+            )
+        # Nested ad frames create the deep tail of the tree distribution.
+        if (
+            deep
+            and depth < self.max_ad_depth
+            and self.rng.random() < _nesting_probability(depth)
+        ):
+            partner = self._pick(EntityCategory.AD_NETWORK)
+            if partner is not None:
+                children.append(
+                    self._ad_frame(
+                        partner,
+                        depth + 1,
+                        deep=True,
+                        shared_child_probability=shared_child_probability,
+                    )
+                )
+        return ResourceSlot(
+            slot_id=self._next_id("ad-frame"),
+            url=URL.parse(f"https://{serving_domain}/frame/ad.html").with_param("slot", "a"),
+            resource_type=ResourceType.SUB_FRAME,
+            initiator=InitiatorKind.FRAME,
+            rule=InclusionRule(probability=0.97),
+            children=tuple(children),
+            cookies=(
+                CookieTemplate(
+                    name="ad_session",
+                    domain=serving_domain,
+                    per_visit_value=True,
+                    set_probability=0.85,
+                ),
+                CookieTemplate(
+                    name="tst",
+                    domain=serving_domain,
+                    per_visit_value=True,
+                    set_probability=0.25,
+                    random_name_suffix=True,
+                ),
+            ),
+        )
+
+    def _csp_report_slot(self) -> ResourceSlot:
+        """A CSP violation report: fired sporadically, per visit.
+
+        Violations depend on which dynamic content happened to load, so
+        report submissions are among the least stable node types — the
+        paper's Table 4b lists CSP reports with the lowest similarity.
+        """
+        return ResourceSlot(
+            slot_id=self._next_id("csp-report"),
+            url=URL.parse(f"https://{self.domain}/csp-report"),
+            resource_type=ResourceType.CSP_REPORT,
+            initiator=InitiatorKind.FETCH,
+            rule=InclusionRule(probability=0.3),
+            session_param="violation",
+        )
+
+    def _error_reporting_sdk(self) -> ResourceSlot:
+        """A crash/error-reporting SDK: stable script, sporadic reports."""
+        tracker = self._pick(EntityCategory.ANALYTICS)
+        domain = tracker.primary_domain if tracker else self.domain
+        return ResourceSlot(
+            slot_id=self._next_id("err-js"),
+            url=URL.parse(f"https://{domain}/sdk/errors.js"),
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.DOCUMENT,
+            rule=InclusionRule(probability=0.95),
+            children=(
+                ResourceSlot(
+                    slot_id=self._next_id("err-beacon"),
+                    url=URL.parse(f"https://{domain}/sdk/report"),
+                    resource_type=ResourceType.BEACON,
+                    initiator=InitiatorKind.FETCH,
+                    rule=InclusionRule(probability=0.3),
+                    session_param="event",
+                ),
+            ),
+        )
+
+    # -- widgets -----------------------------------------------------------
+
+    def _social_widget(self) -> ResourceSlot:
+        social = self._pick(EntityCategory.SOCIAL)
+        domain = social.primary_domain if social else self.domain
+        frame = ResourceSlot(
+            slot_id=self._next_id("social-frame"),
+            url=URL.parse(f"https://{domain}/plugins/like.html"),
+            resource_type=ResourceType.SUB_FRAME,
+            initiator=InitiatorKind.FRAME,
+            rule=InclusionRule(probability=0.93),
+            children=(
+                ResourceSlot(
+                    slot_id=self._next_id("social-img"),
+                    url=URL.parse(f"https://{domain}/static/button.png"),
+                    resource_type=ResourceType.IMAGE,
+                    initiator=InitiatorKind.DOCUMENT,
+                    rule=InclusionRule(probability=0.96),
+                ),
+                ResourceSlot(
+                    slot_id=self._next_id("social-xhr"),
+                    url=URL.parse(f"https://{domain}/api/counts"),
+                    resource_type=ResourceType.XHR,
+                    initiator=InitiatorKind.FETCH,
+                    rule=InclusionRule(probability=0.9),
+                    session_param="ref",
+                ),
+            ),
+        )
+        return ResourceSlot(
+            slot_id=self._next_id("social-js"),
+            url=URL.parse(f"https://{domain}/sdk.js"),
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.DOCUMENT,
+            rule=InclusionRule(
+                probability=0.93,
+                requires_interaction=self.rng.random() < 0.4,
+            ),
+            children=(frame,),
+        )
+
+    def _video_player(self) -> ResourceSlot:
+        video = self._pick(EntityCategory.VIDEO)
+        domain = video.primary_domain if video else self.domain
+        return ResourceSlot(
+            slot_id=self._next_id("video-js"),
+            url=URL.parse(f"https://{domain}/player.js"),
+            resource_type=ResourceType.SCRIPT,
+            initiator=InitiatorKind.DOCUMENT,
+            rule=InclusionRule(
+                probability=0.88, requires_interaction=self.rng.random() < 0.5
+            ),
+            children=(
+                ResourceSlot(
+                    slot_id=self._next_id("video-media"),
+                    url=URL.parse(f"https://{domain}/stream/clip.mp4"),
+                    resource_type=ResourceType.MEDIA,
+                    initiator=InitiatorKind.FETCH,
+                    rule=InclusionRule(probability=0.85),
+                ),
+                ResourceSlot(
+                    slot_id=self._next_id("video-ws"),
+                    url=URL.parse(f"wss://{domain}/live"),
+                    resource_type=ResourceType.WEBSOCKET,
+                    initiator=InitiatorKind.SCRIPT,
+                    rule=InclusionRule(probability=0.65),
+                ),
+            ),
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _pick(self, category: EntityCategory) -> Optional[ThirdPartyEntity]:
+        entities = self.ecosystem.by_category(category)
+        if not entities:
+            return None
+        return self.rng.choice(entities)
+
+
+def _nesting_probability(depth: int) -> float:
+    """Probability that an ad frame at ``depth`` embeds another ad frame.
+
+    Chosen so that tree depth has a geometric tail: common depth 3-6 with a
+    rare deep tail, matching Figure 1's shape.
+    """
+    return max(0.06, 0.55 - 0.06 * depth)

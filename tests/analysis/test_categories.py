@@ -1,0 +1,44 @@
+"""Tests for similarity categories."""
+
+import pytest
+
+from repro.analysis.categories import (
+    SimilarityCategory,
+    categorize,
+    category_shares,
+)
+
+
+class TestCategorize:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1.0, SimilarityCategory.HIGH),
+            (0.8, SimilarityCategory.HIGH),
+            (0.79, SimilarityCategory.MEDIUM),
+            (0.3, SimilarityCategory.MEDIUM),
+            (0.29, SimilarityCategory.LOW),
+            (0.0, SimilarityCategory.LOW),
+        ],
+    )
+    def test_paper_thresholds(self, value, expected):
+        assert categorize(value) is expected
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            categorize(1.2)
+        with pytest.raises(ValueError):
+            categorize(-0.1)
+
+
+class TestShares:
+    def test_shares_sum_to_one(self):
+        shares = category_shares([0.9, 0.5, 0.1, 0.85])
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[SimilarityCategory.HIGH] == 0.5
+        assert shares[SimilarityCategory.MEDIUM] == 0.25
+        assert shares[SimilarityCategory.LOW] == 0.25
+
+    def test_empty_input(self):
+        shares = category_shares([])
+        assert all(value == 0.0 for value in shares.values())

@@ -1,0 +1,68 @@
+"""Tests for children statistics (Figures 4 and 8)."""
+
+import pytest
+
+from repro.analysis.children import ChildrenAnalyzer
+
+
+class TestChildCounts:
+    def test_counts(self, dataset):
+        stats = ChildrenAnalyzer().child_counts(dataset)
+        assert stats.per_node.mean >= 0.0
+        assert stats.per_page_root.mean > 5  # pages load many direct children
+        # Paper: 92% of non-root nodes have at most one child.
+        assert stats.share_with_at_most_one_child_beyond_root > 0.6
+
+    def test_children_per_depth(self, dataset):
+        per_depth = ChildrenAnalyzer().children_per_depth(dataset)
+        assert 1 in per_depth
+        for summary in per_depth.values():
+            assert summary.mean >= 0.0
+
+    def test_with_children_only_filter(self, dataset):
+        analyzer = ChildrenAnalyzer()
+        unfiltered = analyzer.children_per_depth(dataset)
+        filtered = analyzer.children_per_depth(dataset, with_children_only=True)
+        for depth in filtered:
+            assert filtered[depth].mean >= unfiltered[depth].mean
+
+
+class TestSimilarityByDepth:
+    def test_points_cover_depths(self, dataset):
+        points = ChildrenAnalyzer().similarity_by_depth(dataset, combine_after=4)
+        depths = [p.depth for p in points]
+        assert depths == sorted(depths)
+        assert max(depths) <= 4
+
+    def test_values_in_range(self, dataset):
+        for point in ChildrenAnalyzer().similarity_by_depth(dataset):
+            assert 0.0 <= point.child_similarity <= 1.0
+            assert 0.0 <= point.parent_similarity <= 1.0
+
+    def test_parent_similarity_declines_with_depth(self, dataset):
+        points = {p.depth: p for p in ChildrenAnalyzer().similarity_by_depth(dataset)}
+        assert points[1].parent_similarity > points[max(points)].parent_similarity
+
+
+class TestCountVsSimilarity:
+    def test_test_runs(self, dataset):
+        test, small, large = ChildrenAnalyzer().child_count_vs_similarity(dataset)
+        assert 0.0 <= test.p_value <= 1.0
+        assert 0.0 <= small <= 1.0
+        assert 0.0 <= large <= 1.0
+
+    def test_raises_on_empty(self):
+        from repro.analysis.dataset import AnalysisDataset
+
+        from ..helpers import make_tree_set
+
+        childless = AnalysisDataset.from_tree_sets(
+            [
+                make_tree_set(
+                    "https://site.com/",
+                    {"A": {"https://site.com/x.png": None}},
+                )
+            ]
+        )
+        with pytest.raises(ValueError):
+            ChildrenAnalyzer().child_count_vs_similarity(childless)

@@ -1,0 +1,143 @@
+"""Tests for PageComparison / NodeComparison alignment."""
+
+import pytest
+
+from repro.analysis.comparison import PageComparison
+from repro.errors import AnalysisError
+
+from ..helpers import make_tree, make_tree_set
+
+PAGE = "https://site.com/"
+
+
+def three_trees():
+    """Three trees mirroring the Appendix D example structure."""
+    base = {
+        "https://site.com/a.js": {
+            "https://site.com/d.js": {
+                "https://site.com/e.js": {
+                    "https://site.com/x.png": None,
+                    "https://site.com/y.png": None,
+                }
+            }
+        },
+        "https://site.com/b.png": None,
+        "https://site.com/c.js": None,
+    }
+    tree2 = {
+        "https://site.com/a.js": {
+            "https://site.com/d.js": {
+                "https://site.com/e.js": {
+                    "https://site.com/x.png": None,
+                    "https://site.com/y.png": None,
+                }
+            }
+        },
+        "https://site.com/c.js": None,
+    }
+    tree3 = {
+        "https://site.com/a.js": {
+            "https://site.com/d.js": {
+                "https://site.com/y.png": None,
+            }
+        },
+        "https://site.com/b.png": None,
+        "https://site.com/c.js": None,
+    }
+    return make_tree_set(PAGE, {"T1": base, "T2": tree2, "T3": tree3})
+
+
+@pytest.fixture()
+def comparison():
+    return PageComparison(three_trees())
+
+
+class TestAlignment:
+    def test_all_keys_present(self, comparison):
+        assert len(comparison) == 7  # a, b, c, d, e, x, y
+
+    def test_presence_counts(self, comparison):
+        assert comparison.node("https://site.com/a.js").presence_count == 3
+        assert comparison.node("https://site.com/b.png").presence_count == 2
+        assert comparison.node("https://site.com/e.js").presence_count == 2
+
+    def test_in_all_and_in_one(self, comparison):
+        assert comparison.node("https://site.com/a.js").in_all_profiles
+        assert not comparison.node("https://site.com/e.js").in_all_profiles
+        assert not comparison.node("https://site.com/e.js").in_one_profile
+
+    def test_mismatched_pages_rejected(self):
+        trees = make_tree_set(PAGE, {"A": {}})
+        other = make_tree("https://other.com/", {}, profile="B")
+        with pytest.raises(AnalysisError):
+            PageComparison({"A": trees["A"], "B": other})
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            PageComparison({})
+
+
+class TestAppendixD:
+    """The worked example of the paper's Appendix D."""
+
+    def test_depth_one_similarity(self, comparison):
+        # ({a,b,c} vs {a,c} vs {a,b,c}) -> (2/3 + 1 + 2/3) / 3
+        assert comparison.depth_similarity(1) == pytest.approx((2 / 3 + 1 + 2 / 3) / 3)
+
+    def test_parent_similarity_of_e(self, comparison):
+        # e present in T1 and T2 with parent d, absent in T3 -> (1+0+0)/3.
+        node = comparison.node("https://site.com/e.js")
+        assert node.parent_similarity() == pytest.approx(1 / 3)
+
+    def test_whole_tree_similarity(self, comparison):
+        # T1 = 7 nodes, T2 = 6 (subset), T3 = 5 nodes {a,b,c,d,y}.
+        expected = (6 / 7 + 5 / 7 + 4 / 7) / 3
+        assert comparison.whole_tree_similarity() == pytest.approx(expected)
+
+
+class TestNodeMeasures:
+    def test_child_similarity_over_present_trees(self, comparison):
+        # e's children: {x,y} in T1 and T2 -> 1.0 (T3 lacks e entirely).
+        node = comparison.node("https://site.com/e.js")
+        assert node.child_similarity() == 1.0
+
+    def test_child_similarity_divergent(self, comparison):
+        # d's children: {e}, {e}, {y} -> pairs (1, 0, 0) -> 1/3.
+        node = comparison.node("https://site.com/d.js")
+        assert node.child_similarity() == pytest.approx(1 / 3)
+
+    def test_same_parent_everywhere(self, comparison):
+        assert comparison.node("https://site.com/d.js").same_parent_everywhere()
+
+    def test_same_depth_everywhere(self, comparison):
+        assert comparison.node("https://site.com/y.png").min_depth == 3
+        assert not comparison.node("https://site.com/y.png").same_depth_everywhere
+
+    def test_chains(self, comparison):
+        node = comparison.node("https://site.com/e.js")
+        assert node.same_chain_everywhere()
+        y = comparison.node("https://site.com/y.png")
+        assert not y.same_chain_everywhere()
+        assert y.unique_chain_count() == 1  # the short T3 chain is unique
+
+    def test_parent_similarity_present_only(self, comparison):
+        node = comparison.node("https://site.com/e.js")
+        assert node.parent_similarity_present_only() == 1.0
+
+
+class TestPageMeasures:
+    def test_depth_similarity_none_when_empty(self, comparison):
+        assert comparison.depth_similarity(9) is None
+
+    def test_depth_similarity_with_filter(self, comparison):
+        only_b = comparison.depth_similarity(
+            1, keys_filter=lambda n: n.key.endswith("b.png")
+        )
+        # b present at depth 1 in T1 and T3 only -> (0 + 1 + 0) / 3.
+        assert only_b == pytest.approx(1 / 3)
+
+    def test_pairwise_tree_similarity(self, comparison):
+        assert comparison.pairwise_tree_similarity("T1", "T2") == pytest.approx(6 / 7)
+
+    def test_max_depth(self, comparison):
+        assert comparison.max_depth() == 4

@@ -1,0 +1,78 @@
+"""Tests for the cookie case study (§5.2)."""
+
+import pytest
+
+from repro.analysis.cookies_analysis import CookieAnalyzer
+from repro.browser.network import CookieRecord, VisitRecord, VisitResult
+from repro.crawler.storage import MeasurementStore
+
+
+def cookie(visit_id, name, domain="e.com", secure=False):
+    return CookieRecord(
+        visit_id=visit_id,
+        name=name,
+        domain=domain,
+        path="/",
+        value="v",
+        secure=secure,
+        http_only=False,
+        same_site="Lax",
+        set_by_url="https://e.com/",
+    )
+
+
+def visit(visit_id, profile, cookies):
+    record = VisitRecord(
+        visit_id=visit_id,
+        profile_name=profile,
+        site="e.com",
+        site_rank=1,
+        page_url="https://e.com/",
+        success=True,
+        started_at=0.0,
+        duration=1.0,
+    )
+    return VisitResult(visit=record, cookies=tuple(cookies))
+
+
+class TestCookieComparison:
+    def make_store(self):
+        store = MeasurementStore()
+        store.store_visit(visit(1, "Sim1", [cookie(1, "shared"), cookie(1, "only1")]))
+        store.store_visit(visit(2, "Sim2", [cookie(2, "shared")]))
+        store.store_visit(visit(3, "NoAction", [cookie(3, "shared")]))
+        return store
+
+    def test_presence_shares(self):
+        report = CookieAnalyzer().analyze(self.make_store(), ["Sim1", "Sim2", "NoAction"])
+        # Distinct identities: shared (3 profiles), only1 (1 profile).
+        assert report.in_all_profiles_share == pytest.approx(0.5)
+        assert report.in_one_profile_share == pytest.approx(0.5)
+        assert report.total_cookies == 4
+
+    def test_page_similarity(self):
+        report = CookieAnalyzer().analyze(self.make_store(), ["Sim1", "Sim2", "NoAction"])
+        # Pairs: (Sim1,Sim2)=1/2, (Sim1,NoAction)=1/2, (Sim2,NoAction)=1.
+        assert report.page_similarity.mean == pytest.approx((0.5 + 0.5 + 1.0) / 3)
+
+    def test_attribute_conflict_detected(self):
+        store = MeasurementStore()
+        store.store_visit(visit(1, "Sim1", [cookie(1, "c", secure=True)]))
+        store.store_visit(visit(2, "Sim2", [cookie(2, "c", secure=False)]))
+        report = CookieAnalyzer().analyze(store, ["Sim1", "Sim2"])
+        assert report.attribute_conflicts == 1
+
+    def test_noaction_similarity_tracked(self):
+        report = CookieAnalyzer().analyze(self.make_store(), ["Sim1", "Sim2", "NoAction"])
+        assert report.noaction_similarity.n >= 1
+
+
+class TestRealDatasetShapes:
+    def test_paper_shapes(self, store, dataset):
+        report = CookieAnalyzer().analyze(store, dataset.profiles)
+        assert report.total_cookies > 0
+        assert 0.0 < report.in_all_profiles_share < 1.0
+        assert 0.0 < report.in_one_profile_share < 1.0
+        # NoAction sets the fewest cookies (paper §5.2).
+        assert report.noaction_cookie_count <= report.cookies_per_profile.maximum
+        assert report.noaction_similarity.mean <= report.page_similarity.mean + 0.05

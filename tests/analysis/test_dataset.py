@@ -1,0 +1,61 @@
+"""Tests for AnalysisDataset construction."""
+
+import pytest
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.errors import AnalysisError
+
+from ..helpers import make_tree_set
+
+
+class TestFromStore:
+    def test_vetting_keeps_only_complete_pages(self, store, filter_list):
+        dataset = AnalysisDataset.from_store(store, filter_list=filter_list)
+        complete = store.pages_crawled_by_all(store.profiles())
+        assert len(dataset) == len(complete)
+        for entry in dataset:
+            assert len(entry.comparison.trees) == len(dataset.profiles)
+
+    def test_without_vetting_more_pages(self, store, filter_list):
+        vetted = AnalysisDataset.from_store(store, filter_list=filter_list)
+        unvetted = AnalysisDataset.from_store(
+            store, filter_list=filter_list, require_all=False
+        )
+        assert len(unvetted) >= len(vetted)
+
+    def test_site_ranks_populated(self, dataset):
+        for entry in dataset:
+            assert entry.site_rank >= 1
+            assert entry.site
+
+    def test_tracking_annotated(self, dataset):
+        assert any(node.is_tracking for node in dataset.iter_nodes())
+
+    def test_node_count(self, dataset):
+        assert dataset.node_count() == sum(len(e.comparison) for e in dataset)
+
+    def test_sites_mapping(self, dataset):
+        sites = dataset.sites()
+        assert sites
+        for entry in dataset:
+            assert sites[entry.site] == entry.site_rank
+
+
+class TestFromTreeSets:
+    def test_basic(self):
+        trees = make_tree_set(
+            "https://site.com/", {"A": {"https://site.com/a.js": None}}
+        )
+        dataset = AnalysisDataset.from_tree_sets([trees])
+        assert len(dataset) == 1
+        assert dataset.profiles == ["A"]
+        assert dataset.entries[0].site == "site.com"
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            AnalysisDataset.from_tree_sets([])
+
+    def test_rank_override(self):
+        trees = make_tree_set("https://site.com/", {"A": {}})
+        dataset = AnalysisDataset.from_tree_sets([trees], site_ranks={"site.com": 77})
+        assert dataset.entries[0].site_rank == 77

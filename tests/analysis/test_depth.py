@@ -1,0 +1,85 @@
+"""Tests for per-depth similarity (Table 3)."""
+
+import pytest
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.analysis.depth import DepthAnalyzer, TABLE3_FILTERS
+
+from ..helpers import make_tree_set
+
+PAGE = "https://site.com/"
+
+
+def small_dataset():
+    structures = {
+        "A": {
+            "https://site.com/a.js": {"https://t.com/p.gif": None},
+            "https://site.com/b.png": None,
+            "https://ads.com/x.js": None,
+        },
+        "B": {
+            "https://site.com/a.js": {"https://t.com/p.gif": None},
+            "https://site.com/b.png": None,
+            "https://other.com/y.js": None,
+        },
+    }
+    return AnalysisDataset.from_tree_sets([make_tree_set(PAGE, structures)])
+
+
+class TestPerDepthValues:
+    def test_values_in_range(self):
+        values = DepthAnalyzer().per_depth_values(small_dataset())
+        assert values
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_depth_one_value(self):
+        # depth 1: {a,b,x} vs {a,b,y} -> 2/4.
+        values = DepthAnalyzer().per_depth_values(small_dataset())
+        assert values[0] == pytest.approx(0.5)
+
+    def test_depth_two_value(self):
+        values = DepthAnalyzer().per_depth_values(small_dataset())
+        assert values[1] == 1.0  # {p.gif} in both
+
+
+class TestTable3:
+    def test_all_rows_present(self, dataset):
+        rows = DepthAnalyzer().table3(dataset)
+        labels = [row.label for row in rows]
+        assert labels == list(TABLE3_FILTERS)
+
+    def test_paper_shape_first_party_more_stable(self, dataset):
+        rows = {row.label: row for row in DepthAnalyzer().table3(dataset)}
+        fp = rows["first-party nodes"].similarity
+        tp = rows["third-party nodes"].similarity
+        assert fp > tp
+
+    def test_paper_shape_common_nodes_most_stable(self, dataset):
+        rows = {row.label: row for row in DepthAnalyzer().table3(dataset)}
+        assert rows["nodes in all trees"].similarity > rows["across all depths (all nodes)"].similarity
+
+    def test_summaries_bounded(self, dataset):
+        for row in DepthAnalyzer().table3(dataset):
+            assert 0.0 <= row.summary.minimum <= row.summary.mean <= row.summary.maximum <= 1.0
+
+
+class TestSameDepthShare:
+    def test_common_nodes_mostly_same_depth(self, dataset):
+        share = DepthAnalyzer().same_depth_share_for_common_nodes(dataset)
+        assert share > 0.85  # the paper reports ~.99
+
+    def test_trivial_dataset(self):
+        share = DepthAnalyzer().same_depth_share_for_common_nodes(small_dataset())
+        assert share == 1.0
+
+
+class TestMeanByDepth:
+    def test_buckets_collapse(self, dataset):
+        by_depth = DepthAnalyzer().mean_similarity_by_depth(dataset, max_depth=3)
+        assert set(by_depth) <= {1, 2, 3}
+        assert all(0.0 <= v <= 1.0 for v in by_depth.values())
+
+    def test_similarity_declines_with_depth(self, dataset):
+        # The paper's central depth finding: deeper levels are less similar.
+        by_depth = DepthAnalyzer().mean_similarity_by_depth(dataset, max_depth=4)
+        assert by_depth[1] > by_depth[4]

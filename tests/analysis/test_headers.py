@@ -1,0 +1,116 @@
+"""Tests for the security-header consistency analysis."""
+
+import pytest
+
+from repro.analysis.headers import HeaderObservation, SecurityHeaderAnalyzer
+from repro.browser.network import ResponseRecord, VisitRecord, VisitResult, RequestRecord
+from repro.crawler.storage import MeasurementStore
+from repro.web.resources import ResourceType
+
+
+def visit_with_headers(visit_id, profile, headers, page="https://e.com/"):
+    visit = VisitRecord(
+        visit_id=visit_id,
+        profile_name=profile,
+        site="e.com",
+        site_rank=1,
+        page_url=page,
+        success=True,
+        started_at=0.0,
+        duration=1.0,
+    )
+    request = RequestRecord(
+        request_id=1,
+        visit_id=visit_id,
+        url=page,
+        top_level_url=page,
+        resource_type=ResourceType.MAIN_FRAME.value,
+        frame_id=0,
+        parent_frame_id=None,
+        timestamp=0.0,
+    )
+    response = ResponseRecord(
+        visit_id=visit_id,
+        request_id=1,
+        status=200,
+        headers=tuple(headers),
+    )
+    return VisitResult(visit=visit, requests=(request,), responses=(response,))
+
+
+HSTS = ("strict-transport-security", "max-age=1")
+CSP_A = ("content-security-policy", "default-src 'self'")
+CSP_B = ("content-security-policy", "default-src *")
+
+
+class TestObservation:
+    def test_consistency_flags(self):
+        obs = HeaderObservation(
+            page_url="p", header="csp", present_in=2, profile_count=2, values=("a",)
+        )
+        assert obs.consistent
+        partial = HeaderObservation(
+            page_url="p", header="csp", present_in=1, profile_count=2, values=("a",)
+        )
+        assert not partial.consistent_presence
+        conflicting = HeaderObservation(
+            page_url="p", header="csp", present_in=2, profile_count=2, values=("a", "b")
+        )
+        assert not conflicting.consistent_value
+
+
+class TestAnalyzer:
+    def test_consistent_page(self):
+        store = MeasurementStore()
+        store.store_visit(visit_with_headers(1, "Sim1", [HSTS, CSP_A]))
+        store.store_visit(visit_with_headers(2, "Sim2", [HSTS, CSP_A]))
+        report = SecurityHeaderAnalyzer().analyze(store, ["Sim1", "Sim2"])
+        assert report.inconsistent_page_share == 0.0
+        assert report.adoption["strict-transport-security"] == 1.0
+        assert report.adoption["x-frame-options"] == 0.0
+
+    def test_presence_lottery_detected(self):
+        store = MeasurementStore()
+        store.store_visit(visit_with_headers(1, "Sim1", [HSTS, CSP_A]))
+        store.store_visit(visit_with_headers(2, "Sim2", [HSTS]))
+        report = SecurityHeaderAnalyzer().analyze(store, ["Sim1", "Sim2"])
+        assert report.presence_lottery_rate["content-security-policy"] == 1.0
+        assert report.inconsistent_page_share == 1.0
+
+    def test_value_lottery_detected(self):
+        store = MeasurementStore()
+        store.store_visit(visit_with_headers(1, "Sim1", [CSP_A]))
+        store.store_visit(visit_with_headers(2, "Sim2", [CSP_B]))
+        report = SecurityHeaderAnalyzer().analyze(store, ["Sim1", "Sim2"])
+        assert report.value_lottery_rate["content-security-policy"] == 1.0
+        assert report.presence_lottery_rate["content-security-policy"] == 0.0
+
+    def test_real_pipeline(self, store, dataset):
+        report = SecurityHeaderAnalyzer().analyze(store, dataset.profiles)
+        assert report.pages == len(dataset)
+        for header, value in report.adoption.items():
+            assert 0.0 <= value <= 1.0
+        # Stable headers never play the lottery.
+        assert report.presence_lottery_rate["x-content-type-options"] == 0.0
+
+
+class TestStorageResponses:
+    def test_roundtrip(self, store):
+        visit = next(store.iter_visits())
+        responses = store.responses_for_visit(visit.visit_id)
+        requests = store.requests_for_visit(visit.visit_id)
+        assert len(responses) == len(requests)
+        doc = store.document_response(visit.visit_id)
+        assert doc is not None
+        assert doc.header("content-type") == "text/html"
+
+    def test_redirect_hops_are_302(self, store):
+        for visit in store.iter_visits():
+            redirects = store.redirects_for_visit(visit.visit_id)
+            if not redirects:
+                continue
+            responses = {r.request_id: r for r in store.responses_for_visit(visit.visit_id)}
+            for redirect in redirects:
+                assert responses[redirect.from_request_id].status == 302
+            return
+        pytest.skip("no redirects in fixture crawl")

@@ -1,0 +1,75 @@
+"""Tests for the Jaccard machinery."""
+
+import pytest
+
+from repro.analysis.jaccard import (
+    jaccard,
+    overlap_count,
+    pairwise_jaccard_matrix,
+    pairwise_mean_jaccard,
+)
+
+
+class TestJaccard:
+    def test_equal_sets(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(2 / 4)
+
+    def test_empty_sets_are_equal(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard({1}, set()) == 0.0
+
+    def test_symmetry(self):
+        a, b = {1, 2, 5}, {2, 3}
+        assert jaccard(a, b) == jaccard(b, a)
+
+
+class TestPairwiseMean:
+    def test_single_set(self):
+        assert pairwise_mean_jaccard([{1, 2}]) == 1.0
+
+    def test_two_sets(self):
+        assert pairwise_mean_jaccard([{1, 2}, {2, 3}]) == pytest.approx(1 / 3)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_mean_jaccard([])
+
+    def test_appendix_d_depth_one(self):
+        """The paper's worked example (Appendix D): depth-one sets
+        {a,b,c}, {a,c}, {a,b,c} give (2/3 + 1 + 2/3)/3 ≈ .77."""
+        sets = [{"a", "b", "c"}, {"a", "c"}, {"a", "b", "c"}]
+        expected = (2 / 3 + 1.0 + 2 / 3) / 3
+        assert pairwise_mean_jaccard(sets) == pytest.approx(expected)
+        assert round(pairwise_mean_jaccard(sets), 2) == 0.78  # the paper rounds to .77
+
+    def test_appendix_d_parent_of_e(self):
+        """Parent sets of node *e*: {d}, {d}, {} → (1+0+0)/3 = .33 (paper: .3)."""
+        sets = [{"d"}, {"d"}, set()]
+        assert pairwise_mean_jaccard(sets) == pytest.approx(1 / 3)
+
+    def test_five_identical_sets(self):
+        assert pairwise_mean_jaccard([{1, 2}] * 5) == 1.0
+
+
+class TestMatrix:
+    def test_matrix_symmetric_unit_diagonal(self):
+        matrix = pairwise_jaccard_matrix([{1}, {1, 2}, {3}])
+        assert matrix[0][0] == matrix[1][1] == matrix[2][2] == 1.0
+        assert matrix[0][1] == matrix[1][0] == pytest.approx(0.5)
+        assert matrix[0][2] == 0.0
+
+
+class TestOverlapCount:
+    def test_counts(self):
+        sets = [{1, 2}, {2}, {3}]
+        assert overlap_count(sets, 2) == 2
+        assert overlap_count(sets, 1) == 1
+        assert overlap_count(sets, 9) == 0

@@ -1,0 +1,57 @@
+"""Tests for first-/third-party context analysis (§4.3)."""
+
+import pytest
+
+from repro.analysis.parties import PartyAnalyzer
+
+
+class TestPartyShares:
+    def test_shares_sum_to_one(self, dataset):
+        result = PartyAnalyzer().analyze(dataset)
+        total = result.first_party.node_share + result.third_party.node_share
+        assert total == pytest.approx(1.0)
+
+    def test_third_party_majority(self, dataset):
+        # Paper: 68% of nodes load in a third-party context.
+        result = PartyAnalyzer().analyze(dataset)
+        assert result.third_party.node_share > 0.5
+
+
+class TestStabilityShapes:
+    def test_first_party_children_more_similar(self, dataset):
+        result = PartyAnalyzer().analyze(dataset)
+        assert result.first_party.child_similarity is not None
+        assert result.third_party.child_similarity is not None
+        assert (
+            result.first_party.child_similarity.mean
+            > result.third_party.child_similarity.mean
+        )
+
+    def test_first_party_presence_higher_at_depth_one(self, dataset):
+        result = PartyAnalyzer().analyze(dataset)
+        assert (
+            result.first_party.depth_one_presence_mean
+            > result.third_party.depth_one_presence_mean
+        )
+
+    def test_third_party_presence_drops_deeper(self, dataset):
+        result = PartyAnalyzer().analyze(dataset)
+        assert (
+            result.third_party.deeper_presence_mean
+            < result.third_party.depth_one_presence_mean
+        )
+
+    def test_third_party_more_children_and_requests(self, dataset):
+        result = PartyAnalyzer().analyze(dataset)
+        assert result.children_increase > 0.0
+        assert result.third_party.distinct_domains > 3
+
+
+class TestDepthDominance:
+    def test_third_party_share_grows_with_depth(self, dataset):
+        shares = PartyAnalyzer().party_share_by_depth(dataset)
+        assert shares[0] == 0.0  # the visited page itself
+        deep = max(shares)
+        # Paper: from depth three on, third parties dominate (~95%).
+        assert shares[deep] > 0.7
+        assert shares[deep] > shares[1]

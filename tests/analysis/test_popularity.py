@@ -1,0 +1,33 @@
+"""Tests for the popularity-bucket analysis (Table 7 / Appendix F)."""
+
+import pytest
+
+from repro.analysis.popularity import PopularityAnalyzer
+
+
+class TestBuckets:
+    def test_rows_cover_crawled_buckets(self, dataset):
+        report = PopularityAnalyzer().analyze(dataset)
+        assert report.rows
+        ranks = {entry.site_rank for entry in dataset}
+        assert len(report.rows) <= 5
+        assert sum(row.page_count for row in report.rows) == len(dataset)
+        assert ranks  # sanity
+
+    def test_values_bounded(self, dataset):
+        for row in PopularityAnalyzer().analyze(dataset).rows:
+            assert row.mean_nodes > 0
+            assert 0.0 <= row.child_similarity <= 1.0
+            assert 0.0 <= row.parent_similarity <= 1.0
+
+    def test_similarity_stable_across_buckets(self, dataset):
+        # Paper: similarities are nearly identical across buckets.
+        rows = PopularityAnalyzer().analyze(dataset).rows
+        sims = [row.child_similarity for row in rows if row.page_count >= 2]
+        if len(sims) >= 2:
+            assert max(sims) - min(sims) < 0.35
+
+    def test_effect_size_negligible_when_computed(self, dataset):
+        report = PopularityAnalyzer().analyze(dataset)
+        if report.similarity_effect_size is not None:
+            assert report.similarity_effect_size < 0.5

@@ -1,0 +1,72 @@
+"""Tests for the within/between-setup variance decomposition."""
+
+import pytest
+
+from repro.analysis.replication import ReplicationAnalyzer
+from repro.blocklist import build_filter_list
+from repro.browser.profile import PROFILE_NOACTION, PROFILE_SIM1, PROFILE_SIM2
+from repro.crawler import Commander, MeasurementStore
+from repro.web import WebConfig, WebGenerator
+
+
+@pytest.fixture(scope="module")
+def repeated_crawl():
+    generator = WebGenerator(seed=71, config=WebConfig(subpages_per_site=3))
+    store = MeasurementStore()
+    commander = Commander(
+        generator,
+        store,
+        profiles=(PROFILE_SIM1, PROFILE_SIM2, PROFILE_NOACTION),
+        max_pages_per_site=3,
+        repeat_visits=2,
+    )
+    commander.run(ranks=[1, 2, 3])
+    return generator, store
+
+
+class TestCommanderRepeatVisits:
+    def test_each_profile_visits_twice(self, repeated_crawl):
+        _, store = repeated_crawl
+        page = store.pages()[0]
+        visits = store.visits_for_page(page)
+        per_profile = {}
+        for visit in visits:
+            per_profile.setdefault(visit.profile_name, 0)
+            per_profile[visit.profile_name] += 1
+        assert all(count == 2 for count in per_profile.values())
+
+    def test_invalid_repeat_rejected(self):
+        from repro.errors import CrawlError
+
+        generator = WebGenerator(seed=71)
+        with pytest.raises(CrawlError):
+            Commander(generator, MeasurementStore(), repeat_visits=0)
+
+
+class TestReplicationAnalyzer:
+    def test_report_shapes(self, repeated_crawl):
+        generator, store = repeated_crawl
+        analyzer = ReplicationAnalyzer(filter_list=build_filter_list(generator.ecosystem))
+        report = analyzer.analyze(store, ["Sim1", "Sim2", "NoAction"])
+        assert report.pages > 0
+        assert 0.0 <= report.between.mean <= report.within.mean <= 1.0
+        assert report.setup_effect >= 0.0 or abs(report.setup_effect) < 0.1
+        assert 0.0 <= report.noise_share <= 1.0
+        assert set(report.per_profile_within) == {"Sim1", "Sim2", "NoAction"}
+
+    def test_identical_setups_within_band(self, repeated_crawl):
+        generator, store = repeated_crawl
+        analyzer = ReplicationAnalyzer()
+        report = analyzer.analyze(store, ["Sim1", "Sim2", "NoAction"])
+        sim1 = report.per_profile_within["Sim1"]
+        sim2 = report.per_profile_within["Sim2"]
+        assert abs(sim1 - sim2) < 0.25
+
+    def test_single_visit_crawl_rejected(self):
+        generator = WebGenerator(seed=72, config=WebConfig(subpages_per_site=2))
+        store = MeasurementStore()
+        Commander(
+            generator, store, profiles=(PROFILE_SIM1, PROFILE_SIM2), max_pages_per_site=2
+        ).run(ranks=[1])
+        with pytest.raises(ValueError):
+            ReplicationAnalyzer().analyze(store, ["Sim1", "Sim2"])

@@ -1,0 +1,80 @@
+"""Tests for per-resource-type analysis (Table 4, Figures 5 and 7)."""
+
+import pytest
+
+from repro.analysis.resource_types import FIGURE5_TYPES, ResourceTypeAnalyzer, _bin_upper
+from repro.web.resources import ResourceType
+
+
+class TestTypeRows:
+    def test_rows_cover_deep_types(self, dataset):
+        rows = ResourceTypeAnalyzer().type_rows(dataset)
+        types = {row.resource_type for row in rows}
+        assert ResourceType.BEACON in types or ResourceType.IMAGE in types
+        for row in rows:
+            assert 0.0 <= row.same_chain_share <= 1.0
+            assert 0.0 <= row.mean_parent_similarity <= 1.0
+
+    def test_table4a_sorted_descending(self, dataset):
+        rows = ResourceTypeAnalyzer().table4a(dataset)
+        shares = [row.same_chain_share for row in rows]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_table4b_sorted_ascending(self, dataset):
+        rows = ResourceTypeAnalyzer().table4b(dataset)
+        similarities = [row.mean_parent_similarity for row in rows]
+        assert similarities == sorted(similarities)
+
+    def test_top_limit(self, dataset):
+        assert len(ResourceTypeAnalyzer().table4a(dataset, top=2)) <= 2
+
+
+class TestFigure5:
+    def test_shares_per_bin_sum_to_one(self, dataset):
+        composition = ResourceTypeAnalyzer().page_similarity_composition(dataset)
+        for shares in composition.values():
+            assert sum(shares.values()) == pytest.approx(1.0)
+            assert set(shares) == set(FIGURE5_TYPES)
+
+    def test_child_kind(self, dataset):
+        composition = ResourceTypeAnalyzer().page_similarity_composition(
+            dataset, kind="child"
+        )
+        assert composition
+
+    def test_bad_kind_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            ResourceTypeAnalyzer().page_similarity_composition(dataset, kind="bogus")
+
+    def test_bin_upper(self):
+        assert _bin_upper(0.05, 9) == pytest.approx(0.1)
+        assert _bin_upper(0.95, 9) == pytest.approx(1.0)
+        assert _bin_upper(1.0, 9) == pytest.approx(1.0)
+
+
+class TestFigure7:
+    def test_structure(self, dataset):
+        data = ResourceTypeAnalyzer().similarity_by_type_and_depth(dataset)
+        assert data
+        for per_depth in data.values():
+            for child_sim, parent_sim in per_depth.values():
+                assert 0.0 <= child_sim <= 1.0
+                assert 0.0 <= parent_sim <= 1.0
+
+
+class TestSubframeImpact:
+    def test_paper_shape(self, dataset):
+        impact = ResourceTypeAnalyzer().subframe_impact(dataset)
+        with_frames = impact["with_subframes"]["parent"]
+        without = impact["without_subframes"]["parent"]
+        # Pages without subframes show higher similarity (paper §4.2) —
+        # when both groups are populated.
+        if with_frames is not None and without is not None:
+            assert without >= with_frames - 0.05
+
+
+class TestSignificance:
+    def test_type_effect_significant(self, dataset):
+        result = ResourceTypeAnalyzer().type_effect_test(dataset)
+        assert result.test_name == "kruskal-wallis"
+        assert 0.0 <= result.p_value <= 1.0

@@ -1,0 +1,50 @@
+"""Tests for the tracking-request case study (§5.3)."""
+
+import pytest
+
+from repro.analysis.tracking import TrackingAnalyzer
+
+
+class TestTrackingReport:
+    def test_share_bounds(self, dataset):
+        report = TrackingAnalyzer().analyze(dataset)
+        # Paper: 22% of nodes are tracking; our synthetic web lands nearby.
+        assert 0.1 < report.tracking_node_share < 0.6
+
+    def test_tracking_less_stable_children(self, dataset):
+        report = TrackingAnalyzer().analyze(dataset)
+        assert report.child_similarity_tracking is not None
+        assert report.child_similarity_non_tracking is not None
+        assert (
+            report.child_similarity_tracking.mean
+            < report.child_similarity_non_tracking.mean
+        )
+
+    def test_tracking_parent_similarity_lower(self, dataset):
+        report = TrackingAnalyzer().analyze(dataset)
+        assert (
+            report.parent_similarity_tracking.mean
+            <= report.parent_similarity_non_tracking.mean + 0.05
+        )
+
+    def test_depth_distribution_sums_to_one(self, dataset):
+        report = TrackingAnalyzer().analyze(dataset)
+        assert sum(report.depth_distribution.values()) == pytest.approx(1.0)
+
+    def test_trackers_triggered_by_trackers(self, dataset):
+        report = TrackingAnalyzer().analyze(dataset)
+        # Paper: 65% of tracking requests are triggered by other trackers.
+        assert report.triggered_by_tracker_share > 0.3
+
+    def test_parent_type_shares(self, dataset):
+        report = TrackingAnalyzer().analyze(dataset)
+        assert sum(report.parent_type_shares.values()) == pytest.approx(1.0)
+        assert "script" in report.parent_type_shares
+
+
+class TestSameChainContrast:
+    def test_non_tracking_more_deterministic(self, dataset):
+        contrast = TrackingAnalyzer().same_chain_contrast(dataset)
+        # Paper: 28% of tracking nodes vs 66% of non-tracking nodes keep
+        # the same parents; we require the same ordering.
+        assert contrast["non_tracking"] >= contrast["tracking"]

@@ -1,0 +1,83 @@
+"""Tests for tree-level statistics (Table 2, Figures 1 and 3)."""
+
+import pytest
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.analysis.treestats import TreeStatsAnalyzer
+
+from ..helpers import make_tree_set
+
+PAGE = "https://site.com/"
+
+
+def tiny_dataset():
+    structures = {
+        "A": {
+            "https://site.com/a.js": {"https://t.com/p.gif": None},
+            "https://site.com/b.png": None,
+        },
+        "B": {
+            "https://site.com/a.js": None,
+            "https://x.com/only-b.js": None,
+        },
+    }
+    return AnalysisDataset.from_tree_sets([make_tree_set(PAGE, structures)])
+
+
+class TestOverview:
+    def test_tree_dimensions(self):
+        overview = TreeStatsAnalyzer().overview(tiny_dataset())
+        assert overview.tree_count == 2
+        assert overview.nodes.mean == pytest.approx(2.5)  # 3 and 2 nodes
+        assert overview.depth.maximum == 2
+
+    def test_presence_shares(self):
+        overview = TreeStatsAnalyzer().overview(tiny_dataset())
+        # keys: a (2 profiles), p.gif (1), b.png (1), only-b (1) -> 4 keys.
+        assert overview.node_count == 4
+        assert overview.mean_presence == pytest.approx(5 / 4)
+        assert overview.present_in_all_share == pytest.approx(1 / 4)
+        assert overview.present_in_one_share == pytest.approx(3 / 4)
+
+    def test_real_dataset_shapes(self, dataset):
+        overview = TreeStatsAnalyzer().overview(dataset)
+        assert overview.nodes.mean > 10
+        assert 1 <= overview.depth.mean <= overview.depth.maximum
+        # The paper's headline: mean presence between 3 and 4 of 5 profiles,
+        # with both fully-stable and one-profile nodes present.
+        assert 2.5 < overview.mean_presence < 4.8
+        assert overview.present_in_all_share > 0.2
+        assert overview.present_in_one_share > 0.05
+
+
+class TestDistributions:
+    def test_depth_breadth_cells(self, dataset):
+        cells = TreeStatsAnalyzer().depth_breadth_distribution(dataset)
+        assert sum(cells.values()) == len(dataset) * len(dataset.profiles)
+
+    def test_shallow_broad_share_bounds(self, dataset):
+        share = TreeStatsAnalyzer().shallow_broad_share(dataset)
+        assert 0.0 <= share <= 1.0
+
+    def test_pairwise_variation(self, dataset):
+        variation = TreeStatsAnalyzer().pairwise_data_variation(dataset)
+        # Paper: 48% of underlying data varies between two profiles.
+        assert 0.1 < variation < 0.7
+
+
+class TestComposition:
+    def test_composition_shares_sum_to_one(self, dataset):
+        rows = TreeStatsAnalyzer().composition_by_depth(dataset)
+        for row in rows:
+            assert row.first_party + row.third_party == pytest.approx(1.0)
+            assert row.tracking + row.non_tracking == pytest.approx(1.0)
+
+    def test_depth_zero_is_first_party(self, dataset):
+        rows = {row.depth: row for row in TreeStatsAnalyzer().composition_by_depth(dataset)}
+        assert rows[0].first_party == 1.0
+
+    def test_third_party_dominates_deep_levels(self, dataset):
+        rows = {row.depth: row for row in TreeStatsAnalyzer().composition_by_depth(dataset)}
+        deep = max(rows)
+        assert rows[deep].third_party > rows[1].third_party
+        assert rows[deep].third_party > 0.5

@@ -1,0 +1,57 @@
+"""Tests for the implicit-trust analysis."""
+
+import pytest
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.analysis.trust import ImplicitTrustAnalyzer
+
+from ..helpers import make_tree_set
+
+PAGE = "https://site.com/"
+
+
+def trust_dataset():
+    structure = {
+        # Explicit: ads.com at depth 1. Implicit: trk.com at depth 2.
+        "https://ads.com/a.js": {"https://trk.com/p.gif": None},
+        "https://site.com/own.js": None,
+    }
+    return AnalysisDataset.from_tree_sets(
+        [make_tree_set(PAGE, {"A": structure, "B": structure})]
+    )
+
+
+class TestShares:
+    def test_explicit_implicit_split(self):
+        report = ImplicitTrustAnalyzer().analyze(trust_dataset())
+        # Per tree: ads.com explicit, trk.com implicit; two trees.
+        assert report.explicit_third_party_share == pytest.approx(0.5)
+        assert report.implicit_third_party_share == pytest.approx(0.5)
+
+    def test_chain_depth(self):
+        report = ImplicitTrustAnalyzer().analyze(trust_dataset())
+        assert report.chain_depth.mean == pytest.approx(2.0)
+
+    def test_top_entities(self):
+        report = ImplicitTrustAnalyzer().analyze(trust_dataset())
+        assert report.top_implicit_entities[0][0] == "trk.com"
+
+    def test_identical_trees_full_similarity(self):
+        report = ImplicitTrustAnalyzer().analyze(trust_dataset())
+        assert report.exposure_similarity.mean == 1.0
+        assert report.implicit_exposure_similarity.mean == 1.0
+
+
+class TestRealDataset:
+    def test_paper_shape_implicit_majority(self, dataset):
+        # Third-party content is dominated by implicit trust (the deep,
+        # unstable levels the paper highlights).
+        report = ImplicitTrustAnalyzer().analyze(dataset)
+        assert report.implicit_third_party_share > 0.5
+        assert report.chain_depth.mean >= 2.0
+        assert report.implicit_sites_per_page.mean > 1.0
+
+    def test_similarities_bounded(self, dataset):
+        report = ImplicitTrustAnalyzer().analyze(dataset)
+        assert 0.0 <= report.implicit_exposure_similarity.mean <= 1.0
+        assert 0.0 <= report.exposure_similarity.mean <= 1.0

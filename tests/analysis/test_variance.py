@@ -1,0 +1,112 @@
+"""Tests for the measurement-variance metrics."""
+
+import pytest
+
+from repro.analysis.comparison import PageComparison
+from repro.analysis.dataset import AnalysisDataset
+from repro.analysis.variance import VarianceAnalyzer, bootstrap_ci
+from repro.analysis.horizontal import page_child_similarity
+
+from ..helpers import make_tree_set
+
+PAGE = "https://site.com/"
+
+
+def identical_comparison():
+    structure = {
+        "https://site.com/a.js": {"https://t.com/p.gif": None},
+        "https://site.com/b.png": None,
+    }
+    return PageComparison(make_tree_set(PAGE, {"A": structure, "B": structure}))
+
+
+def disjoint_comparison():
+    return PageComparison(
+        make_tree_set(
+            PAGE,
+            {
+                "A": {"https://only-a.com/x.js": None},
+                "B": {"https://only-b.com/y.js": None},
+            },
+        )
+    )
+
+
+class TestFluctuationScore:
+    def test_identical_trees_score_zero(self):
+        score = VarianceAnalyzer().fluctuation(identical_comparison())
+        assert score.score == pytest.approx(0.0)
+        assert score.band() == "stable"
+
+    def test_disjoint_trees_score_high(self):
+        score = VarianceAnalyzer().fluctuation(disjoint_comparison())
+        assert score.score > 0.3
+        assert score.presence == pytest.approx(0.5)
+
+    def test_components_bounded(self, dataset):
+        analyzer = VarianceAnalyzer()
+        for entry in dataset:
+            score = analyzer.fluctuation(entry.comparison)
+            assert 0.0 <= score.presence <= 1.0
+            assert 0.0 <= score.children <= 1.0
+            assert 0.0 <= score.parents <= 1.0
+            assert 0.0 <= score.score <= 1.0
+
+    def test_summary_over_dataset(self, dataset):
+        summary = VarianceAnalyzer().fluctuation_summary(dataset)
+        assert 0.0 < summary.mean < 1.0
+
+
+class TestCoverageCurve:
+    def test_reaches_one_at_full_subset(self):
+        curve = VarianceAnalyzer().coverage_curve(disjoint_comparison())
+        assert curve.coverage[2] == 1.0
+        assert curve.coverage[1] == pytest.approx(0.5)
+
+    def test_monotone_nondecreasing(self, dataset):
+        analyzer = VarianceAnalyzer()
+        for entry in dataset:
+            curve = analyzer.coverage_curve(entry.comparison)
+            values = [curve.coverage[k] for k in sorted(curve.coverage)]
+            assert values == sorted(values)
+            assert values[-1] == pytest.approx(1.0)
+
+    def test_profiles_needed(self):
+        curve = VarianceAnalyzer().coverage_curve(disjoint_comparison())
+        assert curve.profiles_needed(0.9) == 2
+        assert curve.profiles_needed(0.4) == 1
+
+    def test_mean_curve_and_needed(self, dataset):
+        analyzer = VarianceAnalyzer()
+        curve = analyzer.mean_coverage_curve(dataset)
+        assert set(curve) == {1, 2, 3, 4, 5}
+        assert curve[5] == pytest.approx(1.0)
+        # A single profile is never enough at 95% (the paper's point).
+        needed = analyzer.profiles_needed(dataset, target=0.95)
+        assert needed is None or needed >= 2
+
+    def test_identical_trees_covered_by_one(self):
+        curve = VarianceAnalyzer().coverage_curve(identical_comparison())
+        assert curve.single_profile_coverage == pytest.approx(1.0)
+
+
+class TestBootstrap:
+    def test_point_within_interval(self, dataset):
+        point, low, high = bootstrap_ci(
+            dataset, page_child_similarity, iterations=200, seed=1
+        )
+        assert low <= point <= high
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_deterministic_given_seed(self, dataset):
+        a = bootstrap_ci(dataset, page_child_similarity, iterations=100, seed=7)
+        b = bootstrap_ci(dataset, page_child_similarity, iterations=100, seed=7)
+        assert a == b
+
+    def test_bad_confidence(self, dataset):
+        with pytest.raises(ValueError):
+            bootstrap_ci(dataset, page_child_similarity, confidence=1.5)
+
+    def test_empty_statistic_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            bootstrap_ci(dataset, lambda _: None)

@@ -1,0 +1,128 @@
+"""Tests for the vertical (chains and parents) analysis."""
+
+import pytest
+
+from repro.analysis.comparison import PageComparison
+from repro.analysis.vertical import VerticalAnalyzer, page_parent_similarity
+
+from ..helpers import make_tree_set
+
+PAGE = "https://site.com/"
+
+
+def comparison_with(structures):
+    return PageComparison(make_tree_set(PAGE, structures))
+
+
+@pytest.fixture()
+def divergent_parent_comparison():
+    """lib.js loaded by a.js in profile A but by b.js in profile B."""
+    return comparison_with(
+        {
+            "A": {
+                "https://site.com/a.js": {"https://cdn.com/lib.js": None},
+                "https://site.com/b.js": None,
+            },
+            "B": {
+                "https://site.com/a.js": None,
+                "https://site.com/b.js": {"https://cdn.com/lib.js": None},
+            },
+        }
+    )
+
+
+class TestChainRecords:
+    def test_same_chain_flag(self):
+        comp = comparison_with(
+            {
+                "A": {"https://site.com/a.js": {"https://t.com/p.gif": None}},
+                "B": {"https://site.com/a.js": {"https://t.com/p.gif": None}},
+            }
+        )
+        records = {r.key: r for r in VerticalAnalyzer().analyze_page(comp)}
+        assert records["https://t.com/p.gif"].same_chain
+        assert records["https://t.com/p.gif"].same_parent
+
+    def test_divergent_chain_detected(self, divergent_parent_comparison):
+        records = {
+            r.key: r for r in VerticalAnalyzer().analyze_page(divergent_parent_comparison)
+        }
+        lib = records["https://cdn.com/lib.js"]
+        assert not lib.same_chain
+        assert not lib.same_parent
+        assert lib.unique_chains == 2
+        assert lib.same_depth  # both at depth 2
+
+    def test_parent_similarity_value(self, divergent_parent_comparison):
+        records = {
+            r.key: r for r in VerticalAnalyzer().analyze_page(divergent_parent_comparison)
+        }
+        assert records["https://cdn.com/lib.js"].parent_similarity == 0.0
+
+
+class TestChainStatistics:
+    def test_headline_numbers(self):
+        comp = comparison_with(
+            {
+                "A": {
+                    "https://site.com/a.js": {"https://t.com/p.gif": None},
+                    "https://site.com/b.js": {"https://u.com/q.gif": None},
+                },
+                "B": {
+                    "https://site.com/a.js": {"https://t.com/p.gif": None},
+                    # q.gif loaded by a different parent in B:
+                    "https://site.com/b.js": None,
+                    "https://site.com/c.js": {"https://u.com/q.gif": None},
+                },
+            }
+        )
+        analyzer = VerticalAnalyzer()
+        records = analyzer.analyze_page(comp)
+        stats = analyzer.chain_statistics(records)
+        # In-all nodes: a.js, b.js, p.gif (same chain) and q.gif (divergent).
+        assert stats.nodes_considered == 4
+        assert stats.same_chain_share == pytest.approx(3 / 4)
+        assert stats.unique_chain_share == pytest.approx(1 / 4)
+
+    def test_beyond_depth_one_restriction(self):
+        comp = comparison_with(
+            {
+                "A": {"https://site.com/a.js": {"https://t.com/p.gif": None}},
+                "B": {"https://site.com/a.js": {"https://t.com/p.gif": None}},
+            }
+        )
+        analyzer = VerticalAnalyzer()
+        stats = analyzer.chain_statistics(analyzer.analyze_page(comp))
+        assert stats.same_chain_share_beyond_depth_one == 1.0
+        assert 2 in stats.same_chain_depth_distribution
+
+    def test_same_parent_share(self, divergent_parent_comparison):
+        analyzer = VerticalAnalyzer()
+        records = analyzer.analyze_page(divergent_parent_comparison)
+        # Only lib.js is at depth >= 2 and in all trees; its parent differs.
+        assert analyzer.same_parent_share(records) == 0.0
+
+    def test_divergent_parent_similarity(self, divergent_parent_comparison):
+        analyzer = VerticalAnalyzer()
+        records = analyzer.analyze_page(divergent_parent_comparison)
+        assert analyzer.divergent_parent_similarity(records) == 0.0
+
+
+class TestPageParentSimilarity:
+    def test_perfect_page(self):
+        comp = comparison_with(
+            {
+                "A": {"https://site.com/a.js": None},
+                "B": {"https://site.com/a.js": None},
+            }
+        )
+        assert page_parent_similarity(comp) == 1.0
+
+    def test_dataset_wide(self, dataset):
+        analyzer = VerticalAnalyzer()
+        records = analyzer.all_records(dataset)
+        stats = analyzer.chain_statistics(records)
+        assert 0.0 < stats.same_chain_share <= 1.0
+        # The paper's key §4.2 shape: restricting to depth >= 2 lowers the
+        # same-chain share (depth-one chains are trivially identical).
+        assert stats.same_chain_share_beyond_depth_one <= stats.same_chain_share

@@ -1,0 +1,75 @@
+"""Property-based tests for the filter-list engine."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.blocklist.matcher import FilterList, MatchContext
+from repro.blocklist.parser import parse_filter
+from repro.web.resources import ResourceType
+
+_label = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=10)
+_domain = st.builds(
+    lambda labels, tld: ".".join(labels + [tld]),
+    st.lists(_label, min_size=1, max_size=2),
+    st.sampled_from(["com", "net", "org", "io"]),
+)
+_path = st.lists(_label, min_size=0, max_size=3).map(lambda parts: "/" + "/".join(parts))
+
+
+@given(_domain)
+def test_domain_anchor_matches_own_domain(domain):
+    flt = parse_filter(f"||{domain}^")
+    assert flt.matches_url(f"https://{domain}/anything")
+    assert flt.matches_url(f"https://sub.{domain}/x")
+
+
+@given(_domain, _domain)
+def test_domain_anchor_rejects_other_domains(domain_a, domain_b):
+    assume(domain_a != domain_b)
+    assume(not domain_b.endswith("." + domain_a))
+    flt = parse_filter(f"||{domain_a}^")
+    assert not flt.matches_url(f"https://{domain_b}/x")
+
+
+@given(_domain, _path)
+def test_blocking_deterministic(domain, path):
+    flt = FilterList.from_text(f"||{domain}^\n")
+    url = f"https://{domain}{path}"
+    assert flt.is_tracking(url) == flt.is_tracking(url)
+
+
+@given(_domain)
+def test_exception_always_wins(domain):
+    text = f"||{domain}^\n@@||{domain}^\n"
+    flt = FilterList.from_text(text)
+    assert not flt.is_tracking(f"https://{domain}/x")
+
+
+@given(_domain, st.sampled_from(list(ResourceType)))
+def test_type_option_restricts(domain, rtype):
+    flt = FilterList.from_text(f"||{domain}^$script\n")
+    blocked = flt.is_tracking(f"https://{domain}/x", resource_type=rtype)
+    assert blocked == (rtype is ResourceType.SCRIPT)
+
+
+@given(_domain, _domain)
+@settings(max_examples=40)
+def test_third_party_option_consistent_with_psl(tracker, page):
+    from repro.web import psl
+
+    flt = FilterList.from_text(f"||{tracker}^$third-party\n")
+    url = f"https://{tracker}/x"
+    page_url = f"https://{page}/"
+    blocked = flt.is_tracking(url, page_url=page_url)
+    is_third = not psl.same_site(tracker, page)
+    assert blocked == is_third
+
+
+@given(_domain, _path)
+def test_match_context_without_page_is_safe(domain, path):
+    flt = FilterList.from_text(f"||{domain}^$third-party\n/pixel.gif?\n")
+    # No page context: the third-party filter cannot fire, generic can.
+    result = flt.match(f"https://{domain}{path}", MatchContext())
+    assert result.blocked in (True, False)

@@ -1,0 +1,56 @@
+"""Tests for the synthetic EasyList generator."""
+
+from repro.blocklist.easylist import build_filter_list, generate_easylist
+from repro.web.entities import EntityCategory, build_ecosystem
+from repro.web.resources import ResourceType
+
+
+class TestGeneration:
+    def test_header_present(self):
+        ecosystem = build_ecosystem(seed=1)
+        text = generate_easylist(ecosystem)
+        assert text.startswith("[Adblock Plus 2.0]")
+
+    def test_all_tracking_domains_covered(self):
+        ecosystem = build_ecosystem(seed=1)
+        flt = build_filter_list(ecosystem)
+        for domain in ecosystem.tracking_domains():
+            url = f"https://{domain}/anything.js"
+            entity = ecosystem.entity_for_domain(domain)
+            page = "https://somepublisher.com/"
+            assert flt.is_tracking(url, page_url=page), (domain, entity.category)
+
+    def test_non_tracking_domains_not_covered(self):
+        ecosystem = build_ecosystem(seed=1)
+        flt = build_filter_list(ecosystem)
+        for category in (EntityCategory.CDN, EntityCategory.FONT_PROVIDER, EntityCategory.SOCIAL):
+            for entity in ecosystem.by_category(category):
+                url = f"https://{entity.primary_domain}/asset.png"
+                assert not flt.is_tracking(url, page_url="https://pub.com/")
+
+    def test_analytics_first_party_not_blocked(self):
+        ecosystem = build_ecosystem(seed=1)
+        flt = build_filter_list(ecosystem)
+        analytics = ecosystem.by_category(EntityCategory.ANALYTICS)[0]
+        url = f"https://{analytics.primary_domain}/analytics.js"
+        assert not flt.is_tracking(url, page_url=f"https://{analytics.primary_domain}/")
+        assert flt.is_tracking(url, page_url="https://pub.com/")
+
+    def test_consent_stub_allowlisted(self):
+        ecosystem = build_ecosystem(seed=1)
+        flt = build_filter_list(ecosystem)
+        consent = ecosystem.by_category(EntityCategory.CONSENT)[0]
+        url = f"https://{consent.primary_domain}/cmp/stub.js"
+        assert not flt.is_tracking(
+            url, resource_type=ResourceType.SCRIPT, page_url="https://pub.com/"
+        )
+
+    def test_generic_patterns_present(self):
+        ecosystem = build_ecosystem(seed=1)
+        flt = build_filter_list(ecosystem)
+        assert flt.is_tracking("https://unknown-host.net/pixel.gif?uid=9")
+        assert flt.is_tracking("https://unknown-host.net/sync?partner=x")
+
+    def test_deterministic(self):
+        eco = build_ecosystem(seed=2)
+        assert generate_easylist(eco) == generate_easylist(eco)

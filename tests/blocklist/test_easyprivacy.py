@@ -1,0 +1,53 @@
+"""Tests for the EasyPrivacy-style companion list."""
+
+from repro.blocklist import (
+    build_combined_list,
+    build_easyprivacy_list,
+    build_filter_list,
+    generate_easyprivacy,
+)
+from repro.web.entities import EntityCategory, build_ecosystem
+from repro.web.resources import ResourceType
+
+
+class TestEasyPrivacy:
+    def test_covers_trackers_and_analytics(self):
+        ecosystem = build_ecosystem(seed=1)
+        flt = build_easyprivacy_list(ecosystem)
+        tracker = ecosystem.by_category(EntityCategory.TRACKER)[0]
+        assert flt.is_tracking(f"https://{tracker.primary_domain}/x")
+
+    def test_does_not_cover_ad_networks(self):
+        # The division of labour: ads are EasyList's, tracking EasyPrivacy's.
+        ecosystem = build_ecosystem(seed=1)
+        flt = build_easyprivacy_list(ecosystem)
+        ad_network = ecosystem.by_category(EntityCategory.AD_NETWORK)[0]
+        assert not flt.is_tracking(f"https://{ad_network.primary_domain}/ads/x.js")
+
+    def test_social_telemetry_covered(self):
+        ecosystem = build_ecosystem(seed=1)
+        flt = build_easyprivacy_list(ecosystem)
+        social = ecosystem.by_category(EntityCategory.SOCIAL)[0]
+        assert flt.is_tracking(
+            f"https://{social.primary_domain}/api/counts?ref=1",
+            resource_type=ResourceType.XHR,
+        )
+        # The widget image itself is not telemetry.
+        assert not flt.is_tracking(
+            f"https://{social.primary_domain}/static/button.png",
+            resource_type=ResourceType.IMAGE,
+        )
+
+    def test_combined_is_superset(self):
+        ecosystem = build_ecosystem(seed=1)
+        easylist = build_filter_list(ecosystem)
+        combined = build_combined_list(ecosystem)
+        assert len(combined) > len(easylist)
+        social = ecosystem.by_category(EntityCategory.SOCIAL)[0]
+        url = f"https://{social.primary_domain}/api/counts?ref=1"
+        assert not easylist.is_tracking(url, resource_type=ResourceType.XHR)
+        assert combined.is_tracking(url, resource_type=ResourceType.XHR)
+
+    def test_deterministic(self):
+        ecosystem = build_ecosystem(seed=2)
+        assert generate_easyprivacy(ecosystem) == generate_easyprivacy(ecosystem)

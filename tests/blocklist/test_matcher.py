@@ -1,0 +1,96 @@
+"""Tests for the filter-list matching engine."""
+
+from repro.blocklist.matcher import FilterList, MatchContext
+from repro.web.resources import ResourceType
+
+LIST_TEXT = """[Adblock Plus 2.0]
+! test list
+||ads.com^
+||analytics.com^$third-party
+||media.com^$image
+/pixel.gif?
+@@||ads.com/allowed.js$script
+"""
+
+
+def make_list():
+    return FilterList.from_text(LIST_TEXT)
+
+
+class TestBlocking:
+    def test_domain_rule_blocks(self):
+        assert make_list().is_tracking("https://ads.com/x.js")
+
+    def test_subdomain_blocked(self):
+        assert make_list().is_tracking("https://cdn.ads.com/x.js")
+
+    def test_unlisted_not_blocked(self):
+        assert not make_list().is_tracking("https://benign.com/x.js")
+
+    def test_generic_rule(self):
+        assert make_list().is_tracking("https://anything.org/pixel.gif?uid=1")
+
+    def test_match_result_carries_filter(self):
+        result = make_list().match("https://ads.com/x.js")
+        assert result.blocked
+        assert result.matched_filter.pattern.startswith("||ads.com")
+
+
+class TestExceptions:
+    def test_exception_overrides_block(self):
+        flt = make_list()
+        result = flt.match(
+            "https://ads.com/allowed.js",
+            MatchContext(resource_type=ResourceType.SCRIPT),
+        )
+        assert not result.blocked
+        assert result.exception_filter is not None
+
+    def test_exception_type_specific(self):
+        # Same URL as an image is still blocked: the exception is $script.
+        flt = make_list()
+        result = flt.match(
+            "https://ads.com/allowed.js",
+            MatchContext(resource_type=ResourceType.IMAGE),
+        )
+        assert result.blocked
+
+
+class TestOptionsInContext:
+    def test_third_party_option_respected(self):
+        flt = make_list()
+        # First-party context: analytics.com page loading analytics.com.
+        assert not flt.is_tracking(
+            "https://analytics.com/a.js", page_url="https://analytics.com/"
+        )
+        # Third-party context: some site embedding analytics.com.
+        assert flt.is_tracking(
+            "https://analytics.com/a.js", page_url="https://news.com/"
+        )
+
+    def test_third_party_option_without_page_context(self):
+        # No page URL -> the third-party constraint cannot be evaluated
+        # positively, so the filter does not fire.
+        assert not make_list().is_tracking("https://analytics.com/a.js")
+
+    def test_type_option_respected(self):
+        flt = make_list()
+        assert flt.is_tracking(
+            "https://media.com/a.png", resource_type=ResourceType.IMAGE
+        )
+        assert not flt.is_tracking(
+            "https://media.com/a.js", resource_type=ResourceType.SCRIPT
+        )
+
+
+class TestScale:
+    def test_len(self):
+        assert len(make_list()) == 5
+
+    def test_many_urls_fast(self):
+        flt = make_list()
+        for i in range(500):
+            flt.is_tracking(f"https://site{i}.com/asset.png")
+
+    def test_empty_list_blocks_nothing(self):
+        assert not FilterList([]).is_tracking("https://ads.com/x")

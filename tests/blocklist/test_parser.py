@@ -1,0 +1,132 @@
+"""Tests for Adblock-Plus filter parsing."""
+
+import pytest
+
+from repro.blocklist.parser import parse_filter, parse_filter_list
+from repro.errors import FilterParseError
+from repro.web.resources import ResourceType
+
+
+class TestLineClassification:
+    def test_comment_skipped(self):
+        assert parse_filter("! a comment") is None
+
+    def test_header_skipped(self):
+        assert parse_filter("[Adblock Plus 2.0]") is None
+
+    def test_blank_skipped(self):
+        assert parse_filter("   ") is None
+
+    def test_element_hiding_skipped(self):
+        assert parse_filter("example.com##.ad-banner") is None
+        assert parse_filter("example.com#@#.ad") is None
+
+    def test_blocking_filter_parsed(self):
+        flt = parse_filter("||ads.example.com^")
+        assert flt is not None
+        assert not flt.is_exception
+
+    def test_exception_filter(self):
+        flt = parse_filter("@@||cdn.example.com^$script")
+        assert flt.is_exception
+
+    def test_empty_pattern_raises(self):
+        with pytest.raises(FilterParseError):
+            parse_filter("$third-party")
+
+
+class TestPatternMatching:
+    def test_domain_anchor_matches_subdomains(self):
+        flt = parse_filter("||ads.com^")
+        assert flt.matches_url("https://ads.com/x")
+        assert flt.matches_url("https://sub.ads.com/x")
+        assert not flt.matches_url("https://notads.com/x")
+        assert not flt.matches_url("https://ads.com.evil.org/x")
+
+    def test_plain_substring(self):
+        flt = parse_filter("/banner/")
+        assert flt.matches_url("https://x.com/banner/img.png")
+        assert not flt.matches_url("https://x.com/header/img.png")
+
+    def test_wildcard(self):
+        flt = parse_filter("/ads/*.js")
+        assert flt.matches_url("https://x.com/ads/loader.js")
+        assert not flt.matches_url("https://x.com/ads/pixel.png")
+
+    def test_separator_caret(self):
+        flt = parse_filter("||ads.com^path")
+        assert flt.matches_url("https://ads.com/path")
+        assert not flt.matches_url("https://ads.compath/")
+
+    def test_caret_matches_end_of_url(self):
+        flt = parse_filter("||ads.com^")
+        assert flt.matches_url("https://ads.com")
+
+    def test_start_anchor(self):
+        flt = parse_filter("|https://exact.com/")
+        assert flt.matches_url("https://exact.com/x")
+        assert not flt.matches_url("https://other.com/?u=https://exact.com/")
+
+    def test_end_anchor(self):
+        flt = parse_filter("/pixel.gif|")
+        assert flt.matches_url("https://x.com/pixel.gif")
+        assert not flt.matches_url("https://x.com/pixel.gif?x=1")
+
+    def test_query_pattern(self):
+        flt = parse_filter("/collect?cid=")
+        assert flt.matches_url("https://a.com/collect?cid=123")
+
+
+class TestOptions:
+    def test_third_party_option(self):
+        flt = parse_filter("||t.com^$third-party")
+        assert flt.options.third_party is True
+
+    def test_not_third_party(self):
+        flt = parse_filter("||t.com^$~third-party")
+        assert flt.options.third_party is False
+
+    def test_type_options(self):
+        flt = parse_filter("||t.com^$script,image")
+        assert ResourceType.SCRIPT in flt.options.include_types
+        assert ResourceType.IMAGE in flt.options.include_types
+        assert flt.options.allows_type(ResourceType.SCRIPT)
+        assert not flt.options.allows_type(ResourceType.FONT)
+
+    def test_negated_type(self):
+        flt = parse_filter("||t.com^$~image")
+        assert flt.options.allows_type(ResourceType.SCRIPT)
+        assert not flt.options.allows_type(ResourceType.IMAGE)
+
+    def test_domain_option(self):
+        flt = parse_filter("||t.com^$domain=a.com|~b.a.com")
+        assert flt.options.allows_page_domain("a.com")
+        assert flt.options.allows_page_domain("www.a.com")
+        assert not flt.options.allows_page_domain("b.a.com")
+        assert not flt.options.allows_page_domain("other.org")
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(FilterParseError):
+            parse_filter("||t.com^$bogus-option")
+
+    def test_anchor_domain_extraction(self):
+        assert parse_filter("||ads.com^").anchor_domain == "ads.com"
+        assert parse_filter("||ads.com/path").anchor_domain == "ads.com"
+        assert parse_filter("/generic/").anchor_domain is None
+
+
+class TestParseList:
+    def test_mixed_document(self):
+        text = "\n".join(
+            [
+                "[Adblock Plus 2.0]",
+                "! comment",
+                "||ads.com^",
+                "@@||cdn.com^$script",
+                "example.com##.banner",
+                "/pixel.gif?",
+            ]
+        )
+        filters = parse_filter_list(text)
+        assert len(filters) == 3
+        assert sum(1 for f in filters if f.is_exception) == 1

@@ -1,0 +1,49 @@
+"""Tests for call-stack records."""
+
+from repro.browser.callstack import CallStack, EMPTY_STACK, StackFrame
+
+
+class TestStackFrame:
+    def test_format(self):
+        frame = StackFrame(func_name="fetch", script_url="https://e.com/a.js", line=3, column=7)
+        assert frame.format() == "fetch@https://e.com/a.js:3:7"
+
+
+class TestCallStack:
+    def test_empty_stack_falsy(self):
+        assert not EMPTY_STACK
+        assert EMPTY_STACK.top is None
+        assert EMPTY_STACK.initiating_script_url is None
+
+    def test_top_is_latest(self):
+        stack = CallStack.for_initiator(
+            "https://e.com/inner.js", ancestors=("https://e.com/outer.js",)
+        )
+        assert stack.top.script_url == "https://e.com/inner.js"
+        assert stack.initiating_script_url == "https://e.com/inner.js"
+        assert len(stack) == 2
+
+    def test_format_parse_roundtrip(self):
+        stack = CallStack(
+            frames=(
+                StackFrame("load", "https://e.com/a.js", 10, 4),
+                StackFrame("caller", "https://e.com/b.js", 2, 1),
+            )
+        )
+        parsed = CallStack.parse(stack.format())
+        assert parsed.top.script_url == "https://e.com/a.js"
+        assert parsed.top.line == 10
+        assert parsed.top.column == 4
+        assert len(parsed) == 2
+
+    def test_parse_empty(self):
+        assert CallStack.parse("") == EMPTY_STACK
+
+    def test_parse_skips_blank_lines(self):
+        parsed = CallStack.parse("\n\nload@https://e.com/a.js:1:1\n\n")
+        assert len(parsed) == 1
+
+    def test_url_with_port_survives_roundtrip(self):
+        stack = CallStack.for_initiator("https://e.com:8443/a.js")
+        parsed = CallStack.parse(stack.format())
+        assert parsed.top.script_url == "https://e.com:8443/a.js"

@@ -1,0 +1,99 @@
+"""Tests for the RFC 6265 cookie jar."""
+
+from repro.browser.cookies import Cookie, CookieJar
+
+
+class TestCookieIdentity:
+    def test_identity_triple(self):
+        cookie = Cookie(name="sid", domain="e.com", path="/a")
+        assert cookie.identity == ("sid", "e.com", "/a")
+
+    def test_attribute_signature(self):
+        cookie = Cookie(name="s", domain="e.com", secure=True, same_site="None")
+        assert cookie.attribute_signature == (True, False, "None")
+
+
+class TestDomainMatching:
+    def test_exact_match(self):
+        assert Cookie(name="c", domain="e.com").domain_matches("e.com")
+
+    def test_subdomain_match(self):
+        assert Cookie(name="c", domain="e.com").domain_matches("www.e.com")
+
+    def test_leading_dot_normalized(self):
+        assert Cookie(name="c", domain=".e.com").domain_matches("api.e.com")
+
+    def test_unrelated_host(self):
+        assert not Cookie(name="c", domain="e.com").domain_matches("notE.org")
+
+    def test_suffix_attack_rejected(self):
+        assert not Cookie(name="c", domain="e.com").domain_matches("evile.com")
+
+
+class TestPathMatching:
+    def test_root_matches_everything(self):
+        cookie = Cookie(name="c", domain="e.com", path="/")
+        assert cookie.path_matches("/deep/path")
+
+    def test_exact_path(self):
+        assert Cookie(name="c", domain="e.com", path="/a").path_matches("/a")
+
+    def test_prefix_with_separator(self):
+        cookie = Cookie(name="c", domain="e.com", path="/a")
+        assert cookie.path_matches("/a/b")
+        assert not cookie.path_matches("/ab")
+
+
+class TestJar:
+    def test_set_and_get(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="sid", domain="e.com", value="1"))
+        assert jar.get("sid", "e.com").value == "1"
+
+    def test_same_identity_replaces(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="sid", domain="e.com", value="old"))
+        jar.set(Cookie(name="sid", domain="e.com", value="new"))
+        assert len(jar) == 1
+        assert jar.get("sid", "e.com").value == "new"
+
+    def test_different_paths_coexist(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="sid", domain="e.com", path="/a"))
+        jar.set(Cookie(name="sid", domain="e.com", path="/b"))
+        assert len(jar) == 2
+
+    def test_cookies_for_host(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="a", domain="e.com"))
+        jar.set(Cookie(name="b", domain="other.org"))
+        names = {c.name for c in jar.cookies_for("www.e.com")}
+        assert names == {"a"}
+
+    def test_secure_cookie_needs_secure_channel(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="s", domain="e.com", secure=True))
+        assert jar.cookies_for("e.com", secure_channel=False) == []
+        assert len(jar.cookies_for("e.com", secure_channel=True)) == 1
+
+    def test_clear(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="a", domain="e.com"))
+        jar.clear()
+        assert len(jar) == 0
+
+    def test_snapshot_sorted_and_immutable(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="b", domain="e.com"))
+        jar.set(Cookie(name="a", domain="e.com"))
+        snapshot = jar.snapshot()
+        assert [c.name for c in snapshot] == ["a", "b"]
+        assert isinstance(snapshot, tuple)
+
+    def test_update_value(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="a", domain="e.com", value="1", secure=True))
+        jar.update_value("a", "e.com", "/", "2")
+        updated = jar.get("a", "e.com")
+        assert updated.value == "2"
+        assert updated.secure

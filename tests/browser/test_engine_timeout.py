@@ -1,0 +1,106 @@
+"""Tests for the timeout/stall model and stateful visits."""
+
+from repro.browser.cookies import CookieJar
+from repro.browser.engine import BrowserEngine
+from repro.browser.profile import PROFILE_SIM1
+from repro.web import WebConfig, WebGenerator
+
+
+def page_and_site(seed=61):
+    generator = WebGenerator(seed, config=WebConfig(page_fail_probability=0.0))
+    site = generator.site(1)
+    return site
+
+
+class TestTimeout:
+    def test_tight_timeout_fails_with_reason(self):
+        site = page_and_site()
+        engine = BrowserEngine(PROFILE_SIM1, seed=61, timeout=0.05)
+        result = engine.visit(site.landing_page, site=site.domain, site_rank=1, visit_id=1)
+        assert not result.success
+        assert result.visit.failure_reason == "timeout"
+        assert result.requests == ()
+
+    def test_generous_timeout_succeeds(self):
+        site = page_and_site()
+        engine = BrowserEngine(PROFILE_SIM1, seed=61, timeout=300.0)
+        successes = sum(
+            engine.visit(site.landing_page, site=site.domain, site_rank=1, visit_id=i).success
+            for i in range(10)
+        )
+        assert successes >= 8  # only the crawler-error floor remains
+
+    def test_success_rate_monotone_in_timeout(self):
+        site = page_and_site()
+        rates = []
+        for timeout in (1.0, 5.0, 60.0):
+            engine = BrowserEngine(PROFILE_SIM1, seed=61, timeout=timeout)
+            successes = sum(
+                engine.visit(
+                    site.landing_page, site=site.domain, site_rank=1, visit_id=i
+                ).success
+                for i in range(30)
+            )
+            rates.append(successes)
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_stalls_deterministic(self):
+        site = page_and_site()
+        engine = BrowserEngine(PROFILE_SIM1, seed=61, timeout=6.0)
+        a = [engine.visit(site.landing_page, site=site.domain, site_rank=1, visit_id=i).success
+             for i in range(20)]
+        b = [engine.visit(site.landing_page, site=site.domain, site_rank=1, visit_id=i).success
+             for i in range(20)]
+        assert a == b
+
+    def test_no_stalls_when_disabled(self):
+        site = page_and_site()
+        engine = BrowserEngine(PROFILE_SIM1, seed=61, timeout=60.0, stall_probability=0.0)
+        result = engine.visit(site.landing_page, site=site.domain, site_rank=1, visit_id=1)
+        assert result.success
+        # Without stalls a full page load stays in the sub-10 s range.
+        assert result.visit.duration < 15.0
+
+
+class TestStatefulVisits:
+    def test_jar_accumulates_across_pages(self):
+        site = page_and_site()
+        engine = BrowserEngine(PROFILE_SIM1, seed=61)
+        jar = CookieJar()
+        first = engine.visit(
+            site.landing_page, site=site.domain, site_rank=1, visit_id=1, jar=jar
+        )
+        count_after_first = len(jar)
+        second = engine.visit(
+            site.subpages[0], site=site.domain, site_rank=1, visit_id=2, jar=jar
+        )
+        assert first.success and second.success
+        assert count_after_first > 0
+        assert len(jar) >= count_after_first
+        # The second visit's cookie snapshot includes carried-over cookies.
+        assert len(second.cookies) >= count_after_first
+
+    def test_stateless_default_fresh_jar(self):
+        site = page_and_site()
+        engine = BrowserEngine(PROFILE_SIM1, seed=61)
+        first = engine.visit(site.landing_page, site=site.domain, site_rank=1, visit_id=1)
+        second = engine.visit(site.landing_page, site=site.domain, site_rank=1, visit_id=1)
+        assert {c.identity for c in first.cookies} == {c.identity for c in second.cookies}
+
+
+class TestStatefulCommander:
+    def test_stateful_crawl_has_more_cookies_per_visit(self):
+        from repro.crawler import Commander, MeasurementStore
+
+        def cookies_per_visit(stateful: bool) -> float:
+            generator = WebGenerator(62, config=WebConfig(subpages_per_site=4))
+            store = MeasurementStore()
+            commander = Commander(
+                generator, store, max_pages_per_site=4, stateful=stateful
+            )
+            commander.run(ranks=[1, 2])
+            visits = list(store.iter_visits())
+            values = [len(store.cookies_for_visit(v.visit_id)) for v in visits]
+            return sum(values) / len(values)
+
+        assert cookies_per_visit(True) > cookies_per_visit(False)

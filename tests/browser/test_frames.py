@@ -1,0 +1,61 @@
+"""Tests for frame-tree bookkeeping."""
+
+import pytest
+
+from repro.browser.frames import Frame, FrameTree, MAIN_FRAME_ID
+
+
+class TestFrameTree:
+    def test_main_frame(self):
+        tree = FrameTree("https://e.com/")
+        main = tree.main_frame()
+        assert main.frame_id == MAIN_FRAME_ID
+        assert main.parent_frame_id is None
+        assert main.is_main
+
+    def test_create_subframe(self):
+        tree = FrameTree("https://e.com/")
+        frame = tree.create_subframe(MAIN_FRAME_ID, "https://ad.com/f.html", 5)
+        assert frame.frame_id == 1
+        assert frame.parent_frame_id == MAIN_FRAME_ID
+        assert frame.creator_request_id == 5
+        assert not frame.is_main
+
+    def test_nested_frames(self):
+        tree = FrameTree("https://e.com/")
+        outer = tree.create_subframe(MAIN_FRAME_ID, "https://a.com/", 1)
+        inner = tree.create_subframe(outer.frame_id, "https://b.com/", 2)
+        assert inner.parent_frame_id == outer.frame_id
+        assert tree.ancestry(inner.frame_id) == [
+            inner.frame_id,
+            outer.frame_id,
+            MAIN_FRAME_ID,
+        ]
+
+    def test_unknown_parent_rejected(self):
+        tree = FrameTree("https://e.com/")
+        with pytest.raises(KeyError):
+            tree.create_subframe(99, "https://a.com/", 1)
+
+    def test_contains_and_len(self):
+        tree = FrameTree("https://e.com/")
+        tree.create_subframe(MAIN_FRAME_ID, "https://a.com/", 1)
+        assert MAIN_FRAME_ID in tree
+        assert 1 in tree
+        assert 2 not in tree
+        assert len(tree) == 2
+
+    def test_all_frames_ordered(self):
+        tree = FrameTree("https://e.com/")
+        tree.create_subframe(MAIN_FRAME_ID, "https://a.com/", 1)
+        tree.create_subframe(MAIN_FRAME_ID, "https://b.com/", 2)
+        assert [f.frame_id for f in tree.all_frames()] == [0, 1, 2]
+
+    def test_frame_ids_monotonic(self):
+        tree = FrameTree("https://e.com/")
+        ids = [
+            tree.create_subframe(MAIN_FRAME_ID, f"https://f{i}.com/", i).frame_id
+            for i in range(5)
+        ]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5

@@ -1,0 +1,39 @@
+"""Tests for the mimicked user-interaction script."""
+
+from repro.browser.interaction import (
+    DEFAULT_SCRIPT,
+    InteractionScript,
+    KeyEvent,
+    Keystroke,
+    script_for,
+)
+
+
+class TestDefaultScript:
+    def test_paper_keys_in_order(self):
+        keys = [event.key for event in DEFAULT_SCRIPT]
+        assert keys == [Keystroke.PAGE_DOWN, Keystroke.TAB, Keystroke.END]
+
+    def test_delays_positive(self):
+        assert all(event.delay > 0 for event in DEFAULT_SCRIPT)
+
+    def test_total_delay(self):
+        assert DEFAULT_SCRIPT.total_delay == sum(e.delay for e in DEFAULT_SCRIPT)
+
+    def test_len(self):
+        assert len(DEFAULT_SCRIPT) == 3
+
+
+class TestScriptFor:
+    def test_interaction_profile_gets_default(self):
+        assert script_for(True) is DEFAULT_SCRIPT
+
+    def test_noaction_profile_gets_empty(self):
+        script = script_for(False)
+        assert len(script) == 0
+        assert script.total_delay == 0
+
+    def test_custom_script(self):
+        script = InteractionScript(events=(KeyEvent(Keystroke.END, 1.5),))
+        assert script.total_delay == 1.5
+        assert list(script)[0].key is Keystroke.END

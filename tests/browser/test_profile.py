@@ -1,0 +1,74 @@
+"""Tests for browser profiles (Table 1)."""
+
+import pytest
+
+from repro.browser.profile import (
+    BrowserProfile,
+    PAPER_PROFILES,
+    PROFILE_NOACTION,
+    PROFILE_OLD,
+    PROFILE_SIM1,
+    PROFILE_SIM2,
+    REFERENCE_PROFILE,
+    profile_by_name,
+)
+from repro.errors import ReproError
+
+
+class TestPaperProfiles:
+    def test_five_profiles(self):
+        assert len(PAPER_PROFILES) == 5
+
+    def test_names_in_paper_order(self):
+        assert [p.name for p in PAPER_PROFILES] == [
+            "Old",
+            "Sim1",
+            "Sim2",
+            "NoAction",
+            "Headless",
+        ]
+
+    def test_sim_profiles_identical_except_name(self):
+        assert PROFILE_SIM1.version == PROFILE_SIM2.version
+        assert PROFILE_SIM1.user_interaction == PROFILE_SIM2.user_interaction
+        assert PROFILE_SIM1.gui == PROFILE_SIM2.gui
+
+    def test_old_uses_old_version(self):
+        assert PROFILE_OLD.major_version == 86
+        assert PROFILE_SIM1.major_version == 95
+
+    def test_noaction_has_no_interaction(self):
+        assert not PROFILE_NOACTION.user_interaction
+
+    def test_headless_flag(self):
+        headless = profile_by_name("Headless")
+        assert headless.headless
+        assert not PROFILE_SIM1.headless
+
+    def test_all_from_germany(self):
+        assert all(p.country == "DE" for p in PAPER_PROFILES)
+
+    def test_reference_is_sim1(self):
+        assert REFERENCE_PROFILE is PROFILE_SIM1
+
+
+class TestLookupAndValidation:
+    def test_lookup_case_insensitive(self):
+        assert profile_by_name("sim1") is PROFILE_SIM1
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ReproError):
+            profile_by_name("nope")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ReproError):
+            BrowserProfile(name="x", version="abc", user_interaction=True, gui=True)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            BrowserProfile(name="", version="95.0", user_interaction=True, gui=True)
+
+    def test_describe(self):
+        text = PROFILE_NOACTION.describe()
+        assert "no interaction" in text
+        assert "95.0" in text

@@ -1,0 +1,48 @@
+"""Shared fixtures: a small end-to-end pipeline reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AnalysisDataset
+from repro.blocklist import build_filter_list
+from repro.crawler import Commander, MeasurementStore
+from repro.web import WebGenerator
+
+#: Ranks spanning all paper buckets, small enough for fast tests.
+SMALL_RANKS = [1, 2, 3, 6001, 12000, 60001, 300001]
+
+
+@pytest.fixture(scope="session")
+def generator():
+    return WebGenerator(seed=99)
+
+
+@pytest.fixture(scope="session")
+def crawl(generator):
+    """A completed small crawl: (store, summary)."""
+    store = MeasurementStore()
+    commander = Commander(generator, store, max_pages_per_site=3)
+    summary = commander.run(ranks=SMALL_RANKS)
+    return store, summary
+
+
+@pytest.fixture(scope="session")
+def store(crawl):
+    return crawl[0]
+
+
+@pytest.fixture(scope="session")
+def crawl_summary(crawl):
+    return crawl[1]
+
+
+@pytest.fixture(scope="session")
+def filter_list(generator):
+    return build_filter_list(generator.ecosystem)
+
+
+@pytest.fixture(scope="session")
+def dataset(store, filter_list):
+    """The vetted analysis dataset for the small crawl."""
+    return AnalysisDataset.from_store(store, filter_list=filter_list)

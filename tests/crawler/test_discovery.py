@@ -1,0 +1,82 @@
+"""Tests for subpage discovery."""
+
+from repro.crawler.discovery import discover_pages, first_party_links
+from repro.web import WebConfig, WebGenerator
+from repro.web.blueprint import PageBlueprint, SiteBlueprint
+from repro.web.url import URL
+
+
+def make_site(link_map):
+    """Build a site from {path: [linked paths]} (landing page is '/')."""
+    domain = "site.com"
+    pages = {}
+    for path, links in link_map.items():
+        pages[path] = PageBlueprint(
+            url=URL.parse(f"https://{domain}{path}"),
+            links=tuple(URL.parse(f"https://{domain}{link}") for link in links),
+        )
+    landing = pages.pop("/")
+    return SiteBlueprint(
+        domain=domain, rank=1, landing_page=landing, subpages=tuple(pages.values())
+    )
+
+
+class TestFirstPartyLinks:
+    def test_filters_third_party(self):
+        page = PageBlueprint(
+            url=URL.parse("https://site.com/"),
+            links=(
+                URL.parse("https://site.com/a"),
+                URL.parse("https://other.org/b"),
+            ),
+        )
+        links = first_party_links(page)
+        assert [str(link) for link in links] == ["https://site.com/a"]
+
+
+class TestDiscoverPages:
+    def test_landing_page_first(self):
+        site = make_site({"/": ["/a"], "/a": []})
+        result = discover_pages(site)
+        assert result.pages[0] == "https://site.com/"
+
+    def test_collects_direct_links(self):
+        site = make_site({"/": ["/a", "/b"], "/a": [], "/b": []})
+        result = discover_pages(site)
+        assert set(result.pages) == {
+            "https://site.com/",
+            "https://site.com/a",
+            "https://site.com/b",
+        }
+
+    def test_recursive_when_landing_sparse(self):
+        # Landing links only to /a; /a links to /b — the recursion finds it.
+        site = make_site({"/": ["/a"], "/a": ["/b"], "/b": []})
+        result = discover_pages(site, max_pages=3)
+        assert "https://site.com/b" in result.pages
+
+    def test_max_pages_respected(self):
+        links = [f"/p{i}" for i in range(30)]
+        link_map = {"/": links}
+        link_map.update({path: [] for path in links})
+        site = make_site(link_map)
+        result = discover_pages(site, max_pages=10)
+        assert result.page_count == 10
+
+    def test_no_duplicates(self):
+        site = make_site({"/": ["/a", "/a"], "/a": ["/"]})
+        result = discover_pages(site)
+        assert len(result.pages) == len(set(result.pages))
+
+    def test_dangling_links_skipped(self):
+        site = make_site({"/": ["/a", "/missing"], "/a": []})
+        result = discover_pages(site)
+        assert "https://site.com/missing" not in result.pages
+
+    def test_on_generated_site(self):
+        gen = WebGenerator(seed=6, config=WebConfig(subpages_per_site=5))
+        site = gen.site(1)
+        result = discover_pages(site, max_pages=25)
+        assert result.pages[0] == str(site.landing_page.url)
+        assert 1 <= result.page_count <= 6
+        assert result.rank == 1

@@ -1,0 +1,178 @@
+"""Tests for the SQLite measurement store."""
+
+import pytest
+
+from repro.browser.callstack import CallStack
+from repro.browser.network import (
+    CookieRecord,
+    RedirectRecord,
+    RequestRecord,
+    VisitRecord,
+    VisitResult,
+)
+from repro.crawler.storage import MeasurementStore
+from repro.errors import StorageError
+
+
+def make_result(visit_id=1, profile="Sim1", page="https://e.com/", success=True):
+    visit = VisitRecord(
+        visit_id=visit_id,
+        profile_name=profile,
+        site="e.com",
+        site_rank=1,
+        page_url=page,
+        success=success,
+        started_at=0.0,
+        duration=2.5,
+        failure_reason=None if success else "timeout",
+    )
+    if not success:
+        return VisitResult(visit=visit)
+    requests = (
+        RequestRecord(
+            request_id=1,
+            visit_id=visit_id,
+            url=page,
+            top_level_url=page,
+            resource_type="main_frame",
+            frame_id=0,
+            parent_frame_id=None,
+            timestamp=0.1,
+        ),
+        RequestRecord(
+            request_id=2,
+            visit_id=visit_id,
+            url="https://e.com/a.js",
+            top_level_url=page,
+            resource_type="script",
+            frame_id=0,
+            parent_frame_id=None,
+            timestamp=0.2,
+            call_stack=CallStack.for_initiator("https://e.com/loader.js"),
+        ),
+    )
+    redirects = (
+        RedirectRecord(
+            visit_id=visit_id,
+            from_request_id=1,
+            to_request_id=2,
+            from_url=page,
+            to_url="https://e.com/a.js",
+        ),
+    )
+    cookies = (
+        CookieRecord(
+            visit_id=visit_id,
+            name="sid",
+            domain="e.com",
+            path="/",
+            value="x",
+            secure=True,
+            http_only=False,
+            same_site="Lax",
+            set_by_url=page,
+        ),
+    )
+    return VisitResult(visit=visit, requests=requests, redirects=redirects, cookies=cookies)
+
+
+class TestRoundtrip:
+    def test_visit_roundtrip(self):
+        with MeasurementStore() as store:
+            store.store_visit(make_result())
+            visit = store.visit(1)
+            assert visit.profile_name == "Sim1"
+            assert visit.success
+            assert visit.duration == 2.5
+
+    def test_requests_roundtrip_with_stack(self):
+        with MeasurementStore() as store:
+            store.store_visit(make_result())
+            requests = store.requests_for_visit(1)
+            assert len(requests) == 2
+            script = requests[1]
+            assert script.call_stack.initiating_script_url == "https://e.com/loader.js"
+            assert requests[0].call_stack.top is None
+
+    def test_redirects_roundtrip(self):
+        with MeasurementStore() as store:
+            store.store_visit(make_result())
+            redirects = store.redirects_for_visit(1)
+            assert len(redirects) == 1
+            assert redirects[0].status == 302
+
+    def test_cookies_roundtrip(self):
+        with MeasurementStore() as store:
+            store.store_visit(make_result())
+            cookies = store.cookies_for_visit(1)
+            assert cookies[0].identity == ("sid", "e.com", "/")
+            assert cookies[0].secure is True
+
+    def test_missing_visit(self):
+        with MeasurementStore() as store:
+            assert store.visit(99) is None
+
+
+class TestConstraints:
+    def test_duplicate_visit_id_rejected(self):
+        with MeasurementStore() as store:
+            store.store_visit(make_result(visit_id=1))
+            with pytest.raises(StorageError):
+                store.store_visit(make_result(visit_id=1, profile="Sim2"))
+
+
+class TestQueries:
+    def populate(self, store):
+        visit_id = 0
+        for page in ("https://e.com/", "https://e.com/a"):
+            for profile in ("Sim1", "Sim2"):
+                visit_id += 1
+                success = not (page == "https://e.com/a" and profile == "Sim2")
+                store.store_visit(
+                    make_result(visit_id=visit_id, profile=profile, page=page, success=success)
+                )
+
+    def test_profiles_and_pages(self):
+        with MeasurementStore() as store:
+            self.populate(store)
+            assert store.profiles() == ["Sim1", "Sim2"]
+            assert store.pages() == ["https://e.com/", "https://e.com/a"]
+            assert store.sites() == ["e.com"]
+
+    def test_pages_crawled_by_all(self):
+        with MeasurementStore() as store:
+            self.populate(store)
+            pages = store.pages_crawled_by_all(["Sim1", "Sim2"])
+            assert pages == ["https://e.com/"]
+
+    def test_successful_visits_for_page(self):
+        with MeasurementStore() as store:
+            self.populate(store)
+            visits = store.successful_visits_for_page("https://e.com/a", ["Sim1", "Sim2"])
+            assert set(visits) == {"Sim1"}
+
+    def test_visit_count(self):
+        with MeasurementStore() as store:
+            self.populate(store)
+            assert store.visit_count() == 4
+            assert store.visit_count(profile="Sim2") == 2
+            assert store.visit_count(success_only=True) == 3
+
+    def test_request_count(self):
+        with MeasurementStore() as store:
+            self.populate(store)
+            assert store.request_count() == 6  # 3 successful visits x 2 requests
+
+    def test_iter_visits(self):
+        with MeasurementStore() as store:
+            self.populate(store)
+            ids = [v.visit_id for v in store.iter_visits()]
+            assert ids == [1, 2, 3]
+            all_ids = [v.visit_id for v in store.iter_visits(success_only=False)]
+            assert all_ids == [1, 2, 3, 4]
+
+    def test_site_rank(self):
+        with MeasurementStore() as store:
+            self.populate(store)
+            assert store.site_rank("e.com") == 1
+            assert store.site_rank("missing.com") is None

@@ -1,0 +1,98 @@
+"""Tests for the ranked list and bucket sampling."""
+
+import pytest
+
+from repro.crawler.tranco import (
+    PAPER_BUCKETS,
+    RankBucket,
+    RankedList,
+    bucket_for_rank,
+    sample_paper_buckets,
+)
+from repro.errors import CrawlError
+from repro.web import WebGenerator
+
+
+class TestBuckets:
+    def test_paper_buckets_cover_500k(self):
+        assert PAPER_BUCKETS[0].start == 1
+        assert PAPER_BUCKETS[-1].end == 500_000
+        for earlier, later in zip(PAPER_BUCKETS, PAPER_BUCKETS[1:]):
+            assert later.start == earlier.end + 1
+
+    def test_bucket_for_rank(self):
+        assert bucket_for_rank(1).name == "1-5k"
+        assert bucket_for_rank(5000).name == "1-5k"
+        assert bucket_for_rank(5001).name == "5,001-10k"
+        assert bucket_for_rank(499_999).name == "250,001-500k"
+
+    def test_out_of_range_rank(self):
+        with pytest.raises(CrawlError):
+            bucket_for_rank(600_000)
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(CrawlError):
+            RankBucket("bad", 10, 5)
+
+    def test_contains_and_size(self):
+        bucket = RankBucket("b", 10, 19)
+        assert 10 in bucket and 19 in bucket and 9 not in bucket
+        assert bucket.size == 10
+
+
+class TestSampling:
+    def test_deterministic(self):
+        assert sample_paper_buckets(1, 10) == sample_paper_buckets(1, 10)
+
+    def test_different_seed_differs(self):
+        assert sample_paper_buckets(1, 10) != sample_paper_buckets(2, 10)
+
+    def test_top_bucket_taken_top_down(self):
+        ranks = sample_paper_buckets(1, 5)
+        assert ranks[:5] == [1, 2, 3, 4, 5]
+
+    def test_one_sample_per_bucket(self):
+        ranks = sample_paper_buckets(1, 7)
+        for bucket in PAPER_BUCKETS:
+            count = sum(1 for rank in ranks if rank in bucket)
+            assert count == 7, bucket.name
+
+    def test_sorted_unique(self):
+        ranks = sample_paper_buckets(3, 20)
+        assert ranks == sorted(set(ranks))
+
+    def test_invalid_per_bucket(self):
+        with pytest.raises(CrawlError):
+            sample_paper_buckets(1, 0)
+
+
+class TestRankedList:
+    def test_from_generator(self):
+        gen = WebGenerator(seed=4)
+        ranked = RankedList.from_generator(gen, [1, 2, 3])
+        assert len(ranked) == 3
+        assert ranked.domain(2) == gen.domain_for_rank(2)
+        assert ranked.rank(gen.domain_for_rank(3)) == 3
+
+    def test_missing_rank(self):
+        ranked = RankedList({1: "a.com"})
+        with pytest.raises(CrawlError):
+            ranked.domain(5)
+
+    def test_missing_domain(self):
+        ranked = RankedList({1: "a.com"})
+        with pytest.raises(CrawlError):
+            ranked.rank("b.com")
+
+    def test_empty_rejected(self):
+        with pytest.raises(CrawlError):
+            RankedList({})
+
+    def test_duplicate_domains_rejected(self):
+        with pytest.raises(CrawlError):
+            RankedList({1: "a.com", 2: "a.com"})
+
+    def test_ordering(self):
+        ranked = RankedList({3: "c.com", 1: "a.com", 2: "b.com"})
+        assert ranked.ranks() == [1, 2, 3]
+        assert ranked.domains() == ["a.com", "b.com", "c.com"]

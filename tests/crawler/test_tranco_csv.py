@@ -1,0 +1,39 @@
+"""Tests for Tranco CSV interchange."""
+
+import pytest
+
+from repro.crawler.tranco import RankedList
+from repro.errors import CrawlError
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        original = RankedList({3: "c.org", 1: "a.com", 2: "b.net"})
+        path = tmp_path / "tranco.csv"
+        assert original.to_csv(path) == 3
+        loaded = RankedList.from_csv(path)
+        assert loaded.ranks() == [1, 2, 3]
+        assert loaded.domain(3) == "c.org"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "list.csv"
+        path.write_text("1,a.com\n\n2,b.com\n")
+        loaded = RankedList.from_csv(path)
+        assert len(loaded) == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,a.com\nnot-a-rank,b.com\n")
+        with pytest.raises(CrawlError, match="line 2"):
+            RankedList.from_csv(path)
+
+    def test_missing_domain_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,\n")
+        with pytest.raises(CrawlError):
+            RankedList.from_csv(path)
+
+    def test_whitespace_tolerated(self, tmp_path):
+        path = tmp_path / "ws.csv"
+        path.write_text("1, a.com \n")
+        assert RankedList.from_csv(path).domain(1) == "a.com"

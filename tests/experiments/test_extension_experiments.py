@@ -1,0 +1,114 @@
+"""Deeper assertions for the extension experiments (beyond the smoke run)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ablation_blocklist,
+    ablation_timeout,
+    implicit_trust,
+    replication,
+    run_pipeline,
+    security_headers,
+    variance_metric,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return run_pipeline(ExperimentConfig(seed=7, sites_per_bucket=1, pages_per_site=3))
+
+
+class TestVarianceMetric:
+    def test_structure(self, ctx):
+        result = variance_metric.run(ctx)
+        assert 0.0 <= result.fluctuation.mean <= 1.0
+        assert result.most_stable.score <= result.most_fluctuating.score
+        assert result.coverage_curve[5] == pytest.approx(1.0)
+        point, low, high = result.child_similarity_ci
+        assert low <= point <= high
+
+    def test_render_mentions_coverage(self, ctx):
+        text = variance_metric.render(variance_metric.run(ctx))
+        assert "coverage" in text
+        assert "fluctuation index" in text
+
+
+class TestReplication:
+    def test_within_at_least_between(self, ctx):
+        result = replication.run(ctx)
+        assert result.report.within.mean >= result.report.between.mean - 0.05
+        assert 0.0 <= result.report.noise_share <= 1.0
+
+    def test_render(self, ctx):
+        text = replication.render(replication.run(ctx))
+        assert "within-setup" in text
+        assert "Web noise" in text
+
+
+class TestSecurityHeaders:
+    def test_all_headers_reported(self, ctx):
+        result = security_headers.run(ctx)
+        assert set(result.report.adoption) == {
+            "strict-transport-security",
+            "content-security-policy",
+            "x-frame-options",
+            "x-content-type-options",
+            "referrer-policy",
+        }
+
+    def test_render_contains_table(self, ctx):
+        text = security_headers.render(security_headers.run(ctx))
+        assert "presence lottery" in text
+        assert "inconsistent security header" in text
+
+
+class TestImplicitTrust:
+    def test_shares_sum(self, ctx):
+        result = implicit_trust.run(ctx)
+        total = (
+            result.report.explicit_third_party_share
+            + result.report.implicit_third_party_share
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_graph_nontrivial(self, ctx):
+        result = implicit_trust.run(ctx)
+        assert result.graph_nodes > 3
+        assert result.graph_edges > 3
+
+
+class TestTimeoutAblation:
+    def test_monotone_success(self, ctx):
+        result = ablation_timeout.run(ctx)
+        rates = [point.success_rate for point in result.points]
+        assert rates == sorted(rates)
+
+    def test_stateful_more_cookies(self, ctx):
+        result = ablation_timeout.run(ctx)
+        state = result.statefulness
+        assert state.stateful_cookies_per_visit >= state.stateless_cookies_per_visit
+
+
+class TestBlocklistAblation:
+    def test_four_configurations(self, ctx):
+        result = ablation_blocklist.run(ctx)
+        assert len(result.points) == 4
+        names = [point.name for point in result.points]
+        assert names[0] == "EasyList (paper)"
+
+    def test_generic_only_weakest(self, ctx):
+        result = ablation_blocklist.run(ctx)
+        points = {point.name: point for point in result.points}
+        assert (
+            points["generic rules only"].tracking_share
+            <= points["EasyList (paper)"].tracking_share
+        )
+
+    def test_combined_superset_share(self, ctx):
+        result = ablation_blocklist.run(ctx)
+        points = {point.name: point for point in result.points}
+        assert (
+            points["EasyList + EasyPrivacy"].tracking_share
+            >= points["EasyList (paper)"].tracking_share - 1e-9
+        )

@@ -1,0 +1,70 @@
+"""Tests for histogram/heatmap rendering."""
+
+import pytest
+
+from repro.reporting.histogram import (
+    render_bar_chart,
+    render_heatmap,
+    render_histogram,
+    render_series,
+)
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = render_bar_chart({"a": 1.0, "b": 0.5})
+        lines = text.splitlines()
+        bar_a = lines[0].count("#")
+        bar_b = lines[1].count("#")
+        assert bar_a == 2 * bar_b
+
+    def test_empty(self):
+        assert "(no data)" in render_bar_chart({})
+
+    def test_title(self):
+        assert render_bar_chart({"a": 1}, title="T").startswith("T")
+
+
+class TestHistogram:
+    def test_bins_partition(self):
+        text = render_histogram([0.05, 0.15, 0.95], bins=10)
+        assert "<= 0.10" in text
+        assert "<= 1.00" in text
+
+    def test_shares_shown_as_percent(self):
+        text = render_histogram([0.5, 0.5], bins=2)
+        assert "100.00%" in text
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            render_histogram([0.5], bins=0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            render_histogram([0.5], lo=1.0, hi=0.0)
+
+    def test_out_of_range_values_clamped(self):
+        text = render_histogram([-1.0, 2.0], bins=2)
+        assert "(no data)" not in text
+
+
+class TestHeatmap:
+    def test_renders_grid(self):
+        text = render_heatmap({(1, 2): 5, (3, 4): 1}, title="H")
+        assert text.startswith("H")
+        assert "+" in text
+
+    def test_empty(self):
+        assert "(no data)" in render_heatmap({})
+
+    def test_axis_capping(self):
+        text = render_heatmap({(100, 100): 1}, max_axis=10)
+        assert " 10 |" in text
+
+
+class TestSeries:
+    def test_columns(self):
+        text = render_series({"a": {1: 0.5}, "b": {1: 0.25, 2: 0.75}})
+        assert "0.500" in text
+        assert "0.750" in text
+        assert "-" in text  # missing value for series a at x=2

@@ -1,0 +1,55 @@
+"""Tests for table rendering."""
+
+from repro.reporting.tables import (
+    format_value,
+    percent,
+    render_kv,
+    render_markdown_table,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["Name", "Value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].index("Value") == lines[2].index("1") or "1" in lines[2]
+        assert all(len(line) == len(lines[0]) for line in lines[:1])
+
+    def test_title(self):
+        text = render_table(["A"], [["x"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_float_digits(self):
+        text = render_table(["V"], [[0.123456]], float_digits=3)
+        assert "0.123" in text
+        assert "0.1235" not in text
+
+    def test_empty_rows(self):
+        text = render_table(["A", "B"], [])
+        assert "A" in text and "B" in text
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = render_markdown_table(["A", "B"], [["x", 1]])
+        lines = text.splitlines()
+        assert lines[0] == "| A | B |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| x | 1 |"
+
+
+class TestHelpers:
+    def test_render_kv(self):
+        text = render_kv([["key", 1], ["longer-key", 0.5]], title="T")
+        assert text.startswith("T")
+        assert "longer-key" in text
+
+    def test_percent(self):
+        assert percent(0.256) == "26%"
+        assert percent(0.256, digits=1) == "25.6%"
+
+    def test_format_value(self):
+        assert format_value(0.5) == "0.50"
+        assert format_value("x") == "x"
+        assert format_value(3) == "3"

@@ -1,0 +1,59 @@
+"""Tests for ASCII tree rendering."""
+
+from repro.reporting.treeview import render_tree, render_tree_summary
+
+from ..helpers import make_tree
+
+PAGE = "https://site.com/"
+
+
+def sample_tree():
+    return make_tree(
+        PAGE,
+        {
+            "https://site.com/a.js": {
+                "https://t.com/p.gif": None,
+            },
+            "https://site.com/b.png": None,
+        },
+        profile="Sim1",
+    )
+
+
+class TestRenderTree:
+    def test_contains_all_nodes(self):
+        text = render_tree(sample_tree())
+        assert "a.js" in text and "p.gif" in text and "b.png" in text
+
+    def test_annotations(self):
+        text = render_tree(sample_tree())
+        assert "[script, 1p]" in text
+        assert "3p" in text
+
+    def test_annotations_off(self):
+        text = render_tree(sample_tree(), annotate=False)
+        assert "[script" not in text
+
+    def test_max_depth_truncates(self):
+        text = render_tree(sample_tree(), max_depth=1)
+        assert "a.js" in text
+        assert "p.gif" not in text
+
+    def test_max_children_elides(self):
+        tree = make_tree(
+            PAGE, {f"https://site.com/{i}.png": None for i in range(20)}
+        )
+        text = render_tree(tree, max_children=5)
+        assert "... 15 more" in text
+
+    def test_header_line(self):
+        text = render_tree(sample_tree())
+        assert text.splitlines()[0].startswith(PAGE)
+        assert "Sim1" in text.splitlines()[0]
+
+
+class TestSummary:
+    def test_one_liner(self):
+        text = render_tree_summary(sample_tree())
+        assert "3 nodes" in text
+        assert "depth 2" in text

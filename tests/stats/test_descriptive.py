@@ -1,0 +1,89 @@
+"""Tests for descriptive statistics."""
+
+import pytest
+
+from repro.stats.descriptive import (
+    mean,
+    median,
+    percentile,
+    ratio,
+    safe_mean,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.n == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+        assert summary.sd == pytest.approx(1.29099, abs=1e-4)
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.sd == 0.0
+        assert summary.mean == summary.median == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_format(self):
+        text = summarize([1.0, 2.0]).format()
+        assert "mean: 1.50" in text and "SD:" in text
+
+
+class TestMedianMean:
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_median_even(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_median_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_safe_mean_default(self):
+        assert safe_mean([], default=0.5) == 0.5
+        assert safe_mean([2.0, 4.0]) == 3.0
+
+
+class TestRatio:
+    def test_basic(self):
+        assert ratio(1, 4) == 0.25
+
+    def test_zero_denominator(self):
+        assert ratio(1, 0) == 0.0
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_median_matches(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 50) == median(values)
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)

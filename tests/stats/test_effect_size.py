@@ -1,0 +1,49 @@
+"""Tests for effect sizes."""
+
+import pytest
+
+from repro.stats.effect_size import (
+    epsilon_squared,
+    interpret_epsilon_squared,
+    rank_biserial,
+)
+
+
+class TestEpsilonSquared:
+    def test_zero_effect(self):
+        assert epsilon_squared(0.0, 100) == 0.0
+
+    def test_formula(self):
+        # eps^2 = H (n+1) / (n^2 - 1) = H / (n - 1)
+        assert epsilon_squared(5.0, 101) == pytest.approx(5.0 / 100)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            epsilon_squared(1.0, 1)
+
+    @pytest.mark.parametrize(
+        "value,label",
+        [
+            (0.002, "negligible"),
+            (0.02, "weak"),
+            (0.1, "moderate"),
+            (0.3, "relatively strong"),
+            (0.5, "strong"),
+            (0.9, "very strong"),
+        ],
+    )
+    def test_interpretation(self, value, label):
+        assert interpret_epsilon_squared(value) == label
+
+
+class TestRankBiserial:
+    def test_complete_dominance(self):
+        assert rank_biserial([10, 11], [1, 2]) == 1.0
+        assert rank_biserial([1, 2], [10, 11]) == -1.0
+
+    def test_no_effect(self):
+        assert rank_biserial([1, 2], [1, 2]) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rank_biserial([], [1])

@@ -1,0 +1,104 @@
+"""Tests for the non-parametric tests, cross-validated against SciPy."""
+
+import random
+
+import pytest
+
+from repro.stats.nonparametric import (
+    kruskal_wallis,
+    mann_whitney_u,
+    wilcoxon_signed_rank,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+def samples(seed, n, shift=0.0):
+    rng = random.Random(seed)
+    return [rng.gauss(0, 1) + shift for _ in range(n)]
+
+
+class TestWilcoxon:
+    def test_identical_samples(self):
+        a = [1.0, 2.0, 3.0]
+        result = wilcoxon_signed_rank(a, a)
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_clear_difference_significant(self):
+        a = samples(1, 60)
+        b = [x + 2.0 for x in a]
+        assert wilcoxon_signed_rank(a, b).significant
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [1.0, 2.0])
+
+    def test_matches_scipy(self):
+        a = samples(2, 80)
+        b = [x + random.Random(3).gauss(0.3, 1) for x in a]
+        ours = wilcoxon_signed_rank(a, b)
+        theirs = scipy_stats.wilcoxon(a, b, correction=False, mode="approx")
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=0.02)
+
+
+class TestMannWhitney:
+    def test_identical_distributions(self):
+        a = samples(4, 50)
+        b = samples(5, 50)
+        result = mann_whitney_u(a, b)
+        assert not result.significant
+
+    def test_shifted_distributions(self):
+        a = samples(6, 80)
+        b = samples(7, 80, shift=1.5)
+        assert mann_whitney_u(a, b).significant
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_matches_scipy(self):
+        a = samples(8, 60)
+        b = samples(9, 70, shift=0.4)
+        ours = mann_whitney_u(a, b)
+        theirs = scipy_stats.mannwhitneyu(a, b, alternative="two-sided", method="asymptotic")
+        expected_stat = min(theirs.statistic, len(a) * len(b) - theirs.statistic)
+        assert ours.statistic == pytest.approx(expected_stat)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=0.02)
+
+
+class TestKruskalWallis:
+    def test_identical_groups(self):
+        groups = [samples(10, 40), samples(11, 40), samples(12, 40)]
+        assert not kruskal_wallis(*groups).significant
+
+    def test_shifted_groups(self):
+        groups = [samples(13, 50), samples(14, 50, 1.0), samples(15, 50, 2.0)]
+        assert kruskal_wallis(*groups).significant
+
+    def test_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            kruskal_wallis([1.0, 2.0])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            kruskal_wallis([1.0], [])
+
+    def test_matches_scipy(self):
+        groups = [samples(16, 40), samples(17, 45, 0.5), samples(18, 50, 1.0)]
+        ours = kruskal_wallis(*groups)
+        theirs = scipy_stats.kruskal(*groups)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-6)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-3)
+
+    def test_with_ties_matches_scipy(self):
+        rng = random.Random(19)
+        groups = [
+            [float(rng.randint(0, 5)) for _ in range(40)] for _ in range(3)
+        ]
+        ours = kruskal_wallis(*groups)
+        theirs = scipy_stats.kruskal(*groups)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-6)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-3)

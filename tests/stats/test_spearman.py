@@ -1,0 +1,48 @@
+"""Tests for Spearman rank correlation (cross-validated against SciPy)."""
+
+import random
+
+import pytest
+
+from repro.stats.nonparametric import spearman_rho
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman_rho([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        assert spearman_rho([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_nonlinear_monotone_still_one(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert spearman_rho(values, [v**3 for v in values]) == pytest.approx(1.0)
+
+    def test_constant_sample_returns_zero(self):
+        assert spearman_rho([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1], [1, 2])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1], [2])
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = random.Random(3)
+        a = [rng.gauss(0, 1) for _ in range(60)]
+        b = [x + rng.gauss(0, 1) for x in a]
+        ours = spearman_rho(a, b)
+        theirs = scipy_stats.spearmanr(a, b).statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_ties_match_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = random.Random(4)
+        a = [float(rng.randint(0, 4)) for _ in range(50)]
+        b = [float(rng.randint(0, 4)) for _ in range(50)]
+        ours = spearman_rho(a, b)
+        theirs = scipy_stats.spearmanr(a, b).statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)

@@ -1,0 +1,58 @@
+"""Tests for the export module."""
+
+import csv
+import json
+
+from repro import export
+
+
+class TestCsvExports:
+    def test_visits_roundtrip_counts(self, store, tmp_path):
+        out = tmp_path / "visits.csv"
+        rows = export.export_visits_csv(store, out)
+        assert rows == store.visit_count(success_only=False)
+        with open(out) as handle:
+            data = list(csv.DictReader(handle))
+        assert len(data) == rows
+        assert {"0", "1"} >= {row["success"] for row in data}
+
+    def test_requests_only_successful_visits(self, store, tmp_path):
+        out = tmp_path / "requests.csv"
+        rows = export.export_requests_csv(store, out)
+        expected = sum(
+            len(store.requests_for_visit(v.visit_id)) for v in store.iter_visits()
+        )
+        assert rows == expected
+
+    def test_cookies(self, store, tmp_path):
+        out = tmp_path / "cookies.csv"
+        rows = export.export_cookies_csv(store, out)
+        assert rows > 0
+        with open(out) as handle:
+            data = list(csv.DictReader(handle))
+        assert all(row["domain"] for row in data)
+
+
+class TestAnalysisExports:
+    def test_trees_jsonl(self, dataset, tmp_path):
+        out = tmp_path / "trees.jsonl"
+        pages = export.export_trees_jsonl(dataset, out)
+        assert pages == len(dataset)
+        with open(out) as handle:
+            for line in handle:
+                document = json.loads(line)
+                for nodes in document["profiles"].values():
+                    for node in nodes:
+                        assert node["depth"] >= 1
+                        assert node["parent"] is not None
+
+    def test_node_comparisons(self, dataset, tmp_path):
+        out = tmp_path / "nodes.csv"
+        rows = export.export_node_comparisons_csv(dataset, out)
+        assert rows == dataset.node_count()
+        with open(out) as handle:
+            data = list(csv.DictReader(handle))
+        for row in data[:50]:
+            assert 0.0 <= float(row["child_similarity"]) <= 1.0
+            assert 0.0 <= float(row["parent_similarity"]) <= 1.0
+            assert 1 <= int(row["presence_count"]) <= 5

@@ -1,0 +1,132 @@
+"""End-to-end integration tests: the full paper pipeline at small scale.
+
+These assert the *shape* findings the paper reports, on a fresh pipeline
+(independent from the session fixtures) so a regression anywhere in the
+stack — generator, engine, crawler, store, trees, analysis — surfaces here.
+"""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisDataset,
+    DepthAnalyzer,
+    PartyAnalyzer,
+    ProfileAnalyzer,
+    TrackingAnalyzer,
+    TreeStatsAnalyzer,
+    UniqueNodeAnalyzer,
+    VerticalAnalyzer,
+)
+from repro.blocklist import build_filter_list
+from repro.crawler import Commander, MeasurementStore
+from repro.web import WebGenerator
+
+RANKS = [1, 2, 3, 4, 6001, 12000, 60001, 300001]
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    generator = WebGenerator(seed=314)
+    store = MeasurementStore()
+    commander = Commander(generator, store, max_pages_per_site=4)
+    summary = commander.run(ranks=RANKS)
+    filter_list = build_filter_list(generator.ecosystem)
+    dataset = AnalysisDataset.from_store(store, filter_list=filter_list)
+    return generator, store, summary, dataset
+
+
+class TestCrawlOutcome:
+    def test_success_rates_paper_band(self, pipeline):
+        _, _, summary, _ = pipeline
+        # Paper: each profile has a success rate of at least 89%; we allow
+        # a wider band at small scale but every profile must be high.
+        for profile, visits in summary.visits.items():
+            assert visits > 0
+            assert summary.success_rate(profile) > 0.75, profile
+
+    def test_vetting_drops_some_pages(self, pipeline):
+        _, store, _, dataset = pipeline
+        total_pages = len(store.pages())
+        assert 0 < len(dataset) <= total_pages
+
+
+class TestHeadlineShapes:
+    def test_node_presence_shape(self, pipeline):
+        *_, dataset = pipeline
+        overview = TreeStatsAnalyzer().overview(dataset)
+        # Paper Table 2: presence avg 3.6/5, ~half in all, ~quarter in one.
+        assert 3.0 <= overview.mean_presence <= 4.4
+        assert overview.present_in_all_share > 0.3
+        assert overview.present_in_one_share > 0.1
+
+    def test_depth_similarity_ordering(self, pipeline):
+        *_, dataset = pipeline
+        rows = {row.label: row for row in DepthAnalyzer().table3(dataset)}
+        assert (
+            rows["nodes in all trees"].similarity
+            > rows["first-party nodes"].similarity
+            > rows["third-party nodes"].similarity
+        )
+
+    def test_chains_mostly_but_not_fully_deterministic(self, pipeline):
+        *_, dataset = pipeline
+        analyzer = VerticalAnalyzer()
+        records = analyzer.all_records(dataset)
+        stats = analyzer.chain_statistics(records)
+        assert 0.5 < stats.same_chain_share < 1.0
+        same_parent = analyzer.same_parent_share(records)
+        assert 0.4 < same_parent < 1.0
+
+    def test_party_contrast(self, pipeline):
+        *_, dataset = pipeline
+        result = PartyAnalyzer().analyze(dataset)
+        assert result.first_party.child_similarity.mean > result.third_party.child_similarity.mean
+        assert result.third_party.node_share > result.first_party.node_share
+
+    def test_interaction_profile_grows_trees(self, pipeline):
+        *_, dataset = pipeline
+        effect = ProfileAnalyzer().interaction_effect(dataset)
+        assert effect["node_increase"] > 0.15
+        assert effect["third_party_increase"] > 0.1
+
+    def test_headless_similar_to_gui(self, pipeline):
+        *_, dataset = pipeline
+        totals = {row.profile: row for row in ProfileAnalyzer().totals(dataset)}
+        sim = totals["Sim1"].nodes
+        headless = totals["Headless"].nodes
+        assert abs(headless - sim) / sim < 0.15
+
+    def test_old_browser_similar_to_current(self, pipeline):
+        *_, dataset = pipeline
+        totals = {row.profile: row for row in ProfileAnalyzer().totals(dataset)}
+        sim = totals["Sim1"].nodes
+        old = totals["Old"].nodes
+        assert abs(old - sim) / sim < 0.15
+
+    def test_tracking_less_stable(self, pipeline):
+        *_, dataset = pipeline
+        report = TrackingAnalyzer().analyze(dataset)
+        assert (
+            report.child_similarity_tracking.mean
+            < report.child_similarity_non_tracking.mean
+        )
+
+    def test_unique_nodes_third_party_heavy(self, pipeline):
+        *_, dataset = pipeline
+        report = UniqueNodeAnalyzer().analyze(dataset)
+        assert report.unique_share > 0.03
+        assert report.third_party_share > 0.6
+
+
+class TestDeterminism:
+    def test_pipeline_reproducible(self):
+        def run():
+            generator = WebGenerator(seed=555)
+            store = MeasurementStore()
+            Commander(generator, store, max_pages_per_site=2).run(ranks=[1, 2])
+            return [
+                (v.visit_id, v.profile_name, v.page_url, v.success)
+                for v in store.iter_visits(success_only=False)
+            ]
+
+        assert run() == run()

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.jaccard import jaccard, pairwise_mean_jaccard
+from repro.rng import child_rng, derive_seed, stable_fraction, stable_hash
+from repro.stats.descriptive import percentile, summarize
+from repro.stats.nonparametric import kruskal_wallis, mann_whitney_u, wilcoxon_signed_rank
+from repro.trees.normalize import normalize_url
+from repro.web import psl
+from repro.web.url import URL
+
+# -- strategies ----------------------------------------------------------------
+
+_label = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+_host = st.builds(
+    lambda labels, tld: ".".join(labels + [tld]),
+    st.lists(_label, min_size=1, max_size=3),
+    st.sampled_from(["com", "org", "net", "de", "co.uk", "io"]),
+)
+_path_segment = st.text(
+    alphabet=string.ascii_letters + string.digits + "-_", min_size=1, max_size=10
+)
+_urls = st.builds(
+    lambda host, segments, params: str(
+        URL(
+            scheme="https",
+            host=host,
+            path="/" + "/".join(segments),
+            query=tuple(params),
+        )
+    ),
+    _host,
+    st.lists(_path_segment, min_size=0, max_size=4),
+    st.lists(st.tuples(_label, _label), min_size=0, max_size=3),
+)
+
+_float_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=60
+)
+
+# -- URL properties -------------------------------------------------------------
+
+
+@given(_urls)
+def test_url_parse_serialize_roundtrip(url_text):
+    parsed = URL.parse(url_text)
+    assert URL.parse(str(parsed)) == parsed
+
+
+@given(_urls)
+def test_normalization_idempotent(url_text):
+    once = normalize_url(url_text)
+    assert normalize_url(once) == once
+
+
+@given(_urls)
+def test_normalization_preserves_origin_and_path(url_text):
+    parsed = URL.parse(url_text)
+    normalized = URL.parse(normalize_url(url_text))
+    assert normalized.host == parsed.host
+    assert normalized.path == parsed.path
+    assert normalized.query_keys() == parsed.query_keys()
+
+
+@given(_urls)
+def test_normalized_query_values_empty(url_text):
+    normalized = URL.parse(normalize_url(url_text))
+    assert all(value == "" for _, value in normalized.query)
+
+
+# -- PSL properties ---------------------------------------------------------------
+
+
+@given(_host)
+def test_registrable_domain_is_suffix_of_host(host):
+    domain = psl.registrable_domain(host)
+    if domain is not None:
+        assert host == domain or host.endswith("." + domain)
+
+
+@given(_host)
+def test_same_site_reflexive_when_registrable(host):
+    assume(psl.registrable_domain(host) is not None)
+    assert psl.same_site(host, host)
+
+
+@given(_host, _host)
+def test_same_site_symmetric(host_a, host_b):
+    assert psl.same_site(host_a, host_b) == psl.same_site(host_b, host_a)
+
+
+@given(_label, _host)
+def test_subdomain_same_site(sub, host):
+    assume(psl.registrable_domain(host) is not None)
+    assert psl.same_site(f"{sub}.{host}", host)
+
+
+# -- Jaccard properties ---------------------------------------------------------------
+
+_sets = st.sets(st.integers(min_value=0, max_value=50), max_size=20)
+
+
+@given(_sets, _sets)
+def test_jaccard_bounds_and_symmetry(a, b):
+    value = jaccard(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == jaccard(b, a)
+
+
+@given(_sets)
+def test_jaccard_identity(a):
+    assert jaccard(a, a) == 1.0
+
+
+@given(_sets, _sets)
+def test_jaccard_zero_iff_disjoint_nonempty(a, b):
+    value = jaccard(a, b)
+    if a or b:
+        assert (value == 0.0) == (not (a & b))
+
+
+@given(st.lists(_sets, min_size=1, max_size=6))
+def test_pairwise_mean_bounds(sets):
+    assert 0.0 <= pairwise_mean_jaccard(sets) <= 1.0
+
+
+@given(_sets, st.integers(min_value=2, max_value=5))
+def test_pairwise_mean_of_identical_sets_is_one(a, n):
+    assert pairwise_mean_jaccard([a] * n) == 1.0
+
+
+# -- RNG properties ---------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0), st.text(max_size=20))
+def test_derive_seed_deterministic(seed, label):
+    assert derive_seed(seed, label) == derive_seed(seed, label)
+
+
+@given(st.integers(min_value=0), st.text(max_size=20), st.text(max_size=20))
+def test_derive_seed_label_sensitivity(seed, label_a, label_b):
+    assume(label_a != label_b)
+    assert derive_seed(seed, label_a) != derive_seed(seed, label_b)
+
+
+@given(st.text(max_size=50))
+def test_stable_fraction_range(text):
+    assert 0.0 <= stable_fraction(text) < 1.0
+
+
+@given(st.text(max_size=50))
+def test_stable_hash_deterministic(text):
+    assert stable_hash(text) == stable_hash(text)
+
+
+@given(st.integers(min_value=0), st.text(min_size=1, max_size=10))
+def test_child_rng_streams_reproducible(seed, label):
+    a = child_rng(seed, label)
+    b = child_rng(seed, label)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+# -- statistics properties -----------------------------------------------------------------
+
+
+@given(_float_lists)
+def test_summary_invariants(values):
+    summary = summarize(values)
+    tolerance = 1e-9 * max(1.0, abs(summary.maximum), abs(summary.minimum))
+    assert summary.minimum <= summary.median <= summary.maximum
+    assert summary.minimum - tolerance <= summary.mean <= summary.maximum + tolerance
+    assert summary.sd >= 0.0
+    assert summary.n == len(values)
+
+
+@given(_float_lists, st.floats(min_value=0, max_value=100))
+def test_percentile_within_bounds(values, q):
+    value = percentile(values, q)
+    assert min(values) <= value <= max(values)
+
+
+@given(_float_lists)
+@settings(max_examples=30)
+def test_wilcoxon_identical_is_insignificant(values):
+    result = wilcoxon_signed_rank(values, values)
+    assert result.p_value == 1.0
+
+
+@given(_float_lists, _float_lists)
+@settings(max_examples=30)
+def test_mann_whitney_p_in_range(a, b):
+    result = mann_whitney_u(a, b)
+    assert 0.0 <= result.p_value <= 1.0
+    assert result.statistic >= 0.0
+
+
+@given(st.lists(_float_lists, min_size=2, max_size=4))
+@settings(max_examples=30)
+def test_kruskal_p_in_range(groups):
+    result = kruskal_wallis(*groups)
+    assert 0.0 <= result.p_value <= 1.0

@@ -1,0 +1,216 @@
+"""Tests for dependency-tree construction from request records."""
+
+import pytest
+
+from repro.browser.callstack import CallStack, EMPTY_STACK
+from repro.browser.network import RequestRecord, VisitRecord
+from repro.errors import TreeConstructionError
+from repro.trees.builder import TreeBuilder, build_tree
+from repro.web.resources import ResourceType
+
+PAGE = "https://site.com/"
+
+
+def make_visit(success=True):
+    return VisitRecord(
+        visit_id=1,
+        profile_name="Sim1",
+        site="site.com",
+        site_rank=1,
+        page_url=PAGE,
+        success=success,
+        started_at=0.0,
+        duration=1.0,
+    )
+
+
+def request(
+    request_id,
+    url,
+    rtype=ResourceType.SCRIPT,
+    frame_id=0,
+    parent_frame_id=None,
+    stack=EMPTY_STACK,
+    redirect_from=None,
+):
+    return RequestRecord(
+        request_id=request_id,
+        visit_id=1,
+        url=url,
+        top_level_url=PAGE,
+        resource_type=rtype.value,
+        frame_id=frame_id,
+        parent_frame_id=parent_frame_id,
+        timestamp=float(request_id),
+        call_stack=stack,
+        redirect_from=redirect_from,
+    )
+
+
+def main_request():
+    return request(1, PAGE, ResourceType.MAIN_FRAME)
+
+
+class TestAttributionOrder:
+    def test_document_loads_attach_to_root(self):
+        tree = build_tree(make_visit(), [main_request(), request(2, "https://site.com/a.js")])
+        node = tree.node("https://site.com/a.js")
+        assert node.parent is tree.root
+        assert node.depth == 1
+
+    def test_call_stack_attribution(self):
+        records = [
+            main_request(),
+            request(2, "https://site.com/a.js"),
+            request(
+                3,
+                "https://trk.com/pixel.gif",
+                ResourceType.BEACON,
+                stack=CallStack.for_initiator("https://site.com/a.js"),
+            ),
+        ]
+        tree = build_tree(make_visit(), records)
+        assert (
+            tree.node("https://trk.com/pixel.gif").parent_key()
+            == "https://site.com/a.js"
+        )
+
+    def test_redirect_beats_stack(self):
+        records = [
+            main_request(),
+            request(2, "https://site.com/a.js"),
+            request(3, "https://trk.com/first", ResourceType.BEACON,
+                    stack=CallStack.for_initiator("https://site.com/a.js")),
+            request(4, "https://sync.com/second", ResourceType.BEACON,
+                    stack=CallStack.for_initiator("https://site.com/a.js"),
+                    redirect_from=3),
+        ]
+        tree = build_tree(make_visit(), records)
+        assert tree.node("https://sync.com/second").parent_key() == "https://trk.com/first"
+        assert tree.node("https://sync.com/second").depth == 3
+
+    def test_frame_attribution(self):
+        records = [
+            main_request(),
+            request(2, "https://ads.com/frame.html", ResourceType.SUB_FRAME,
+                    frame_id=1, parent_frame_id=0),
+            request(3, "https://ads.com/inner.png", ResourceType.IMAGE, frame_id=1,
+                    parent_frame_id=0),
+        ]
+        tree = build_tree(make_visit(), records)
+        frame = tree.node("https://ads.com/frame.html")
+        inner = tree.node("https://ads.com/inner.png")
+        assert frame.parent is tree.root
+        assert inner.parent is frame
+
+    def test_nested_frames(self):
+        records = [
+            main_request(),
+            request(2, "https://a.com/outer.html", ResourceType.SUB_FRAME,
+                    frame_id=1, parent_frame_id=0),
+            request(3, "https://b.com/inner.html", ResourceType.SUB_FRAME,
+                    frame_id=2, parent_frame_id=1),
+            request(4, "https://b.com/img.png", ResourceType.IMAGE, frame_id=2,
+                    parent_frame_id=1),
+        ]
+        tree = build_tree(make_visit(), records)
+        assert tree.node("https://b.com/inner.html").depth == 2
+        assert tree.node("https://b.com/img.png").depth == 3
+
+    def test_stack_on_frame_document_wins_over_frame_nesting(self):
+        records = [
+            main_request(),
+            request(2, "https://site.com/a.js"),
+            request(3, "https://ads.com/frame.html", ResourceType.SUB_FRAME,
+                    frame_id=1, parent_frame_id=0,
+                    stack=CallStack.for_initiator("https://site.com/a.js")),
+        ]
+        tree = build_tree(make_visit(), records)
+        assert tree.node("https://ads.com/frame.html").parent_key() == "https://site.com/a.js"
+
+    def test_unknown_stack_url_falls_back(self):
+        records = [
+            main_request(),
+            request(2, "https://x.com/y.js",
+                    stack=CallStack.for_initiator("https://never-seen.com/z.js")),
+        ]
+        tree = build_tree(make_visit(), records)
+        assert tree.node("https://x.com/y.js").parent is tree.root
+
+
+class TestNormalizationInBuilder:
+    def test_session_params_merge_to_one_node(self):
+        records = [
+            main_request(),
+            request(2, "https://site.com/api?session=abc", ResourceType.XHR),
+            request(3, "https://site.com/api?session=def", ResourceType.XHR),
+        ]
+        tree = build_tree(make_visit(), records)
+        assert tree.node_count == 1
+        node = tree.node("https://site.com/api?session=")
+        assert node is not None
+        assert len(node.raw_urls) == 2
+
+    def test_stack_initiator_matched_by_normalized_url(self):
+        records = [
+            main_request(),
+            request(2, "https://site.com/a.js?v=1"),
+            request(3, "https://trk.com/p.gif", ResourceType.BEACON,
+                    stack=CallStack.for_initiator("https://site.com/a.js?v=2")),
+        ]
+        tree = build_tree(make_visit(), records)
+        # v=1 vs v=2 normalize to the same node, so the stack resolves.
+        assert tree.node("https://trk.com/p.gif").parent_key() == "https://site.com/a.js?v="
+
+
+class TestBuilderContracts:
+    def test_failed_visit_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            build_tree(make_visit(success=False), [])
+
+    def test_page_url_normalized_for_root(self):
+        visit = VisitRecord(
+            visit_id=1, profile_name="P", site="site.com", site_rank=1,
+            page_url="https://site.com/?ref=xyz", success=True,
+            started_at=0.0, duration=1.0,
+        )
+        tree = TreeBuilder().build(visit, [])
+        assert tree.page_url == "https://site.com/?ref="
+
+    def test_tracking_annotated_when_filter_given(self):
+        from repro.blocklist.matcher import FilterList
+
+        builder = TreeBuilder(filter_list=FilterList.from_text("||trk.com^\n"))
+        records = [
+            main_request(),
+            request(2, "https://trk.com/p.gif", ResourceType.BEACON),
+        ]
+        tree = builder.build(make_visit(), records)
+        assert tree.node("https://trk.com/p.gif").is_tracking
+
+
+class TestStoreIntegration:
+    def test_build_for_page(self, store, filter_list):
+        profiles = store.profiles()
+        pages = store.pages_crawled_by_all(profiles)
+        builder = TreeBuilder(filter_list=filter_list)
+        trees = builder.build_for_page(store, pages[0], profiles)
+        assert set(trees) == set(profiles)
+        for tree in trees.values():
+            assert tree.node_count > 0
+            assert tree.max_depth >= 1
+
+    def test_iter_page_trees_respects_vetting(self, store):
+        profiles = store.profiles()
+        builder = TreeBuilder()
+        tree_sets = list(builder.iter_page_trees(store, profiles))
+        assert len(tree_sets) == len(store.pages_crawled_by_all(profiles))
+        for trees in tree_sets:
+            assert len(trees) == len(profiles)
+
+    def test_normalizer_stats_accumulate(self, store):
+        profiles = store.profiles()
+        builder = TreeBuilder()
+        list(builder.iter_page_trees(store, profiles))
+        # A large share of synthetic URLs carries session params.
+        assert 0.05 < builder.normalizer.stats.changed_ratio < 0.9

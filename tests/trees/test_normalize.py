@@ -1,0 +1,65 @@
+"""Tests for URL normalization (the paper's node-identity step)."""
+
+from repro.trees.normalize import UrlNormalizer, normalize_url
+
+
+class TestNormalizeUrl:
+    def test_strips_query_values(self):
+        assert (
+            normalize_url("https://foo.com/scriptA.js?s_id=1234")
+            == "https://foo.com/scriptA.js?s_id="
+        )
+
+    def test_paper_example_equality(self):
+        a = normalize_url("https://foo.com/scriptA.js?s_id=1234")
+        b = normalize_url("https://foo.com/scriptA.js?s_id=abcd")
+        assert a == b
+
+    def test_keeps_keys_in_order(self):
+        assert (
+            normalize_url("https://e.com/x?b=2&a=1")
+            == "https://e.com/x?b=&a="
+        )
+
+    def test_no_query_untouched(self):
+        assert normalize_url("https://e.com/x") == "https://e.com/x"
+
+    def test_disabled_keeps_values(self):
+        assert (
+            normalize_url("https://e.com/x?a=1", strip_query_values=False)
+            == "https://e.com/x?a=1"
+        )
+
+    def test_idempotent(self):
+        once = normalize_url("https://e.com/x?a=1&b=two")
+        assert normalize_url(once) == once
+
+    def test_unparseable_returned_verbatim(self):
+        assert normalize_url("not-a-url") == "not-a-url"
+
+
+class TestNormalizerStats:
+    def test_changed_ratio(self):
+        normalizer = UrlNormalizer()
+        normalizer.normalize("https://e.com/a?x=1")  # changed
+        normalizer.normalize("https://e.com/b")  # unchanged
+        assert normalizer.stats.total == 2
+        assert normalizer.stats.changed == 1
+        assert normalizer.stats.changed_ratio == 0.5
+
+    def test_cache_still_counts(self):
+        normalizer = UrlNormalizer()
+        for _ in range(3):
+            normalizer.normalize("https://e.com/a?x=1")
+        assert normalizer.stats.total == 3
+        assert normalizer.stats.changed == 3
+
+    def test_unparseable_counted(self):
+        normalizer = UrlNormalizer()
+        normalizer.normalize("::garbage::")
+        assert normalizer.stats.unparseable == 1
+
+    def test_parse_lenient(self):
+        normalizer = UrlNormalizer()
+        assert normalizer.parse("https://e.com/") is not None
+        assert normalizer.parse("garbage") is None

@@ -1,0 +1,118 @@
+"""Tests for DependencyTree and TreeNode."""
+
+from repro.blocklist.matcher import FilterList
+from repro.trees.tree import DependencyTree
+from repro.web.resources import ResourceType
+
+from ..helpers import make_tree
+
+PAGE = "https://site.com/"
+
+
+def sample_tree():
+    return make_tree(
+        PAGE,
+        {
+            "https://site.com/a.js": {
+                "https://trk.com/pixel.gif": None,
+                "https://site.com/api.json": None,
+            },
+            "https://site.com/b.png": None,
+            "https://ads.com/frame.html": {
+                "https://ads.com/creative.jpg": None,
+            },
+        },
+    )
+
+
+class TestStructure:
+    def test_node_count_excludes_root(self):
+        assert sample_tree().node_count == 6
+
+    def test_depths(self):
+        tree = sample_tree()
+        assert tree.root.depth == 0
+        assert tree.node("https://site.com/a.js").depth == 1
+        assert tree.node("https://trk.com/pixel.gif").depth == 2
+
+    def test_max_depth_and_breadth(self):
+        tree = sample_tree()
+        assert tree.max_depth == 2
+        assert tree.breadth == 3  # three nodes at depth 1
+
+    def test_depth_histogram(self):
+        assert sample_tree().depth_histogram() == {1: 3, 2: 3}
+
+    def test_nodes_at_depth(self):
+        keys = sample_tree().keys_at_depth(1)
+        assert keys == {
+            "https://site.com/a.js",
+            "https://site.com/b.png",
+            "https://ads.com/frame.html",
+        }
+
+    def test_depth_zero_is_root(self):
+        nodes = sample_tree().nodes_at_depth(0)
+        assert [n.key for n in nodes] == [PAGE]
+
+    def test_chain(self):
+        tree = sample_tree()
+        chain = tree.node("https://trk.com/pixel.gif").chain()
+        assert chain == (PAGE, "https://site.com/a.js", "https://trk.com/pixel.gif")
+
+    def test_branches_are_root_to_leaf(self):
+        branches = sample_tree().branches()
+        assert all(b[0] == PAGE for b in branches)
+        assert len(branches) == 4  # four leaves
+
+    def test_contains(self):
+        tree = sample_tree()
+        assert "https://site.com/a.js" in tree
+        assert "https://nope.com/" not in tree
+
+
+class TestMerging:
+    def test_same_key_merges_first_parent_wins(self):
+        tree = DependencyTree(PAGE, "P", 1)
+        parent_a = tree.attach("https://site.com/a.js", ResourceType.SCRIPT, tree.root, "raw", 1)
+        parent_b = tree.attach("https://site.com/b.js", ResourceType.SCRIPT, tree.root, "raw", 2)
+        tree.attach("https://cdn.com/lib.js", ResourceType.SCRIPT, parent_a, "raw1", 3)
+        node = tree.attach("https://cdn.com/lib.js", ResourceType.SCRIPT, parent_b, "raw2", 4)
+        assert node.parent is parent_a
+        assert tree.node_count == 3
+        assert node.raw_urls == {"raw1", "raw2"}
+        assert node.request_ids == [3, 4]
+
+
+class TestPartyAnnotation:
+    def test_first_vs_third_party(self):
+        tree = sample_tree()
+        assert not tree.node("https://site.com/a.js").is_third_party
+        assert tree.node("https://trk.com/pixel.gif").is_third_party
+        assert len(tree.first_party_nodes()) == 3
+        assert len(tree.third_party_nodes()) == 3
+
+    def test_third_party_sites(self):
+        assert sample_tree().third_party_sites() == {"trk.com", "ads.com"}
+
+    def test_subdomain_is_first_party(self):
+        tree = make_tree(PAGE, {"https://cdn.site.com/x.png": None})
+        assert not tree.node("https://cdn.site.com/x.png").is_third_party
+
+
+class TestTrackingAnnotation:
+    def test_annotate_tracking(self):
+        tree = sample_tree()
+        filter_list = FilterList.from_text("||trk.com^\n||ads.com^$image\n")
+        count = tree.annotate_tracking(filter_list)
+        assert count == 2
+        assert tree.node("https://trk.com/pixel.gif").is_tracking
+        assert tree.node("https://ads.com/creative.jpg").is_tracking
+        assert not tree.node("https://ads.com/frame.html").is_tracking
+        assert len(tree.tracking_nodes()) == 2
+
+    def test_node_host_and_site(self):
+        tree = sample_tree()
+        node = tree.node("https://trk.com/pixel.gif")
+        assert node.host == "trk.com"
+        assert node.site == "trk.com"

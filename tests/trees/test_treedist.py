@@ -1,0 +1,120 @@
+"""Tests for whole-tree distance measures."""
+
+import pytest
+
+from repro.trees.treedist import (
+    depth_weighted_distance,
+    edit_distance,
+    hamming_distance,
+    similarity_from_distance,
+)
+
+from ..helpers import make_tree
+
+PAGE = "https://site.com/"
+
+BASE = {
+    "https://site.com/a.js": {"https://t.com/p.gif": None},
+    "https://site.com/b.png": None,
+}
+
+
+def tree(structure=BASE, profile="A"):
+    return make_tree(PAGE, structure, profile=profile)
+
+
+class TestHamming:
+    def test_identical_zero(self):
+        assert hamming_distance(tree(), tree(structure=BASE, profile="B")) == 0.0
+
+    def test_counts_symmetric_difference(self):
+        other = {
+            "https://site.com/a.js": {"https://t.com/p.gif": None},
+            "https://site.com/c.png": None,
+        }
+        assert hamming_distance(tree(), tree(other, "B")) == 2.0
+
+    def test_normalized(self):
+        other = {"https://site.com/a.js": None}
+        # keys: base {a, p, b}; other {a} -> diff 2, union 3.
+        assert hamming_distance(tree(), tree(other, "B"), normalized=True) == pytest.approx(2 / 3)
+
+    def test_symmetry(self):
+        other = {"https://site.com/x.js": None}
+        assert hamming_distance(tree(), tree(other, "B")) == hamming_distance(
+            tree(other, "B"), tree()
+        )
+
+
+class TestDepthWeighted:
+    def test_deep_disagreement_weighs_less(self):
+        deep_diff = {
+            "https://site.com/a.js": {"https://t.com/OTHER.gif": None},
+            "https://site.com/b.png": None,
+        }
+        shallow_diff = {
+            "https://site.com/a.js": {"https://t.com/p.gif": None},
+            "https://site.com/OTHER.png": None,
+        }
+        base = tree()
+        assert depth_weighted_distance(base, tree(deep_diff, "B")) < depth_weighted_distance(
+            base, tree(shallow_diff, "C")
+        )
+
+    def test_decay_one_equals_hamming(self):
+        other = {"https://site.com/x.js": None}
+        assert depth_weighted_distance(tree(), tree(other, "B"), decay=1.0) == hamming_distance(
+            tree(), tree(other, "B")
+        )
+
+    def test_bad_decay(self):
+        with pytest.raises(ValueError):
+            depth_weighted_distance(tree(), tree(), decay=0.0)
+
+
+class TestEditDistance:
+    def test_identical_zero(self):
+        assert edit_distance(tree(), tree(structure=BASE, profile="B")) == 0
+
+    def test_missing_subtree_costs_its_size(self):
+        smaller = {"https://site.com/b.png": None}
+        # a.js subtree has 2 nodes (a.js + pixel).
+        assert edit_distance(tree(), tree(smaller, "B")) == 2
+
+    def test_moved_node_costs_two(self):
+        # p.gif under a.js vs directly under the page: delete + insert.
+        moved = {
+            "https://site.com/a.js": None,
+            "https://t.com/p.gif": None,
+            "https://site.com/b.png": None,
+        }
+        assert edit_distance(tree(), tree(moved, "B")) == 2
+
+    def test_symmetry(self):
+        other = {"https://site.com/a.js": None}
+        assert edit_distance(tree(), tree(other, "B")) == edit_distance(
+            tree(other, "B"), tree()
+        )
+
+
+class TestSimilarityTriple:
+    def test_identical_trees_all_one(self):
+        h, w, e = similarity_from_distance(tree(), tree(structure=BASE, profile="B"))
+        assert h == w == e == 1.0
+
+    def test_bounds(self):
+        other = {"https://x.com/1.js": None, "https://x.com/2.js": None}
+        for value in similarity_from_distance(tree(), tree(other, "B")):
+            assert 0.0 <= value <= 1.0
+
+    def test_edit_sees_structure_hamming_does_not(self):
+        # Same node set, different structure: Hamming says identical,
+        # edit distance disagrees — the paper's §3.2 argument made concrete.
+        moved = {
+            "https://site.com/a.js": None,
+            "https://t.com/p.gif": None,
+            "https://site.com/b.png": None,
+        }
+        h, _, e = similarity_from_distance(tree(), tree(moved, "B"))
+        assert h == 1.0
+        assert e < 1.0

@@ -1,0 +1,121 @@
+"""Tests for blueprint dataclasses and validation."""
+
+import pytest
+
+from repro.errors import BlueprintError
+from repro.web.blueprint import (
+    CookieTemplate,
+    InclusionRule,
+    InitiatorKind,
+    PageBlueprint,
+    ResourceSlot,
+    SiteBlueprint,
+)
+from repro.web.resources import ResourceType
+from repro.web.url import URL
+
+
+def slot(slot_id="s1", url="https://e.com/a.js", rtype=ResourceType.SCRIPT, **kwargs):
+    return ResourceSlot(
+        slot_id=slot_id, url=URL.parse(url), resource_type=rtype, **kwargs
+    )
+
+
+class TestInclusionRule:
+    def test_defaults(self):
+        rule = InclusionRule()
+        assert rule.probability == 1.0
+        assert not rule.requires_interaction
+
+    def test_probability_bounds(self):
+        with pytest.raises(BlueprintError):
+            InclusionRule(probability=1.5)
+        with pytest.raises(BlueprintError):
+            InclusionRule(probability=-0.1)
+
+    def test_version_range_validation(self):
+        with pytest.raises(BlueprintError):
+            InclusionRule(min_version=95, max_version=90)
+
+
+class TestCookieTemplate:
+    def test_same_site_validation(self):
+        with pytest.raises(BlueprintError):
+            CookieTemplate(name="c", domain="e.com", same_site="bogus")
+
+    def test_set_probability_bounds(self):
+        with pytest.raises(BlueprintError):
+            CookieTemplate(name="c", domain="e.com", set_probability=2.0)
+
+
+class TestResourceSlot:
+    def test_walk_and_count(self):
+        child = slot("c1", "https://e.com/b.png", ResourceType.IMAGE)
+        parent = slot("p1", children=(child,))
+        assert [s.slot_id for s in parent.walk()] == ["p1", "c1"]
+        assert parent.count() == 2
+
+    def test_static_type_cannot_have_children(self):
+        child = slot("c1")
+        with pytest.raises(BlueprintError):
+            slot("p1", url="https://e.com/x.png", rtype=ResourceType.IMAGE, children=(child,))
+
+    def test_empty_slot_id_rejected(self):
+        with pytest.raises(BlueprintError):
+            slot("")
+
+    def test_redirect_pool_validation(self):
+        pool = (URL.parse("https://t1.com/sync"),)
+        with pytest.raises(BlueprintError):
+            slot("s", redirect_pool=pool, redirect_hops=(0, 2))
+        with pytest.raises(BlueprintError):
+            slot("s", redirect_pool=pool, redirect_hops=(2, 1))
+
+    def test_redirect_via_and_pool_exclusive(self):
+        via = (URL.parse("https://t1.com/hop"),)
+        pool = (URL.parse("https://t2.com/sync"),)
+        with pytest.raises(BlueprintError):
+            slot("s", redirect_via=via, redirect_pool=pool, redirect_hops=(0, 1))
+
+    def test_redirect_pool_on_parent_rejected(self):
+        child = slot("c1")
+        pool = (URL.parse("https://t1.com/sync"),)
+        with pytest.raises(BlueprintError):
+            slot("p", children=(child,), redirect_pool=pool, redirect_hops=(0, 1))
+
+
+class TestPageBlueprint:
+    def test_duplicate_slot_ids_rejected(self):
+        with pytest.raises(BlueprintError):
+            PageBlueprint(
+                url=URL.parse("https://e.com/"),
+                slots=(slot("dup"), slot("dup", "https://e.com/other.js")),
+            )
+
+    def test_walk_slots(self):
+        child = slot("c", "https://e.com/i.png", ResourceType.IMAGE)
+        page = PageBlueprint(
+            url=URL.parse("https://e.com/"),
+            slots=(slot("a", children=(child,)), slot("b", "https://e.com/b.js")),
+        )
+        assert {s.slot_id for s in page.walk_slots()} == {"a", "b", "c"}
+        assert page.slot_count() == 3
+
+    def test_fail_probability_bounds(self):
+        with pytest.raises(BlueprintError):
+            PageBlueprint(url=URL.parse("https://e.com/"), fail_probability=1.5)
+
+
+class TestSiteBlueprint:
+    def test_page_lookup(self):
+        landing = PageBlueprint(url=URL.parse("https://e.com/"))
+        sub = PageBlueprint(url=URL.parse("https://e.com/about"))
+        site = SiteBlueprint(domain="e.com", rank=10, landing_page=landing, subpages=(sub,))
+        assert site.page_for("https://e.com/about") is sub
+        assert site.page_for("https://e.com/missing") is None
+        assert site.pages == (landing, sub)
+
+    def test_rank_validation(self):
+        landing = PageBlueprint(url=URL.parse("https://e.com/"))
+        with pytest.raises(BlueprintError):
+            SiteBlueprint(domain="e.com", rank=0, landing_page=landing)

@@ -1,0 +1,179 @@
+"""Tests for per-visit slot sampling."""
+
+from repro.web.blueprint import InclusionRule, PageBlueprint, ResourceSlot
+from repro.web.dynamics import SlotSampler, VisitConditions, expected_slot_count, sample_page
+from repro.web.resources import ResourceType
+from repro.web.url import URL
+
+FULL = VisitConditions(user_interaction=True, browser_version=95, headless=False)
+NO_INTERACTION = VisitConditions(user_interaction=False, browser_version=95, headless=False)
+OLD = VisitConditions(user_interaction=True, browser_version=86, headless=False)
+HEADLESS = VisitConditions(user_interaction=True, browser_version=95, headless=True)
+
+
+def make_slot(slot_id, rule=InclusionRule(), **kwargs):
+    return ResourceSlot(
+        slot_id=slot_id,
+        url=kwargs.pop("url", URL.parse(f"https://e.com/{slot_id}.js")),
+        resource_type=kwargs.pop("rtype", ResourceType.SCRIPT),
+        rule=rule,
+        **kwargs,
+    )
+
+
+def make_page(*slots):
+    return PageBlueprint(url=URL.parse("https://e.com/"), slots=tuple(slots))
+
+
+class TestGates:
+    def test_interaction_gate(self):
+        page = make_page(make_slot("lazy", InclusionRule(requires_interaction=True)))
+        assert list(sample_page(page, NO_INTERACTION, visit_seed=1)) == []
+        assert len(list(sample_page(page, FULL, visit_seed=1))) == 1
+
+    def test_min_version_gate(self):
+        page = make_page(make_slot("new", InclusionRule(min_version=90)))
+        assert list(sample_page(page, OLD, visit_seed=1)) == []
+        assert len(list(sample_page(page, FULL, visit_seed=1))) == 1
+
+    def test_max_version_gate(self):
+        page = make_page(make_slot("legacy", InclusionRule(max_version=90)))
+        assert len(list(sample_page(page, OLD, visit_seed=1))) == 1
+        assert list(sample_page(page, FULL, visit_seed=1)) == []
+
+    def test_headless_gate(self):
+        page = make_page(make_slot("visible", InclusionRule(headless_visible=False)))
+        assert list(sample_page(page, HEADLESS, visit_seed=1)) == []
+        assert len(list(sample_page(page, FULL, visit_seed=1))) == 1
+
+    def test_always_included(self):
+        page = make_page(make_slot("sure"))
+        for seed in range(10):
+            assert len(list(sample_page(page, FULL, visit_seed=seed))) == 1
+
+
+class TestProbability:
+    def test_probability_frequency(self):
+        page = make_page(make_slot("half", InclusionRule(probability=0.5)))
+        included = sum(
+            1 for seed in range(400) if list(sample_page(page, FULL, visit_seed=seed))
+        )
+        assert 140 <= included <= 260  # loose band around 200
+
+    def test_deterministic_per_seed(self):
+        page = make_page(make_slot("half", InclusionRule(probability=0.5)))
+        first = [bool(list(sample_page(page, FULL, visit_seed=s))) for s in range(50)]
+        second = [bool(list(sample_page(page, FULL, visit_seed=s))) for s in range(50)]
+        assert first == second
+
+
+class TestRotation:
+    def make_rotation_page(self):
+        return make_page(
+            make_slot("a", InclusionRule(rotation_group="ads")),
+            make_slot("b", InclusionRule(rotation_group="ads")),
+            make_slot("c", InclusionRule(rotation_group="ads")),
+        )
+
+    def test_exactly_one_winner(self):
+        page = self.make_rotation_page()
+        for seed in range(50):
+            included = list(sample_page(page, FULL, visit_seed=seed))
+            assert len(included) == 1
+
+    def test_all_candidates_win_eventually(self):
+        page = self.make_rotation_page()
+        winners = {
+            list(sample_page(page, FULL, visit_seed=seed))[0].slot_id
+            for seed in range(100)
+        }
+        assert winners == {"a", "b", "c"}
+
+    def test_winner_consistent_within_visit(self):
+        page = self.make_rotation_page()
+        sampler = SlotSampler(page, FULL, visit_seed=7)
+        included = [s for s in page.slots if sampler.is_included(s)]
+        again = [s for s in page.slots if sampler.is_included(s)]
+        assert included == again
+
+
+class TestConcreteUrls:
+    def test_session_param_appended(self):
+        slot = make_slot("s", session_param="sid")
+        page = make_page(slot)
+        sampler = SlotSampler(page, FULL, visit_seed=1)
+        url = sampler.concrete_url(slot)
+        assert url.get_param("sid")
+        assert url.strip_query_values() == slot.url.with_param("sid", "")
+
+    def test_session_param_differs_per_visit(self):
+        slot = make_slot("s", session_param="sid")
+        page = make_page(slot)
+        url_a = SlotSampler(page, FULL, visit_seed=1).concrete_url(slot)
+        url_b = SlotSampler(page, FULL, visit_seed=2).concrete_url(slot)
+        assert url_a != url_b
+
+    def test_unique_path_token(self):
+        slot = make_slot(
+            "img",
+            url=URL.parse("https://e.com/creative/banner.jpg"),
+            rtype=ResourceType.IMAGE,
+            unique_path_token=True,
+        )
+        page = make_page(slot)
+        url_a = SlotSampler(page, FULL, visit_seed=1).concrete_url(slot)
+        url_b = SlotSampler(page, FULL, visit_seed=2).concrete_url(slot)
+        assert url_a.path != url_b.path
+        assert url_a.path.startswith("/creative/banner-")
+        assert url_a.path.endswith(".jpg")
+
+    def test_stable_url_without_dynamics(self):
+        slot = make_slot("s")
+        page = make_page(slot)
+        assert SlotSampler(page, FULL, visit_seed=1).concrete_url(slot) == slot.url
+
+
+class TestRedirectSampling:
+    def test_fixed_via_returned_as_is(self):
+        via = (URL.parse("https://hop.com/x"),)
+        slot = make_slot("s", redirect_via=via)
+        page = make_page(slot)
+        assert SlotSampler(page, FULL, visit_seed=1).sample_redirects(slot) == via
+
+    def test_pool_sampling_varies(self):
+        pool = tuple(URL.parse(f"https://t{i}.com/sync") for i in range(4))
+        slot = make_slot(
+            "px",
+            rtype=ResourceType.BEACON,
+            redirect_pool=pool,
+            redirect_hops=(0, 2),
+        )
+        page = make_page(slot)
+        seen = set()
+        for seed in range(60):
+            hops = SlotSampler(page, FULL, visit_seed=seed).sample_redirects(slot)
+            assert all(hop in pool for hop in hops)
+            seen.add(hops)
+        assert len(seen) > 3  # chains genuinely vary
+
+    def test_no_pool_no_hops(self):
+        slot = make_slot("s")
+        page = make_page(slot)
+        assert SlotSampler(page, FULL, visit_seed=1).sample_redirects(slot) == ()
+
+
+class TestExpectedCount:
+    def test_gating_reduces_expectation(self):
+        page = make_page(
+            make_slot("a"),
+            make_slot("lazy", InclusionRule(requires_interaction=True)),
+        )
+        assert expected_slot_count(page, FULL) == 2.0
+        assert expected_slot_count(page, NO_INTERACTION) == 1.0
+
+    def test_rotation_counted_once(self):
+        page = make_page(
+            make_slot("a", InclusionRule(probability=0.9, rotation_group="g")),
+            make_slot("b", InclusionRule(probability=0.9, rotation_group="g")),
+        )
+        assert expected_slot_count(page, FULL) == 0.9

@@ -1,0 +1,79 @@
+"""Tests for the third-party ecosystem generator."""
+
+from repro.web.entities import (
+    Ecosystem,
+    EcosystemConfig,
+    EntityCategory,
+    ThirdPartyEntity,
+    TRACKING_CATEGORIES,
+    build_ecosystem,
+)
+
+
+class TestBuildEcosystem:
+    def test_deterministic(self):
+        eco_a = build_ecosystem(seed=5)
+        eco_b = build_ecosystem(seed=5)
+        assert eco_a.all_domains() == eco_b.all_domains()
+
+    def test_different_seeds_differ(self):
+        assert build_ecosystem(1).all_domains() != build_ecosystem(2).all_domains()
+
+    def test_counts_match_config(self):
+        config = EcosystemConfig(ad_networks=2, trackers=3, cdns=1)
+        ecosystem = build_ecosystem(seed=1, config=config)
+        assert len(ecosystem.by_category(EntityCategory.AD_NETWORK)) == 2
+        assert len(ecosystem.by_category(EntityCategory.TRACKER)) == 3
+        assert len(ecosystem.by_category(EntityCategory.CDN)) == 1
+
+    def test_ad_networks_have_two_domains(self):
+        ecosystem = build_ecosystem(seed=3)
+        for entity in ecosystem.by_category(EntityCategory.AD_NETWORK):
+            assert len(entity.domains) == 2
+
+    def test_domains_are_unique(self):
+        ecosystem = build_ecosystem(seed=7)
+        domains = ecosystem.all_domains()
+        assert len(domains) == len(set(domains))
+
+    def test_domain_lookup(self):
+        ecosystem = build_ecosystem(seed=7)
+        entity = ecosystem.entities[0]
+        assert ecosystem.entity_for_domain(entity.primary_domain) is entity
+        assert ecosystem.entity_for_domain("unknown.example") is None
+
+
+class TestTrackingClassification:
+    def test_tracking_categories(self):
+        assert EntityCategory.AD_NETWORK in TRACKING_CATEGORIES
+        assert EntityCategory.TRACKER in TRACKING_CATEGORIES
+        assert EntityCategory.CDN not in TRACKING_CATEGORIES
+
+    def test_is_tracking_flag(self):
+        tracker = ThirdPartyEntity(
+            name="t", category=EntityCategory.TRACKER, domains=("t.com",)
+        )
+        cdn = ThirdPartyEntity(name="c", category=EntityCategory.CDN, domains=("c.com",))
+        assert tracker.is_tracking
+        assert not cdn.is_tracking
+
+    def test_tracking_domains_cover_tracking_entities(self):
+        ecosystem = build_ecosystem(seed=9)
+        tracking = set(ecosystem.tracking_domains())
+        for entity in ecosystem.entities:
+            for domain in entity.domains:
+                assert (domain in tracking) == entity.is_tracking
+
+
+class TestEcosystemValidation:
+    def test_duplicate_domains_rejected(self):
+        import pytest
+
+        entity_a = ThirdPartyEntity(
+            name="a", category=EntityCategory.CDN, domains=("dup.com",)
+        )
+        entity_b = ThirdPartyEntity(
+            name="b", category=EntityCategory.CDN, domains=("dup.com",)
+        )
+        with pytest.raises(ValueError):
+            Ecosystem([entity_a, entity_b])

@@ -1,0 +1,103 @@
+"""Tests for security-header templates and their per-visit sampling."""
+
+import pytest
+
+from repro.browser.engine import BrowserEngine
+from repro.browser.profile import PROFILE_SIM1, PROFILE_SIM2
+from repro.errors import BlueprintError
+from repro.web.blueprint import HeaderTemplate, PageBlueprint
+from repro.web.sitegen import WebGenerator
+from repro.web.url import URL
+
+
+class TestHeaderTemplate:
+    def test_validation(self):
+        with pytest.raises(BlueprintError):
+            HeaderTemplate(name="", value="x")
+        with pytest.raises(BlueprintError):
+            HeaderTemplate(name="h", value="x", presence_probability=1.5)
+        with pytest.raises(BlueprintError):
+            HeaderTemplate(name="h", value="x", flaky_probability=0.5)  # no flaky_value
+
+    def test_defaults(self):
+        header = HeaderTemplate(name="x-frame-options", value="DENY")
+        assert header.presence_probability == 1.0
+        assert header.flaky_probability == 0.0
+
+
+def page_with(headers):
+    return PageBlueprint(url=URL.parse("https://e.com/"), headers=tuple(headers))
+
+
+def document_headers(page, profile=PROFILE_SIM1, visit_id=1, seed=1):
+    engine = BrowserEngine(profile, seed=seed)
+    result = engine.visit(page, site="e.com", site_rank=1, visit_id=visit_id)
+    assert result.success
+    return dict(result.responses[0].headers)
+
+
+class TestEngineSampling:
+    def test_stable_header_always_present(self):
+        page = page_with([HeaderTemplate(name="x-test", value="1")])
+        for visit_id in range(5):
+            headers = document_headers(page, visit_id=visit_id)
+            assert headers["x-test"] == "1"
+
+    def test_lottery_header_varies(self):
+        page = page_with(
+            [HeaderTemplate(name="csp", value="v", presence_probability=0.5)]
+        )
+        present = [
+            "csp" in document_headers(page, visit_id=i) for i in range(40)
+        ]
+        assert any(present) and not all(present)
+
+    def test_flaky_value_varies(self):
+        page = page_with(
+            [
+                HeaderTemplate(
+                    name="csp",
+                    value="strict",
+                    flaky_value="loose",
+                    flaky_probability=0.5,
+                )
+            ]
+        )
+        values = {document_headers(page, visit_id=i)["csp"] for i in range(40)}
+        assert values == {"strict", "loose"}
+
+    def test_sampling_deterministic_per_visit(self):
+        page = page_with(
+            [HeaderTemplate(name="csp", value="v", presence_probability=0.5)]
+        )
+        a = document_headers(page, visit_id=7)
+        b = document_headers(page, visit_id=7)
+        assert a == b
+
+    def test_profiles_draw_independently(self):
+        page = page_with(
+            [HeaderTemplate(name="csp", value="v", presence_probability=0.5)]
+        )
+        outcomes_differ = any(
+            ("csp" in document_headers(page, PROFILE_SIM1, i))
+            != ("csp" in document_headers(page, PROFILE_SIM2, i))
+            for i in range(30)
+        )
+        assert outcomes_differ
+
+
+class TestSitegenPolicies:
+    def test_policy_shared_across_site_pages(self):
+        generator = WebGenerator(seed=5)
+        site = generator.site(1)
+        landing_names = [h.name for h in site.landing_page.headers]
+        for page in site.subpages:
+            assert [h.name for h in page.headers] == landing_names
+
+    def test_policies_differ_between_sites(self):
+        generator = WebGenerator(seed=5)
+        policies = {
+            tuple(h.name for h in generator.site(rank).landing_page.headers)
+            for rank in range(1, 15)
+        }
+        assert len(policies) > 1

@@ -1,0 +1,54 @@
+"""Tests for resource types."""
+
+import pytest
+
+from repro.web.resources import ResourceType, STATIC_LEAF_TYPES, parse_resource_type
+
+
+class TestResourceType:
+    def test_dynamic_types_can_load_children(self):
+        for rtype in (
+            ResourceType.SCRIPT,
+            ResourceType.SUB_FRAME,
+            ResourceType.MAIN_FRAME,
+            ResourceType.STYLESHEET,
+            ResourceType.XHR,
+            ResourceType.WEBSOCKET,
+        ):
+            assert rtype.can_load_children, rtype
+
+    def test_static_types_cannot(self):
+        for rtype in (
+            ResourceType.IMAGE,
+            ResourceType.FONT,
+            ResourceType.BEACON,
+            ResourceType.MEDIA,
+            ResourceType.CSP_REPORT,
+        ):
+            assert not rtype.can_load_children, rtype
+
+    def test_static_leaf_types_partition(self):
+        assert set(STATIC_LEAF_TYPES) == {
+            t for t in ResourceType if not t.can_load_children
+        }
+
+    def test_every_type_has_extension(self):
+        for rtype in ResourceType:
+            assert rtype.extension is not None
+
+
+class TestParsing:
+    def test_parse_by_value(self):
+        assert parse_resource_type("xmlhttprequest") is ResourceType.XHR
+
+    def test_parse_by_name(self):
+        assert parse_resource_type("XHR") is ResourceType.XHR
+        assert parse_resource_type("sub_frame") is ResourceType.SUB_FRAME
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            parse_resource_type("nonsense")
+
+    def test_roundtrip_all(self):
+        for rtype in ResourceType:
+            assert parse_resource_type(rtype.value) is rtype

@@ -1,0 +1,129 @@
+"""Tests for the synthetic-web generator."""
+
+from repro.web import psl
+from repro.web.blueprint import ResourceSlot
+from repro.web.resources import ResourceType
+from repro.web.sitegen import WebConfig, WebGenerator
+
+
+class TestDeterminism:
+    def test_same_seed_same_site(self):
+        gen_a = WebGenerator(seed=42)
+        gen_b = WebGenerator(seed=42)
+        site_a = gen_a.site(7)
+        site_b = gen_b.site(7)
+        assert site_a.domain == site_b.domain
+        assert [str(p.url) for p in site_a.pages] == [str(p.url) for p in site_b.pages]
+        slots_a = [s.slot_id for s in site_a.landing_page.walk_slots()]
+        slots_b = [s.slot_id for s in site_b.landing_page.walk_slots()]
+        assert slots_a == slots_b
+
+    def test_different_seeds_differ(self):
+        assert WebGenerator(1).site(7).domain != WebGenerator(2).site(7).domain
+
+    def test_domain_for_rank_matches_site(self):
+        gen = WebGenerator(seed=5)
+        assert gen.domain_for_rank(3) == gen.site(3).domain
+
+    def test_site_cached(self):
+        gen = WebGenerator(seed=5)
+        assert gen.site(1) is gen.site(1)
+
+
+class TestStructure:
+    def test_subpage_count(self):
+        gen = WebGenerator(seed=5, config=WebConfig(subpages_per_site=4))
+        assert len(gen.site(1).subpages) == 4
+
+    def test_links_are_first_party(self):
+        site = WebGenerator(seed=5).site(1)
+        for link in site.landing_page.links:
+            assert psl.same_site(link.host, site.domain)
+
+    def test_pages_have_first_and_third_party_slots(self):
+        site = WebGenerator(seed=5).site(1)
+        hosts = {slot.url.host for slot in site.landing_page.walk_slots()}
+        first_party = {h for h in hosts if psl.same_site(h, site.domain)}
+        third_party = hosts - first_party
+        assert first_party and third_party
+
+    def test_contains_interaction_gated_content(self):
+        site = WebGenerator(seed=5).site(1)
+        gated = [
+            slot
+            for slot in site.landing_page.walk_slots()
+            if slot.rule.requires_interaction
+        ]
+        assert gated
+
+    def test_contains_rotation_groups(self):
+        site = WebGenerator(seed=5).site(1)
+        groups = {
+            slot.rule.rotation_group
+            for slot in site.landing_page.walk_slots()
+            if slot.rule.rotation_group
+        }
+        assert groups
+
+    def test_contains_sync_pools(self):
+        # At least one page in a handful of sites uses per-visit sync chains.
+        gen = WebGenerator(seed=5)
+        found = any(
+            slot.redirect_pool
+            for rank in range(1, 6)
+            for page in gen.site(rank).pages
+            for slot in page.walk_slots()
+        )
+        assert found
+
+    def test_subframes_present(self):
+        site = WebGenerator(seed=5).site(1)
+        frames = [
+            slot
+            for slot in site.landing_page.walk_slots()
+            if slot.resource_type is ResourceType.SUB_FRAME
+        ]
+        assert frames
+
+    def test_slot_ids_unique_per_page(self):
+        site = WebGenerator(seed=5).site(1)
+        for page in site.pages:
+            ids = [slot.slot_id for slot in page.walk_slots()]
+            assert len(ids) == len(set(ids))
+
+
+class TestEcosystemIntegration:
+    def test_third_party_hosts_belong_to_ecosystem(self):
+        gen = WebGenerator(seed=5)
+        site = gen.site(1)
+        eco_domains = set(gen.ecosystem.all_domains())
+        for slot in site.landing_page.walk_slots():
+            host = slot.url.host
+            if psl.same_site(host, site.domain):
+                continue
+            assert psl.registrable_domain(host) in eco_domains or host in eco_domains
+
+    def test_richness_declines_with_rank(self):
+        gen = WebGenerator(seed=5)
+        top = [gen.site(rank).landing_page.slot_count() for rank in range(1, 8)]
+        deep = [
+            gen.site(rank).landing_page.slot_count()
+            for rank in range(300001, 300008)
+        ]
+        assert sum(top) / len(top) > sum(deep) / len(deep) * 0.9
+
+
+class TestConfigKnobs:
+    def test_more_images_config(self):
+        small = WebGenerator(seed=5, config=WebConfig(min_fp_images=2, max_fp_images=3))
+        large = WebGenerator(seed=5, config=WebConfig(min_fp_images=25, max_fp_images=30))
+        count = lambda gen: sum(  # noqa: E731
+            1
+            for slot in gen.site(1).landing_page.walk_slots()
+            if slot.resource_type in (ResourceType.IMAGE, ResourceType.IMAGESET)
+        )
+        assert count(large) > count(small)
+
+    def test_fail_probability_propagates(self):
+        gen = WebGenerator(seed=5, config=WebConfig(page_fail_probability=0.2))
+        assert gen.site(1).landing_page.fail_probability == 0.2
