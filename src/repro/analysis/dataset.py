@@ -8,6 +8,9 @@ objects (pages crawled successfully by all profiles) plus site metadata
 
 from __future__ import annotations
 
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
@@ -50,31 +53,29 @@ class AnalysisDataset:
         filter_list: Optional[FilterList] = None,
         profiles: Optional[Sequence[str]] = None,
         require_all: bool = True,
+        jobs: int = 1,
     ) -> "AnalysisDataset":
         """Build trees for every vetted page and align them.
 
         This is the paper's pipeline step between crawling and analysis:
         only pages successfully crawled by all profiles are kept.
+
+        ``jobs > 1`` rebuilds the trees in a process pool, one read-only
+        store snapshot per worker, chunking the (sorted) page list
+        contiguously so entry order — and every per-page metric — is
+        identical to the serial build.
         """
         profile_names = list(profiles) if profiles is not None else store.profiles()
-        builder = TreeBuilder(filter_list=filter_list)
-        entries: List[PageEntry] = []
         pages = (
             store.pages_crawled_by_all(profile_names) if require_all else store.pages()
         )
-        for page_url in pages:
-            trees = builder.build_for_page(store, page_url, profile_names)
-            if require_all and len(trees) != len(profile_names):
-                continue
-            if not trees:
-                continue
-            visit = next(iter(store.successful_visits_for_page(page_url, profile_names).values()))
-            entries.append(
-                PageEntry(
-                    comparison=PageComparison(trees),
-                    site=visit.site,
-                    site_rank=visit.site_rank,
-                )
+        if jobs > 1 and len(pages) > 1:
+            entries = _build_entries_parallel(
+                store, pages, profile_names, filter_list, require_all, jobs
+            )
+        else:
+            entries = _build_entries(
+                store, pages, profile_names, filter_list, require_all
             )
         return cls(entries, profile_names)
 
@@ -118,6 +119,90 @@ class AnalysisDataset:
     def sites(self) -> Dict[str, int]:
         """Site → rank for all sites in the dataset."""
         return {entry.site: entry.site_rank for entry in self.entries}
+
+
+def _build_entries(
+    store: MeasurementStore,
+    pages: Sequence[str],
+    profile_names: Sequence[str],
+    filter_list: Optional[FilterList],
+    require_all: bool,
+) -> List[PageEntry]:
+    """The per-page build loop, shared by the serial path and pool workers."""
+    builder = TreeBuilder(filter_list=filter_list)
+    entries: List[PageEntry] = []
+    for page_url in pages:
+        trees = builder.build_for_page(store, page_url, profile_names)
+        if require_all and len(trees) != len(profile_names):
+            continue
+        if not trees:
+            continue
+        visit = next(
+            iter(store.successful_visits_for_page(page_url, profile_names).values())
+        )
+        entries.append(
+            PageEntry(
+                comparison=PageComparison(trees),
+                site=visit.site,
+                site_rank=visit.site_rank,
+            )
+        )
+    return entries
+
+
+def _build_entries_parallel(
+    store: MeasurementStore,
+    pages: Sequence[str],
+    profile_names: Sequence[str],
+    filter_list: Optional[FilterList],
+    require_all: bool,
+    jobs: int,
+) -> List[PageEntry]:
+    """Fan the page list out to a process pool over read-only snapshots."""
+    snapshot: Optional[str] = None
+    if store.path == ":memory:" or store.readonly:
+        # Workers cannot share the parent's connection; snapshot to disk.
+        handle, snapshot = tempfile.mkstemp(prefix="repro-dataset-", suffix=".sqlite")
+        os.close(handle)
+        store.snapshot_to(snapshot)
+        db_path = snapshot
+    else:
+        db_path = store.path
+    chunks = _chunked(list(pages), jobs)
+    try:
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            results = list(
+                pool.map(
+                    _build_entries_worker,
+                    [
+                        (db_path, chunk, list(profile_names), filter_list, require_all)
+                        for chunk in chunks
+                    ],
+                )
+            )
+    finally:
+        if snapshot is not None:
+            os.unlink(snapshot)
+    return [entry for chunk_entries in results for entry in chunk_entries]
+
+
+def _build_entries_worker(args) -> List[PageEntry]:
+    db_path, pages, profile_names, filter_list, require_all = args
+    with MeasurementStore.open_readonly(db_path) as store:
+        return _build_entries(store, pages, profile_names, filter_list, require_all)
+
+
+def _chunked(items: List[str], jobs: int) -> List[List[str]]:
+    """Split ``items`` into at most ``jobs`` contiguous, balanced chunks."""
+    count = min(jobs, len(items))
+    size, remainder = divmod(len(items), count)
+    chunks: List[List[str]] = []
+    start = 0
+    for index in range(count):
+        end = start + size + (1 if index < remainder else 0)
+        chunks.append(items[start:end])
+        start = end
+    return [chunk for chunk in chunks if chunk]
 
 
 def _site_of(page_url: str) -> str:

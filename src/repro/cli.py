@@ -35,11 +35,13 @@ from .web import WebGenerator
 class AnalysisContext:
     """Duck-typed stand-in for ExperimentContext backed by a stored crawl."""
 
-    def __init__(self, store: MeasurementStore, seed: int) -> None:
+    def __init__(self, store: MeasurementStore, seed: int, jobs: int = 1) -> None:
         self.store = store
         self.generator = WebGenerator(seed)
         self.filter_list = build_filter_list(self.generator.ecosystem)
-        self.dataset = AnalysisDataset.from_store(store, filter_list=self.filter_list)
+        self.dataset = AnalysisDataset.from_store(
+            store, filter_list=self.filter_list, jobs=jobs
+        )
         self.summary = None
 
     @property
@@ -51,7 +53,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     generator = WebGenerator(args.seed)
     store = MeasurementStore(args.db)
     commander = Commander(
-        generator, store, max_pages_per_site=args.pages_per_site
+        generator, store, max_pages_per_site=args.pages_per_site, workers=args.jobs
     )
     ranks = sample_paper_buckets(args.seed, per_bucket=args.sites_per_bucket)
     summary = commander.run(ranks)
@@ -71,7 +73,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     store = MeasurementStore(args.db)
     try:
-        ctx = AnalysisContext(store, seed=args.seed)
+        ctx = AnalysisContext(store, seed=args.seed, jobs=args.jobs)
         if not len(ctx.dataset):
             print("no pages were crawled by all profiles; nothing to analyze")
             return 1
@@ -158,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--seed", type=int, default=2023)
     crawl.add_argument("--sites-per-bucket", type=int, default=2)
     crawl.add_argument("--pages-per-site", type=int, default=4)
+    crawl.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sharded crawl (same store for any value)",
+    )
     crawl.set_defaults(func=_cmd_crawl)
 
     analyze = sub.add_parser("analyze", help="run paper analyses on a stored crawl")
@@ -165,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--seed", type=int, default=2023)
     analyze.add_argument(
         "--experiments", default="", help=f"comma-separated ids ({', '.join(ALL_EXPERIMENTS)})"
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for parallel tree building (same metrics for any value)",
     )
     analyze.set_defaults(func=_cmd_analyze)
 

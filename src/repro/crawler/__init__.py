@@ -7,7 +7,7 @@ single store.
 """
 
 from .client import ClientStats, CrawlClient, SiteVisitPlan
-from .commander import Commander, CrawlSummary, run_measurement
+from .commander import Commander, CrawlSummary, SiteSchedule, run_measurement
 from .discovery import DiscoveryResult, discover_pages, first_party_links
 from .storage import MeasurementStore
 from .tranco import (
@@ -28,6 +28,7 @@ __all__ = [
     "PAPER_BUCKETS",
     "RankBucket",
     "RankedList",
+    "SiteSchedule",
     "SiteVisitPlan",
     "bucket_for_rank",
     "discover_pages",

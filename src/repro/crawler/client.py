@@ -51,6 +51,7 @@ class CrawlClient:
         stateful: bool = False,
     ) -> None:
         self.profile = profile
+        self.seed = seed
         self.engine = BrowserEngine(profile, seed=seed, timeout=timeout)
         self.stats = ClientStats()
         self.clock = 0.0
@@ -95,6 +96,20 @@ class CrawlClient:
     def synchronize(self, barrier_time: float) -> None:
         """Jump the client clock forward to a site-level barrier."""
         self.clock = max(self.clock, barrier_time)
+
+    def begin_site(self, rank: int, start_time: float) -> None:
+        """Re-anchor the client deterministically at a site's start barrier.
+
+        The clock jumps to the site's *scheduled* start and the think-time
+        jitter stream is re-derived from ``(seed, profile, rank)``, so every
+        ``(site, profile)`` pair produces bit-identical records regardless
+        of which worker shard — or which position in the rank sequence — it
+        runs in.  This is what makes the sharded crawl equivalent to the
+        serial one.
+        """
+        self.clock = start_time
+        self._jitter = child_rng(self.seed, "client-clock", self.profile.name, rank)
+        self.reset_state()
 
     def reset_state(self) -> None:
         """Clear the stateful cookie jar (called per site)."""

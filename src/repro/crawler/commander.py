@@ -8,12 +8,32 @@ which is exactly the paper's "semi-parallel" design.
 
 The commander also runs the discovery pre-crawl and consolidates all
 results into the :class:`~repro.crawler.storage.MeasurementStore`.
+
+Scaling
+-------
+``Commander(workers=N)`` shards the site ranks across ``N`` worker
+processes, each running its own clients into a private on-disk
+:class:`MeasurementStore` shard; the parent merges the shards afterwards.
+The sharded crawl is **bit-identical** to the serial one because every
+stored value is a pure function of ``(seed, rank, profile, page, repeat)``:
+
+* visit ids come from a deterministic schedule computed in a cheap
+  discovery-only planning pass (contiguous id blocks per site, in rank
+  order — the same ids the serial loop hands out);
+* each site gets a scheduled start barrier, and every client re-anchors
+  its clock and think-time RNG per ``(site, profile)``
+  (:meth:`CrawlClient.begin_site`), so timestamps do not depend on which
+  shard — or which predecessor sites — a worker happens to run.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..browser.profile import BrowserProfile, PAPER_PROFILES
 from ..errors import CrawlError
@@ -22,6 +42,11 @@ from .client import CrawlClient, SiteVisitPlan
 from .discovery import DiscoveryResult, discover_pages
 from .storage import MeasurementStore
 from .tranco import RankedList
+
+#: Scheduled wall-clock spacing between consecutive sites: a nominal
+#: per-visit cost used only to lay out site start barriers.  Any constant
+#: works for correctness (both execution modes use the same schedule).
+_NOMINAL_VISIT_SECONDS = 5.0
 
 
 @dataclass
@@ -43,13 +68,32 @@ class CrawlSummary:
         return sum(self.visits.values())
 
 
+@dataclass(frozen=True)
+class SiteSchedule:
+    """The deterministic execution slot of one site in a crawl.
+
+    ``visit_base`` is the first visit id of the site's contiguous id block
+    (profile-major: profile index, then page index, then repeat), and
+    ``site_start`` the scheduled clock barrier all clients synchronize to.
+    Both are pure functions of the plan, never of execution order — the
+    invariant the sharded crawl rests on.
+    """
+
+    rank: int
+    page_count: int
+    visit_base: int
+    site_start: float
+
+
 class Commander:
     """Runs a full measurement: discovery, then the semi-parallel crawl.
 
     Parameters mirror the paper's configuration: the profiles to run, pages
     per site (25 in the paper), the per-visit timeout (30 s), stateless or
     stateful cookie handling, and how many times each profile visits each
-    page (``repeat_visits``; the paper visits once).
+    page (``repeat_visits``; the paper visits once).  ``workers`` shards
+    the site ranks across that many processes; any value produces the same
+    store content (see module docstring).
     """
 
     def __init__(
@@ -61,6 +105,7 @@ class Commander:
         timeout: float = 30.0,
         stateful: bool = False,
         repeat_visits: int = 1,
+        workers: int = 1,
     ) -> None:
         if not profiles:
             raise CrawlError("at least one profile is required")
@@ -76,32 +121,37 @@ class Commander:
         if repeat_visits < 1:
             raise CrawlError("repeat_visits must be >= 1")
         self.repeat_visits = repeat_visits
-        self._next_visit_id = 1
+        if workers < 1:
+            raise CrawlError("workers must be >= 1")
+        self.workers = workers
 
     # -- pipeline ----------------------------------------------------------
 
     def run(self, ranks: Sequence[int]) -> CrawlSummary:
         """Crawl the sites at ``ranks`` with all profiles; returns a summary."""
-        summary = CrawlSummary(sites_planned=len(ranks))
-        clients = {
-            profile.name: CrawlClient(
-                profile,
-                seed=self.generator.seed,
+        schedules, plans = self._schedule(ranks)
+        summary = CrawlSummary(
+            sites_planned=len(ranks),
+            sites_crawled=len(schedules),
+            pages_discovered=sum(item.page_count for item in schedules),
+        )
+        if self.workers <= 1 or len(schedules) <= 1:
+            stats = _crawl_sites(
+                self.generator,
+                self.store,
+                self.profiles,
+                schedules,
                 timeout=self.timeout,
                 stateful=self.stateful,
+                repeat_visits=self.repeat_visits,
+                max_pages_per_site=self.max_pages_per_site,
+                plans=plans,
             )
-            for profile in self.profiles
-        }
-        for rank in ranks:
-            plan = self._plan_site(rank)
-            if plan is None:
-                continue
-            self._crawl_site(plan, clients, summary)
-            summary.sites_crawled += 1
-            summary.pages_discovered += plan.page_count
-        for name, client in clients.items():
-            summary.visits[name] = client.stats.visits
-            summary.successes[name] = client.stats.successes
+        else:
+            stats = self._run_sharded(schedules)
+        for name, (visits, successes) in stats.items():
+            summary.visits[name] = visits
+            summary.successes[name] = successes
         return summary
 
     def discover(self, ranks: Sequence[int]) -> List[DiscoveryResult]:
@@ -117,43 +167,178 @@ class Commander:
 
     # -- internals ---------------------------------------------------------
 
-    def _plan_site(self, rank: int) -> Optional[SiteVisitPlan]:
-        site = self.generator.site(rank)
-        discovery = discover_pages(site, self.max_pages_per_site)
-        pages = [site.page_for(url) for url in discovery.pages]
-        pages = [page for page in pages if page is not None]
-        if not pages:
-            return None
-        return SiteVisitPlan(site=site.domain, rank=rank, pages=pages)
+    def _schedule(
+        self, ranks: Sequence[int]
+    ) -> Tuple[List[SiteSchedule], Dict[int, SiteVisitPlan]]:
+        """The planning pass: discovery only, no visits.
 
-    def _crawl_site(
-        self,
-        plan: SiteVisitPlan,
-        clients: Dict[str, CrawlClient],
-        summary: CrawlSummary,
-    ) -> None:
-        # Site-level barrier: all clients start the site together; stateful
-        # jars reset per site (cookies persist between the site's pages).
-        barrier = max(client.clock for client in clients.values())
-        for client in clients.values():
-            client.synchronize(barrier)
-            client.reset_state()
-        # Page-level: each client visits the pages independently; with
-        # repeat_visits > 1 every page is measured several times per
-        # profile (the paper's repeated-measurement recommendation).
-        for client in clients.values():
+        Allocates each plannable site a contiguous visit-id block and a
+        scheduled start time, cumulatively in rank order — exactly the ids
+        the historical serial loop handed out.
+        """
+        schedules: List[SiteSchedule] = []
+        plans: Dict[int, SiteVisitPlan] = {}
+        visit_base = 1
+        site_start = 0.0
+        for rank in ranks:
+            plan = _plan_site(self.generator, rank, self.max_pages_per_site)
+            if plan is None:
+                continue
+            schedules.append(
+                SiteSchedule(
+                    rank=rank,
+                    page_count=plan.page_count,
+                    visit_base=visit_base,
+                    site_start=site_start,
+                )
+            )
+            plans[rank] = plan
+            site_visits = len(self.profiles) * plan.page_count * self.repeat_visits
+            visit_base += site_visits
+            site_start += plan.page_count * self.repeat_visits * _NOMINAL_VISIT_SECONDS
+        return schedules, plans
+
+    def _run_sharded(self, schedules: Sequence[SiteSchedule]) -> Dict[str, Tuple[int, int]]:
+        """Fan the schedule out to worker processes and merge their shards."""
+        shards = [list(schedules[index :: self.workers]) for index in range(self.workers)]
+        shards = [shard for shard in shards if shard]
+        tmpdir = tempfile.mkdtemp(prefix="repro-crawl-")
+        try:
+            specs = [
+                _ShardSpec(
+                    db_path=os.path.join(tmpdir, f"shard-{index}.sqlite"),
+                    seed=self.generator.seed,
+                    web_config=self.generator.config,
+                    ecosystem_config=self.generator.ecosystem_config,
+                    profiles=self.profiles,
+                    schedules=tuple(shard),
+                    timeout=self.timeout,
+                    stateful=self.stateful,
+                    repeat_visits=self.repeat_visits,
+                    max_pages_per_site=self.max_pages_per_site,
+                )
+                for index, shard in enumerate(shards)
+            ]
+            with ProcessPoolExecutor(max_workers=len(specs)) as pool:
+                shard_stats = list(pool.map(_crawl_shard, specs))
+            shard_stores = [
+                MeasurementStore.open_readonly(spec.db_path) for spec in specs
+            ]
+            try:
+                self.store.merge_shards(shard_stores)
+            finally:
+                for shard_store in shard_stores:
+                    shard_store.close()
+        finally:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+        totals: Dict[str, Tuple[int, int]] = {
+            profile.name: (0, 0) for profile in self.profiles
+        }
+        for stats in shard_stats:
+            for name, (visits, successes) in stats.items():
+                base_visits, base_successes = totals[name]
+                totals[name] = (base_visits + visits, base_successes + successes)
+        return totals
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    """Everything a worker process needs to crawl its shard (picklable)."""
+
+    db_path: str
+    seed: int
+    web_config: object
+    ecosystem_config: object
+    profiles: Tuple[BrowserProfile, ...]
+    schedules: Tuple[SiteSchedule, ...]
+    timeout: float
+    stateful: bool
+    repeat_visits: int
+    max_pages_per_site: int
+
+
+def _plan_site(
+    generator: WebGenerator, rank: int, max_pages_per_site: int
+) -> Optional[SiteVisitPlan]:
+    site = generator.site(rank)
+    discovery = discover_pages(site, max_pages_per_site)
+    pages = [site.page_for(url) for url in discovery.pages]
+    pages = [page for page in pages if page is not None]
+    if not pages:
+        return None
+    return SiteVisitPlan(site=site.domain, rank=rank, pages=pages)
+
+
+def _crawl_sites(
+    generator: WebGenerator,
+    store: MeasurementStore,
+    profiles: Sequence[BrowserProfile],
+    schedules: Sequence[SiteSchedule],
+    *,
+    timeout: float,
+    stateful: bool,
+    repeat_visits: int,
+    max_pages_per_site: int,
+    plans: Optional[Dict[int, SiteVisitPlan]] = None,
+) -> Dict[str, Tuple[int, int]]:
+    """Crawl ``schedules`` into ``store``; shared by serial path and workers.
+
+    Visit ids are taken from each schedule's block, profile-major; all of a
+    site's results are written in one batched transaction.  Returns per-
+    profile ``(visits, successes)`` counters.
+    """
+    clients = {
+        profile.name: CrawlClient(
+            profile, seed=generator.seed, timeout=timeout, stateful=stateful
+        )
+        for profile in profiles
+    }
+    for schedule in schedules:
+        plan = (
+            plans.get(schedule.rank)
+            if plans is not None
+            else _plan_site(generator, schedule.rank, max_pages_per_site)
+        )
+        if plan is None:  # cannot happen for a schedule produced by planning
+            continue
+        batch = []
+        visit_id = schedule.visit_base
+        # Site-level barrier: all clients start the site at its scheduled
+        # time; stateful jars reset per site (cookies persist between the
+        # site's pages).  Page visits then drift per client, unsynchronized.
+        for profile in profiles:
+            client = clients[profile.name]
+            client.begin_site(schedule.rank, schedule.site_start)
             for page in plan.pages:
-                for _ in range(self.repeat_visits):
-                    visit_id = self._allocate_visit_id()
+                for _ in range(repeat_visits):
                     result = client.visit_page(
                         page, site=plan.site, site_rank=plan.rank, visit_id=visit_id
                     )
-                    self.store.store_visit(result)
+                    visit_id += 1
+                    batch.append(result)
+        store.store_visits(batch)
+    return {
+        name: (client.stats.visits, client.stats.successes)
+        for name, client in clients.items()
+    }
 
-    def _allocate_visit_id(self) -> int:
-        visit_id = self._next_visit_id
-        self._next_visit_id += 1
-        return visit_id
+
+def _crawl_shard(spec: _ShardSpec) -> Dict[str, Tuple[int, int]]:
+    """Worker entry point: crawl one shard into a private on-disk store."""
+    generator = WebGenerator(
+        spec.seed, config=spec.web_config, ecosystem_config=spec.ecosystem_config
+    )
+    with MeasurementStore(spec.db_path) as store:
+        return _crawl_sites(
+            generator,
+            store,
+            spec.profiles,
+            spec.schedules,
+            timeout=spec.timeout,
+            stateful=spec.stateful,
+            repeat_visits=spec.repeat_visits,
+            max_pages_per_site=spec.max_pages_per_site,
+        )
 
 
 def run_measurement(
@@ -163,12 +348,17 @@ def run_measurement(
     profiles: Sequence[BrowserProfile] = PAPER_PROFILES,
     max_pages_per_site: int = 25,
     generator: Optional[WebGenerator] = None,
+    workers: int = 1,
 ) -> MeasurementStore:
     """Convenience one-shot: generate the web, crawl it, return the store."""
     generator = generator or WebGenerator(seed)
     store = store or MeasurementStore()
     commander = Commander(
-        generator, store, profiles=profiles, max_pages_per_site=max_pages_per_site
+        generator,
+        store,
+        profiles=profiles,
+        max_pages_per_site=max_pages_per_site,
+        workers=workers,
     )
     commander.run(ranks)
     return store

@@ -8,9 +8,14 @@ and the analysis: trees are rebuilt purely from stored records.
 
 from __future__ import annotations
 
+import heapq
 import json
+import os
 import sqlite3
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from itertools import chain
+from operator import itemgetter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from urllib.parse import quote as _uri_quote
 
 from ..browser.callstack import CallStack
 from ..browser.network import (
@@ -86,16 +91,52 @@ CREATE INDEX IF NOT EXISTS idx_cookies_visit ON javascript_cookies (visit_id);
 """
 
 
+#: Tables in dependency order.  ``visit_id`` is the first column of every
+#: table, which is what lets the shard merge interleave rows by visit id.
+_TABLES: Tuple[str, ...] = (
+    "visits",
+    "http_requests",
+    "http_responses",
+    "http_redirects",
+    "javascript_cookies",
+)
+
+
 class MeasurementStore:
     """Stores and retrieves crawl records.
 
-    Use as a context manager or call :meth:`close` explicitly.  All write
-    operations are wrapped in transactions per visit.
+    Use as a context manager or call :meth:`close` explicitly.  Writes are
+    transactional: one transaction per :meth:`store_visit`, one per batch
+    for :meth:`store_visits` / :meth:`merge`.  On-disk stores run in WAL
+    journal mode with an enlarged page cache so that many readers (the
+    parallel analysis workers) can snapshot while a writer consolidates.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self._conn = sqlite3.connect(path)
-        self._conn.executescript(_SCHEMA)
+    def __init__(self, path: str = ":memory:", readonly: bool = False) -> None:
+        self.path = path
+        self.readonly = readonly
+        if readonly:
+            if path == ":memory:":
+                raise StorageError("cannot open an in-memory store read-only")
+            uri = f"file:{_uri_quote(os.path.abspath(path))}?mode=ro"
+            self._conn = sqlite3.connect(uri, uri=True)
+        else:
+            self._conn = sqlite3.connect(path)
+            if path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA cache_size=-65536")  # 64 MiB
+            self._conn.execute("PRAGMA temp_store=MEMORY")
+            self._conn.executescript(_SCHEMA)
+
+    @classmethod
+    def open_readonly(cls, path: str) -> "MeasurementStore":
+        """Open an existing on-disk store as a read-only snapshot.
+
+        Worker processes use this to read concurrently without taking
+        write locks (and without being able to corrupt the store).
+        """
+        return cls(path, readonly=True)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -108,91 +149,182 @@ class MeasurementStore:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def snapshot_to(self, path: str) -> str:
+        """Copy the full store to ``path`` (sqlite backup API).
+
+        This is how an in-memory store becomes visible to worker
+        processes: snapshot once, then every worker opens the snapshot
+        read-only.
+        """
+        dest = sqlite3.connect(path)
+        try:
+            self._conn.backup(dest)
+        finally:
+            dest.close()
+        return path
+
     # -- writes ------------------------------------------------------------
 
     def store_visit(self, result: VisitResult) -> None:
         """Persist one visit's records atomically."""
+        self.store_visits((result,))
+
+    def store_visits(self, results: Iterable[VisitResult]) -> int:
+        """Persist many visits in a *single* transaction (the bulk path).
+
+        One transaction per visit is the classic SQLite throughput trap;
+        the commander batches a whole site (and the shard merge batches a
+        whole shard) through this method instead.  Returns the number of
+        visits written; on any integrity error the entire batch rolls
+        back.
+        """
+        batch = list(results)
+        if not batch:
+            return 0
+        with self._conn:
+            for result in batch:
+                self._insert_result(result)
+        return len(batch)
+
+    def merge(self, other: "MeasurementStore") -> int:
+        """Copy every record of ``other`` into this store, transactionally.
+
+        Returns the number of visits merged.
+        """
+        return self.merge_shards((other,))
+
+    def merge_shards(self, others: Sequence["MeasurementStore"]) -> int:
+        """Consolidate many shard stores, interleaved in visit-id order.
+
+        Every visit lives entirely in one shard and each shard writes its
+        rows in ascending visit-id order, so a k-way merge keyed on
+        ``visit_id`` (the first column of every table), stable within a
+        shard, reproduces exactly the physical row order a serial crawl
+        would have written — the merged store is *byte-identical* to a
+        serial one, not merely set-equal.  Returns the total number of
+        visits merged.
+        """
+        with self._conn:
+            for table in _TABLES:
+                streams = [
+                    other._conn.execute(f"SELECT * FROM {table} ORDER BY rowid")
+                    for other in others
+                ]
+                rows = heapq.merge(*streams, key=itemgetter(0))
+                first = next(rows, None)
+                if first is None:
+                    continue
+                placeholders = ", ".join("?" for _ in first)
+                try:
+                    self._conn.executemany(
+                        f"INSERT INTO {table} VALUES ({placeholders})",
+                        chain((first,), rows),
+                    )
+                except sqlite3.IntegrityError as exc:
+                    raise StorageError(
+                        f"merge collision in table {table}: {exc}"
+                    ) from exc
+        return sum(other.visit_count(success_only=False) for other in others)
+
+    def _insert_result(self, result: VisitResult) -> None:
+        """Insert one visit's rows (caller owns the transaction)."""
         visit = result.visit
         try:
-            with self._conn:
-                self._conn.execute(
-                    "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        visit.visit_id,
-                        visit.profile_name,
-                        visit.site,
-                        visit.site_rank,
-                        visit.page_url,
-                        int(visit.success),
-                        visit.started_at,
-                        visit.duration,
-                        visit.failure_reason,
-                    ),
-                )
-                self._conn.executemany(
-                    "INSERT INTO http_requests VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    [
-                        (
-                            req.visit_id,
-                            req.request_id,
-                            req.url,
-                            req.top_level_url,
-                            req.resource_type,
-                            req.frame_id,
-                            req.parent_frame_id,
-                            req.timestamp,
-                            req.call_stack.format(),
-                            req.redirect_from,
-                            int(req.during_interaction),
-                        )
-                        for req in result.requests
-                    ],
-                )
-                self._conn.executemany(
-                    "INSERT INTO http_responses VALUES (?, ?, ?, ?)",
-                    [
-                        (
-                            resp.visit_id,
-                            resp.request_id,
-                            resp.status,
-                            json.dumps(list(resp.headers)),
-                        )
-                        for resp in result.responses
-                    ],
-                )
-                self._conn.executemany(
-                    "INSERT INTO http_redirects VALUES (?, ?, ?, ?, ?, ?)",
-                    [
-                        (
-                            red.visit_id,
-                            red.from_request_id,
-                            red.to_request_id,
-                            red.from_url,
-                            red.to_url,
-                            red.status,
-                        )
-                        for red in result.redirects
-                    ],
-                )
-                self._conn.executemany(
-                    "INSERT INTO javascript_cookies VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    [
-                        (
-                            c.visit_id,
-                            c.name,
-                            c.domain,
-                            c.path,
-                            c.value,
-                            int(c.secure),
-                            int(c.http_only),
-                            c.same_site,
-                            c.set_by_url,
-                        )
-                        for c in result.cookies
-                    ],
-                )
+            self._conn.execute(
+                "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    visit.visit_id,
+                    visit.profile_name,
+                    visit.site,
+                    visit.site_rank,
+                    visit.page_url,
+                    int(visit.success),
+                    visit.started_at,
+                    visit.duration,
+                    visit.failure_reason,
+                ),
+            )
         except sqlite3.IntegrityError as exc:
-            raise StorageError(f"duplicate visit id {visit.visit_id}") from exc
+            raise StorageError(
+                f"duplicate visit id {visit.visit_id} in visits: {exc}"
+            ) from exc
+        try:
+            self._conn.executemany(
+                "INSERT INTO http_requests VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        req.visit_id,
+                        req.request_id,
+                        req.url,
+                        req.top_level_url,
+                        req.resource_type,
+                        req.frame_id,
+                        req.parent_frame_id,
+                        req.timestamp,
+                        req.call_stack.format(),
+                        req.redirect_from,
+                        int(req.during_interaction),
+                    )
+                    for req in result.requests
+                ],
+            )
+        except sqlite3.IntegrityError as exc:
+            raise StorageError(
+                f"visit {visit.visit_id}: integrity error in http_requests: {exc}"
+            ) from exc
+        try:
+            self._conn.executemany(
+                "INSERT INTO http_responses VALUES (?, ?, ?, ?)",
+                [
+                    (
+                        resp.visit_id,
+                        resp.request_id,
+                        resp.status,
+                        json.dumps(list(resp.headers)),
+                    )
+                    for resp in result.responses
+                ],
+            )
+        except sqlite3.IntegrityError as exc:
+            raise StorageError(
+                f"visit {visit.visit_id}: integrity error in http_responses: {exc}"
+            ) from exc
+        try:
+            self._conn.executemany(
+                "INSERT INTO http_redirects VALUES (?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        red.visit_id,
+                        red.from_request_id,
+                        red.to_request_id,
+                        red.from_url,
+                        red.to_url,
+                        red.status,
+                    )
+                    for red in result.redirects
+                ],
+            )
+            self._conn.executemany(
+                "INSERT INTO javascript_cookies VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        c.visit_id,
+                        c.name,
+                        c.domain,
+                        c.path,
+                        c.value,
+                        int(c.secure),
+                        int(c.http_only),
+                        c.same_site,
+                        c.set_by_url,
+                    )
+                    for c in result.cookies
+                ],
+            )
+        except sqlite3.IntegrityError as exc:
+            raise StorageError(
+                f"visit {visit.visit_id}: integrity error: {exc}"
+            ) from exc
 
     # -- reads: visits -----------------------------------------------------
 
@@ -296,10 +428,17 @@ class MeasurementStore:
         ]
 
     def document_response(self, visit_id: int) -> Optional[ResponseRecord]:
-        """The response of the visit's main document (request id 1)."""
+        """The response of the visit's main document.
+
+        The landing request always has id 1, but it may redirect; the
+        headers a study audits are those of the *final* document, not of a
+        30x hop.  We therefore follow the ``http_redirects`` chain from
+        request 1 to its terminal request and return that response.
+        """
+        request_id = self._terminal_request_id(visit_id, 1)
         row = self._conn.execute(
-            "SELECT * FROM http_responses WHERE visit_id = ? AND request_id = 1",
-            (visit_id,),
+            "SELECT * FROM http_responses WHERE visit_id = ? AND request_id = ?",
+            (visit_id, request_id),
         ).fetchone()
         if row is None:
             return None
@@ -309,6 +448,22 @@ class MeasurementStore:
             status=row[2],
             headers=tuple((name, value) for name, value in json.loads(row[3])),
         )
+
+    def _terminal_request_id(self, visit_id: int, request_id: int) -> int:
+        """Follow redirect hops from ``request_id`` to the chain's end."""
+        hops: Dict[int, int] = {}
+        for from_id, to_id in self._conn.execute(
+            "SELECT from_request_id, to_request_id FROM http_redirects WHERE visit_id = ?",
+            (visit_id,),
+        ):
+            hops[from_id] = to_id
+        seen = {request_id}
+        while request_id in hops:
+            request_id = hops[request_id]
+            if request_id in seen:  # defensive: malformed cyclic chain
+                break
+            seen.add(request_id)
+        return request_id
 
     def redirects_for_visit(self, visit_id: int) -> List[RedirectRecord]:
         rows = self._conn.execute(

@@ -27,6 +27,11 @@ class ExperimentConfig:
     The defaults give a crawl of ``5 buckets × sites_per_bucket`` sites ×
     ``pages_per_site`` pages × 5 profiles — seconds on a laptop.  The
     paper-scale equivalent is ``sites_per_bucket=5000, pages_per_site=25``.
+
+    ``workers`` shards the crawl and ``jobs`` the tree building across
+    processes; both default to serial and neither changes any stored or
+    analyzed value (the crawl is deterministic per site, see
+    :mod:`repro.crawler.commander`).
     """
 
     seed: int = 2023
@@ -34,10 +39,14 @@ class ExperimentConfig:
     pages_per_site: int = 4
     profiles: Tuple[BrowserProfile, ...] = PAPER_PROFILES
     web_config: WebConfig = field(default_factory=WebConfig)
+    workers: int = 1
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.sites_per_bucket < 1 or self.pages_per_site < 1:
             raise ValueError("scale parameters must be >= 1")
+        if self.workers < 1 or self.jobs < 1:
+            raise ValueError("workers and jobs must be >= 1")
 
 
 class ExperimentContext:
@@ -55,11 +64,12 @@ class ExperimentContext:
             self.store,
             profiles=config.profiles,
             max_pages_per_site=config.pages_per_site,
+            workers=config.workers,
         )
         self.summary: CrawlSummary = commander.run(self.ranks)
         self.filter_list: FilterList = build_filter_list(self.generator.ecosystem)
         self.dataset: AnalysisDataset = AnalysisDataset.from_store(
-            self.store, filter_list=self.filter_list
+            self.store, filter_list=self.filter_list, jobs=config.jobs
         )
 
     @property

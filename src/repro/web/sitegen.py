@@ -98,6 +98,9 @@ class WebGenerator:
     ) -> None:
         self.seed = seed
         self.config = config or WebConfig()
+        # Kept so crawl workers can rebuild an identical generator from
+        # picklable arguments (the generator itself carries a site cache).
+        self.ecosystem_config = ecosystem_config
         self.ecosystem = build_ecosystem(seed, ecosystem_config)
         self._cache: Dict[int, SiteBlueprint] = {}
 

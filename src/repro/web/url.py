@@ -8,6 +8,7 @@ a canonical, hashable representation with explicit query-parameter access
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 from urllib.parse import quote, unquote, urlsplit
@@ -69,7 +70,7 @@ class URL:
             port = parts.port
         except ValueError as exc:
             raise InvalidURLError(f"bad port in {raw!r}") from exc
-        path = unquote(parts.path) or "/"
+        path = _canonical_path(parts.path) or "/"
         if not path.startswith("/"):
             path = "/" + path
         query = _parse_query(parts.query)
@@ -88,6 +89,16 @@ class URL:
         if self.port is not None and self.port != _default_port(self.scheme):
             return f"{self.scheme}://{self.host}:{self.port}"
         return f"{self.scheme}://{self.host}"
+
+    @property
+    def decoded_path(self) -> str:
+        """The path with *all* percent-escapes decoded — display only.
+
+        The canonical :attr:`path` keeps encoded separators (``%2F`` etc.)
+        so that distinct resources stay distinct nodes; use this property
+        when rendering for humans.
+        """
+        return unquote(self.path)
 
     @property
     def query_string(self) -> str:
@@ -140,11 +151,35 @@ class URL:
     def __str__(self) -> str:
         query = self.query_string
         suffix = f"?{query}" if query else ""
-        return f"{self.origin}{quote(self.path)}{suffix}"
+        # '%' is safe: every '%' in a canonical path already is (part of) a
+        # percent-escape, so re-quoting must not double-encode it.
+        return f"{self.origin}{quote(self.path, safe='/%')}{suffix}"
 
 
 def _default_port(scheme: str) -> int:
     return {"http": 80, "https": 443, "ws": 80, "wss": 443}[scheme]
+
+
+#: Percent-escapes that MUST stay encoded in a canonical path: decoding them
+#: would change the URL's structure ('/', '?', '#') or make re-encoding
+#: ambiguous ('%').  ``http://x.com/a%2Fb`` and ``http://x.com/a/b`` name
+#: *different* resources and must stay different nodes.
+_STRUCTURAL_ESCAPE = re.compile(r"%(2F|3F|23|25)", re.IGNORECASE)
+
+
+def _canonical_path(raw_path: str) -> str:
+    """Decode a raw path's percent-escapes except the structural ones.
+
+    Cosmetic escapes (``%20``, ``%41``...) are decoded so spelling variants
+    compare equal; structural escapes are kept, uppercased for stability.
+    The result round-trips: parsing ``str(url)`` reproduces the same path.
+    """
+    parts = _STRUCTURAL_ESCAPE.split(raw_path)
+    # split() with one capture group alternates [text, escape, text, ...].
+    return "".join(
+        f"%{piece.upper()}" if index % 2 else unquote(piece)
+        for index, piece in enumerate(parts)
+    )
 
 
 def _parse_query(raw_query: str) -> QueryPairs:

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.analysis.headers import HeaderObservation, SecurityHeaderAnalyzer
-from repro.browser.network import ResponseRecord, VisitRecord, VisitResult, RequestRecord
+from repro.browser.network import (
+    RedirectRecord,
+    RequestRecord,
+    ResponseRecord,
+    VisitRecord,
+    VisitResult,
+)
 from repro.crawler.storage import MeasurementStore
 from repro.web.resources import ResourceType
 
@@ -36,6 +42,48 @@ def visit_with_headers(visit_id, profile, headers, page="https://e.com/"):
         headers=tuple(headers),
     )
     return VisitResult(visit=visit, requests=(request,), responses=(response,))
+
+
+def redirecting_visit(visit_id, profile, hop_headers, final_headers, page="https://e.com/"):
+    """A landing request that 301s once; the real document is request 2."""
+    final_url = "https://www.e.com/"
+    visit = VisitRecord(
+        visit_id=visit_id,
+        profile_name=profile,
+        site="e.com",
+        site_rank=1,
+        page_url=page,
+        success=True,
+        started_at=0.0,
+        duration=1.0,
+    )
+    requests = tuple(
+        RequestRecord(
+            request_id=i,
+            visit_id=visit_id,
+            url=url,
+            top_level_url=page,
+            resource_type=ResourceType.MAIN_FRAME.value,
+            frame_id=0,
+            parent_frame_id=None,
+            timestamp=0.1 * i,
+            redirect_from=i - 1 if i > 1 else None,
+        )
+        for i, url in ((1, page), (2, final_url))
+    )
+    responses = (
+        ResponseRecord(visit_id=visit_id, request_id=1, status=301,
+                       headers=tuple(hop_headers)),
+        ResponseRecord(visit_id=visit_id, request_id=2, status=200,
+                       headers=tuple(final_headers)),
+    )
+    redirects = (
+        RedirectRecord(visit_id=visit_id, from_request_id=1, to_request_id=2,
+                       from_url=page, to_url=final_url, status=301),
+    )
+    return VisitResult(
+        visit=visit, requests=requests, responses=responses, redirects=redirects
+    )
 
 
 HSTS = ("strict-transport-security", "max-age=1")
@@ -84,6 +132,17 @@ class TestAnalyzer:
         report = SecurityHeaderAnalyzer().analyze(store, ["Sim1", "Sim2"])
         assert report.value_lottery_rate["content-security-policy"] == 1.0
         assert report.presence_lottery_rate["content-security-policy"] == 0.0
+
+    def test_redirecting_landing_page_uses_final_headers(self):
+        # Regression: the analyzer used to read the 301 hop's (empty)
+        # security headers instead of the final document's.
+        store = MeasurementStore()
+        store.store_visit(redirecting_visit(1, "Sim1", hop_headers=[], final_headers=[HSTS]))
+        store.store_visit(visit_with_headers(2, "Sim2", [HSTS]))
+        report = SecurityHeaderAnalyzer().analyze(store, ["Sim1", "Sim2"])
+        assert report.adoption["strict-transport-security"] == 1.0
+        assert report.presence_lottery_rate["strict-transport-security"] == 0.0
+        assert report.inconsistent_page_share == 0.0
 
     def test_real_pipeline(self, store, dataset):
         report = SecurityHeaderAnalyzer().analyze(store, dataset.profiles)

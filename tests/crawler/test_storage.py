@@ -7,6 +7,7 @@ from repro.browser.network import (
     CookieRecord,
     RedirectRecord,
     RequestRecord,
+    ResponseRecord,
     VisitRecord,
     VisitResult,
 )
@@ -119,6 +120,176 @@ class TestConstraints:
             store.store_visit(make_result(visit_id=1))
             with pytest.raises(StorageError):
                 store.store_visit(make_result(visit_id=1, profile="Sim2"))
+
+    def test_duplicate_visit_id_names_visits_table(self):
+        with MeasurementStore() as store:
+            store.store_visit(make_result(visit_id=1))
+            with pytest.raises(StorageError, match="duplicate visit id 1"):
+                store.store_visit(make_result(visit_id=1, profile="Sim2"))
+
+    def test_duplicate_request_id_names_requests_table(self):
+        # Regression: a duplicate (visit_id, request_id) used to be
+        # reported as "duplicate visit id", pointing at the wrong table.
+        result = make_result(visit_id=1)
+        broken = VisitResult(
+            visit=result.visit,
+            requests=result.requests + (result.requests[0],),
+            redirects=result.redirects,
+            cookies=result.cookies,
+        )
+        with MeasurementStore() as store:
+            with pytest.raises(StorageError, match="http_requests"):
+                store.store_visit(broken)
+            # The whole batch rolled back: no partial visit row remains.
+            assert store.visit(1) is None
+
+    def test_duplicate_response_id_names_responses_table(self):
+        result = make_result(visit_id=1)
+        response = ResponseRecord(visit_id=1, request_id=1, status=200)
+        broken = VisitResult(
+            visit=result.visit,
+            requests=result.requests,
+            responses=(response, response),
+        )
+        with MeasurementStore() as store:
+            with pytest.raises(StorageError, match="http_responses"):
+                store.store_visit(broken)
+
+
+class TestBulkWrites:
+    def test_store_visits_batches_atomically(self):
+        results = [make_result(visit_id=i, page=f"https://e.com/p{i}") for i in (1, 2, 3)]
+        with MeasurementStore() as store:
+            assert store.store_visits(results) == 3
+            assert store.visit_count() == 3
+
+    def test_store_visits_rolls_back_whole_batch(self):
+        results = [make_result(visit_id=1), make_result(visit_id=1, profile="Sim2")]
+        with MeasurementStore() as store:
+            with pytest.raises(StorageError):
+                store.store_visits(results)
+            assert store.visit_count() == 0
+
+    def test_store_visits_empty(self):
+        with MeasurementStore() as store:
+            assert store.store_visits([]) == 0
+
+
+class TestMergeAndSnapshots:
+    def test_merge_combines_shards(self):
+        with MeasurementStore() as left, MeasurementStore() as right, MeasurementStore() as main:
+            left.store_visit(make_result(visit_id=1))
+            right.store_visit(make_result(visit_id=2, profile="Sim2"))
+            assert main.merge(left) == 1
+            assert main.merge(right) == 1
+            assert main.visit_count() == 2
+            assert len(main.requests_for_visit(1)) == 2
+            assert len(main.cookies_for_visit(2)) == 1
+
+    def test_merge_collision_raises(self):
+        with MeasurementStore() as left, MeasurementStore() as main:
+            left.store_visit(make_result(visit_id=1))
+            main.store_visit(make_result(visit_id=1))
+            with pytest.raises(StorageError, match="merge collision"):
+                main.merge(left)
+
+    def test_snapshot_and_readonly(self, tmp_path):
+        snapshot = str(tmp_path / "snapshot.sqlite")
+        with MeasurementStore() as store:
+            store.store_visit(make_result(visit_id=1))
+            store.snapshot_to(snapshot)
+        with MeasurementStore.open_readonly(snapshot) as reader:
+            assert reader.visit(1).profile_name == "Sim1"
+            with pytest.raises(Exception):
+                reader.store_visit(make_result(visit_id=2))
+
+    def test_readonly_in_memory_rejected(self):
+        with pytest.raises(StorageError):
+            MeasurementStore.open_readonly(":memory:")
+
+    def test_on_disk_store_uses_wal(self, tmp_path):
+        with MeasurementStore(str(tmp_path / "db.sqlite")) as store:
+            mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+
+
+class TestDocumentResponse:
+    def make_redirecting_visit(self, visit_id=1):
+        """A landing request that 301s twice before the real document."""
+        page = "https://e.com/"
+        visit = VisitRecord(
+            visit_id=visit_id,
+            profile_name="Sim1",
+            site="e.com",
+            site_rank=1,
+            page_url=page,
+            success=True,
+            started_at=0.0,
+            duration=2.0,
+        )
+        urls = (page, "https://www.e.com/", "https://www.e.com/home")
+        requests = tuple(
+            RequestRecord(
+                request_id=i + 1,
+                visit_id=visit_id,
+                url=url,
+                top_level_url=page,
+                resource_type="main_frame",
+                frame_id=0,
+                parent_frame_id=None,
+                timestamp=0.1 * (i + 1),
+                redirect_from=i if i else None,
+            )
+            for i, url in enumerate(urls)
+        )
+        responses = (
+            ResponseRecord(visit_id=visit_id, request_id=1, status=301,
+                           headers=(("location", urls[1]),)),
+            ResponseRecord(visit_id=visit_id, request_id=2, status=301,
+                           headers=(("location", urls[2]),)),
+            ResponseRecord(visit_id=visit_id, request_id=3, status=200,
+                           headers=(("content-type", "text/html"),
+                                    ("strict-transport-security", "max-age=63072000"))),
+        )
+        redirects = (
+            RedirectRecord(visit_id=visit_id, from_request_id=1, to_request_id=2,
+                           from_url=urls[0], to_url=urls[1], status=301),
+            RedirectRecord(visit_id=visit_id, from_request_id=2, to_request_id=3,
+                           from_url=urls[1], to_url=urls[2], status=301),
+        )
+        return VisitResult(
+            visit=visit, requests=requests, responses=responses, redirects=redirects
+        )
+
+    def test_follows_redirect_chain_to_final_document(self):
+        # Regression: the hardcoded request_id=1 used to hand the 30x hop's
+        # headers to the security-header analysis.
+        with MeasurementStore() as store:
+            store.store_visit(self.make_redirecting_visit())
+            response = store.document_response(1)
+            assert response.request_id == 3
+            assert response.status == 200
+            assert response.header("strict-transport-security") is not None
+
+    def test_no_redirects_returns_request_one(self):
+        result = self.make_redirecting_visit(visit_id=5)
+        plain = VisitResult(
+            visit=result.visit,
+            requests=result.requests[:1],
+            responses=(
+                ResponseRecord(visit_id=5, request_id=1, status=200,
+                               headers=(("content-type", "text/html"),)),
+            ),
+        )
+        with MeasurementStore() as store:
+            store.store_visit(plain)
+            response = store.document_response(5)
+            assert response.request_id == 1
+            assert response.status == 200
+
+    def test_missing_visit_returns_none(self):
+        with MeasurementStore() as store:
+            assert store.document_response(404) is None
 
 
 class TestQueries:

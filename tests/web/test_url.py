@@ -45,6 +45,44 @@ class TestParsing:
         assert url.query == (("key", ""),)
 
 
+class TestPercentEncodedPaths:
+    def test_encoded_slash_stays_distinct(self):
+        # Regression: unquoting the path merged distinct resources into
+        # one node (http://x.com/a%2Fb == http://x.com/a/b).
+        encoded = URL.parse("http://x.com/a%2Fb")
+        plain = URL.parse("http://x.com/a/b")
+        assert encoded != plain
+        assert encoded.path == "/a%2Fb"
+        assert plain.path == "/a/b"
+
+    def test_structural_escapes_preserved(self):
+        url = URL.parse("http://x.com/a%2fb%3Fc%23d%25e")
+        assert url.path == "/a%2Fb%3Fc%23d%25e"
+
+    def test_cosmetic_escapes_still_decoded(self):
+        assert URL.parse("http://x.com/a%20b").path == "/a b"
+        assert URL.parse("http://x.com/%61bc").path == "/abc"
+
+    def test_roundtrip_with_encoded_slash(self):
+        url = URL.parse("http://x.com/a%2Fb?k=v")
+        assert URL.parse(str(url)) == url
+        assert "%2F" in str(url)
+
+    def test_escape_case_normalized(self):
+        lower = URL.parse("http://x.com/a%2fb")
+        upper = URL.parse("http://x.com/a%2Fb")
+        assert lower == upper
+
+    def test_decoded_path_for_display(self):
+        url = URL.parse("http://x.com/a%2Fb%20c")
+        assert url.decoded_path == "/a/b c"
+
+    def test_utf8_escapes_decode(self):
+        url = URL.parse("http://x.com/caf%C3%A9")
+        assert url.path == "/café"
+        assert URL.parse(str(url)) == url
+
+
 class TestProperties:
     def test_site(self):
         assert URL.parse("https://cdn.shop.example.co.uk/x").site == "example.co.uk"
