@@ -1,0 +1,51 @@
+"""Benchmark: repro-lint over the whole package, serial vs parallel walker.
+
+Asserts the two runs produce identical violation lists (the walker's
+determinism guarantee), that the package is clean, and records both
+wall-clocks in ``bench_results/lint.txt``.  As with the crawl benchmarks,
+the speedup assertion only binds on multi-core machines.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+import repro
+from repro.devtools.lint import lint_paths
+
+from .conftest import emit
+
+PACKAGE_DIR = str(pathlib.Path(repro.__file__).parent)
+JOBS = 4
+
+
+def _timed_lint(jobs: int):
+    started = time.perf_counter()
+    violations, files_checked = lint_paths([PACKAGE_DIR], jobs=jobs)
+    return violations, files_checked, time.perf_counter() - started
+
+
+def test_bench_lint_walker():
+    serial_violations, files_checked, serial_seconds = _timed_lint(jobs=1)
+    parallel_violations, _, parallel_seconds = _timed_lint(jobs=JOBS)
+
+    assert serial_violations == parallel_violations
+    assert serial_violations == [], [v.format() for v in serial_violations]
+    assert files_checked > 100
+
+    ratio = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    lines = [
+        f"files checked        : {files_checked}",
+        f"serial walker        : {serial_seconds:.3f}s",
+        f"parallel walker (x{JOBS}): {parallel_seconds:.3f}s",
+        f"speedup              : {ratio:.2f}x",
+        f"cpu cores            : {os.cpu_count()}",
+    ]
+    emit("lint", "\n".join(lines))
+
+    if (os.cpu_count() or 1) >= JOBS:
+        # Process pool startup dominates at this scale on slow filesystems;
+        # only require that parallelism is not catastrophically slower.
+        assert parallel_seconds < serial_seconds * 3

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..errors import CrawlError
 from ..rng import child_rng, derive_seed, token_hex
 from ..web.blueprint import InitiatorKind, PageBlueprint, ResourceSlot
 from ..web.dynamics import SlotSampler, VisitConditions
@@ -53,7 +54,7 @@ _STALL_PROBABILITY = 0.01
 _STALL_SECONDS = (1.0, 8.0)
 
 
-class _VisitTimeout(Exception):
+class _VisitTimeout(CrawlError):
     """Internal: the visit exceeded the configured timeout."""
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..errors import UnknownFrameError
+
 MAIN_FRAME_ID = 0
 
 
@@ -56,7 +58,7 @@ class FrameTree:
         is how the tree builder attaches them to the frame node.
         """
         if parent_frame_id not in self._frames:
-            raise KeyError(f"unknown parent frame: {parent_frame_id}")
+            raise UnknownFrameError(parent_frame_id)
         frame = Frame(
             frame_id=self._next_id,
             parent_frame_id=parent_frame_id,
@@ -68,7 +70,10 @@ class FrameTree:
         return frame
 
     def get(self, frame_id: int) -> Frame:
-        return self._frames[frame_id]
+        try:
+            return self._frames[frame_id]
+        except KeyError:
+            raise UnknownFrameError(frame_id) from None
 
     def __contains__(self, frame_id: int) -> bool:
         return frame_id in self._frames

@@ -1,0 +1,50 @@
+"""``repro-lint``: AST-based determinism & invariant checker.
+
+The reproduction guarantees byte-identical output across worker counts
+and machines; that guarantee rests on code-level invariants (seeded RNG
+streams, sorted iteration, the ReproError hierarchy, schema-consistent
+SQL) that this subpackage enforces statically.  See ``framework`` for
+the rule/suppression machinery, ``rules`` for the rule pack, ``walker``
+for the parallel driver, and ``cli`` for the command-line front end.
+
+Typical use::
+
+    python -m repro.devtools.lint src/repro
+    repro-lint --format json src/repro
+
+or programmatically::
+
+    from repro.devtools.lint import lint_paths
+    violations, files_checked = lint_paths(["src/repro"], jobs=4)
+"""
+
+from __future__ import annotations
+
+from .framework import (
+    LintRule,
+    ModuleContext,
+    Violation,
+    build_rules,
+    lint_source,
+    register,
+    registered_rule_ids,
+    rule_summaries,
+)
+from .reporters import render_json, render_text
+from .walker import collect_files, lint_files, lint_paths
+
+__all__ = [
+    "LintRule",
+    "ModuleContext",
+    "Violation",
+    "build_rules",
+    "collect_files",
+    "lint_files",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "registered_rule_ids",
+    "render_json",
+    "render_text",
+    "rule_summaries",
+]

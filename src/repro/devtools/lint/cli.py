@@ -1,0 +1,86 @@
+"""Command-line front end: ``python -m repro.devtools.lint`` / ``repro-lint``.
+
+Exit codes: 0 — clean; 1 — violations found; 2 — usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from ...errors import LintError
+from .framework import build_rules, rule_summaries
+from .reporters import render_json, render_text
+from .walker import lint_paths
+
+
+def _split_ids(raw: str) -> List[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & invariant checker for the repro package."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="worker processes for the file walker (default: all cores)",
+    )
+    parser.add_argument(
+        "--select",
+        type=str,
+        default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=str,
+        default="",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, summary in rule_summaries():
+            print(f"{rule_id}  {summary}")
+        print("SUP001  (framework) suppression comment without a reason")
+        print("SYN001  (framework) file does not parse")
+        return 0
+
+    try:
+        rules = build_rules(
+            select=_split_ids(args.select) or None,
+            ignore=_split_ids(args.ignore),
+        )
+        violations, files_checked = lint_paths(args.paths, rules=rules, jobs=args.jobs)
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(violations, files_checked))
+    return 1 if violations else 0

@@ -1,0 +1,277 @@
+"""Core of ``repro-lint``: rule registry, module context, suppressions.
+
+A *rule* is a class with a ``rule_id`` (``DET001``-style), a one-line
+``summary``, and a ``check(module)`` generator yielding
+:class:`Violation` objects.  Rules register themselves with the
+:func:`register` decorator; :func:`build_rules` instantiates the
+registry (optionally filtered) in stable rule-id order.
+
+Suppressions are per-line comments::
+
+    value = time.time()  # repro: ok[DET002] operator-facing timing only
+
+The bracket lists one or more rule ids (comma-separated); the trailing
+reason is mandatory — a suppression without one does not suppress and is
+itself reported as ``SUP001``.  Only real comment tokens count: the
+marker inside a string literal or docstring is inert.
+
+Two pseudo-rules are reserved for the framework itself and cannot be
+registered or selected: ``SYN001`` (file does not parse) and ``SUP001``
+(suppression comment without a reason).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from ...errors import LintError
+
+#: Framework-reserved pseudo-rule ids (not in the registry).
+SYNTAX_RULE_ID = "SYN001"
+SUPPRESSION_RULE_ID = "SUP001"
+
+_RULE_ID_RE = re.compile(r"^[A-Z]{2,6}\d{3}$")
+_SUPPRESSION_RE = re.compile(r"repro:\s*ok\[([^\]]*)\]\s*(.*)\Z")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule tripped at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: ok[...]`` comment."""
+
+    line: int
+    col: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        # Normalised for path-based exemptions (e.g. DET001 and rng.py).
+        self.posix_path = path.replace("\\", "/")
+
+    def module_aliases(self, module: str) -> Set[str]:
+        """Local names bound to ``import module`` (including ``as`` aliases)."""
+        names: Set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == module:
+                        names.add(alias.asname or alias.name)
+        return names
+
+    def imported_from(self, module: str) -> Dict[str, str]:
+        """``{local_name: original_name}`` for ``from module import ...``."""
+        names: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == module:
+                for alias in node.names:
+                    names[alias.asname or alias.name] = alias.name
+        return names
+
+    def imported_from_suffix(self, suffix: str) -> Dict[str, str]:
+        """Like :meth:`imported_from`, matching the module's last component.
+
+        ``from ..errors import StorageError`` and ``from repro.errors import
+        StorageError`` both match suffix ``"errors"``; this is how ERR001
+        recognises the package error hierarchy without cross-file analysis.
+        """
+        names: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom) and node.module is not None:
+                if node.module.rsplit(".", 1)[-1] == suffix:
+                    for alias in node.names:
+                        names[alias.asname or alias.name] = alias.name
+        return names
+
+
+class LintRule:
+    """Base class for lint rules.  Subclasses set ``rule_id``/``summary``."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def flag(self, module: ModuleContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not _RULE_ID_RE.match(cls.rule_id):
+        raise LintError(f"invalid rule id: {cls.rule_id!r}")
+    if cls.rule_id in (SYNTAX_RULE_ID, SUPPRESSION_RULE_ID):
+        raise LintError(f"rule id {cls.rule_id} is reserved for the framework")
+    if cls.rule_id in _REGISTRY:
+        raise LintError(f"duplicate rule id: {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def registered_rule_ids() -> List[str]:
+    _load_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+def rule_summaries() -> List[Tuple[str, str]]:
+    """``(rule_id, summary)`` pairs for every registered rule, sorted."""
+    _load_builtin_rules()
+    return [(rule_id, _REGISTRY[rule_id].summary) for rule_id in sorted(_REGISTRY)]
+
+
+def build_rules(
+    select: Optional[Iterable[str]] = None, ignore: Iterable[str] = ()
+) -> List[LintRule]:
+    """Instantiate registered rules, filtered and in stable id order."""
+    _load_builtin_rules()
+    chosen = sorted(_REGISTRY)
+    for requested in list(select or []) + list(ignore):
+        if requested not in _REGISTRY:
+            raise LintError(
+                f"unknown rule id: {requested} (known: {', '.join(sorted(_REGISTRY))})"
+            )
+    if select is not None:
+        wanted = set(select)
+        chosen = [rule_id for rule_id in chosen if rule_id in wanted]
+    dropped = set(ignore)
+    return [_REGISTRY[rule_id]() for rule_id in chosen if rule_id not in dropped]
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule pack so its ``@register`` decorators run."""
+    from . import rules  # noqa: F401  (import for side effect)
+
+
+def find_suppressions(source: str) -> Dict[int, Suppression]:
+    """Map line number → suppression for every ``# repro: ok[...]`` comment.
+
+    Tokenizes so that markers inside string literals do not count.  Falls
+    back silently on tokenizer errors (the caller already parsed the file,
+    so these are vanishingly rare).
+    """
+    suppressions: Dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [tok for tok in tokens if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError):
+        return suppressions
+    for tok in comments:
+        match = _SUPPRESSION_RE.search(tok.string)
+        if not match:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        suppressions[tok.start[0]] = Suppression(
+            line=tok.start[0],
+            col=tok.start[1],
+            rule_ids=rule_ids,
+            reason=match.group(2).strip(),
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    violations: Iterable[Violation],
+    suppressions: Dict[int, Suppression],
+    path: str,
+) -> List[Violation]:
+    """Drop suppressed violations; report reason-less suppressions (SUP001)."""
+    kept: List[Violation] = []
+    for violation in violations:
+        marker = suppressions.get(violation.line)
+        if marker and violation.rule_id in marker.rule_ids and marker.reason:
+            continue
+        kept.append(violation)
+    for line in sorted(suppressions):
+        marker = suppressions[line]
+        if not marker.reason:
+            kept.append(
+                Violation(
+                    path=path,
+                    line=line,
+                    col=marker.col,
+                    rule_id=SUPPRESSION_RULE_ID,
+                    message=(
+                        "suppression needs a reason: "
+                        "`# repro: ok[RULE001] why this is safe`"
+                    ),
+                )
+            )
+    return sorted(kept, key=lambda violation: violation.sort_key)
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Violation]:
+    """Lint one module's source text and return sorted violations."""
+    if rules is None:
+        rules = build_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=max((exc.offset or 1) - 1, 0),
+                rule_id=SYNTAX_RULE_ID,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    module = ModuleContext(path=path, source=source, tree=tree)
+    raw = [violation for rule in rules for violation in rule.check(module)]
+    return apply_suppressions(raw, find_suppressions(source), path)

@@ -1,0 +1,137 @@
+"""ERR001: every package error must derive from ``repro.errors.ReproError``.
+
+``repro.errors`` promises that callers can catch all package failures
+with one ``except ReproError`` clause.  This rule keeps the promise
+honest: ``raise`` statements may not throw builtin exceptions (argument
+validation via ``ValueError``/``TypeError`` *with a message* excepted),
+and locally defined exception classes must reach a ``repro.errors`` base.
+
+Resolution is intentionally module-local: a name imported from any module
+whose last path component is ``errors`` is trusted to be a ReproError
+subclass, locally defined classes are resolved through their base-class
+chain within the same file, and anything the rule cannot resolve gets the
+benefit of the doubt.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterator, Optional, Set
+
+from ..framework import LintRule, ModuleContext, Violation, dotted_name, register
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name, obj in vars(builtins).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException)
+)
+
+#: Builtins acceptable for argument validation when given a message.
+_VALIDATION_BUILTINS = frozenset({"ValueError", "TypeError"})
+
+#: Builtins with conventional meanings a ReproError must not shadow.
+_ALWAYS_ALLOWED = frozenset(
+    {
+        "NotImplementedError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "KeyboardInterrupt",
+        "SystemExit",
+        "GeneratorExit",
+    }
+)
+
+
+@register
+class ReproErrorDiscipline(LintRule):
+    rule_id = "ERR001"
+    summary = "raised exception does not derive from repro.errors.ReproError"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        local_classes: Dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        trusted = set(module.imported_from_suffix("errors"))
+        trusted.add("ReproError")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            if isinstance(node.exc, ast.Call):
+                name = dotted_name(node.exc.func)
+                argc = len(node.exc.args) + len(node.exc.keywords)
+            elif isinstance(node.exc, ast.Name):
+                name, argc = node.exc.id, 0
+            else:
+                continue
+            if name is None:
+                continue
+            simple = name.rsplit(".", 1)[-1]
+            if simple in _ALWAYS_ALLOWED or simple in trusted:
+                continue
+            if simple in _VALIDATION_BUILTINS:
+                if argc == 0:
+                    yield self.flag(
+                        module,
+                        node,
+                        f"{simple} raised without a message; argument-validation "
+                        "errors must say what was wrong",
+                    )
+                continue
+            if simple in _BUILTIN_EXCEPTIONS:
+                yield self.flag(
+                    module,
+                    node,
+                    f"raise of builtin {simple}; package errors must derive from "
+                    "ReproError (see repro.errors)",
+                )
+                continue
+            if self._derives_from_repro(simple, local_classes, trusted) is False:
+                yield self.flag(
+                    module,
+                    node,
+                    f"{simple} does not derive from ReproError; base it on a "
+                    "repro.errors class",
+                )
+
+    def _derives_from_repro(
+        self,
+        name: str,
+        local_classes: Dict[str, ast.ClassDef],
+        trusted: Set[str],
+        _seen: Optional[Set[str]] = None,
+    ) -> Optional[bool]:
+        """True/False when resolvable from this module alone, else None.
+
+        ``None`` (unknown origin — e.g. imported from a sibling module)
+        gets the benefit of the doubt at the call site.
+        """
+        seen = _seen if _seen is not None else set()
+        if name in seen:
+            return False
+        seen.add(name)
+        definition = local_classes.get(name)
+        if definition is None:
+            return None
+        verdicts = []
+        for base in definition.bases:
+            base_name = dotted_name(base)
+            if base_name is None:
+                verdicts.append(None)
+                continue
+            simple = base_name.rsplit(".", 1)[-1]
+            if simple in trusted:
+                return True
+            if simple in _BUILTIN_EXCEPTIONS:
+                verdicts.append(False)
+                continue
+            verdicts.append(
+                self._derives_from_repro(simple, local_classes, trusted, seen)
+            )
+        if True in verdicts:
+            return True
+        if None in verdicts or not verdicts:
+            return None
+        return False

@@ -1,0 +1,240 @@
+"""SQL001: SQL strings must agree with the module's schema constant.
+
+The measurement store (``repro/crawler/storage.py``) keeps its schema in
+a module-level ``_SCHEMA`` string and writes with positional ``INSERT
+INTO t VALUES (?, ...)`` statements — a shape where adding a column to
+the schema but not to an insert fails only at runtime, possibly deep into
+a long crawl.  This rule cross-checks, per module:
+
+* every table named in ``FROM``/``INTO``/``UPDATE``/``JOIN`` exists in
+  the schema;
+* positional inserts carry exactly one ``?`` per schema column (explicit
+  column lists are checked by name and count);
+* identifiers in constant queries resolve to columns of the referenced
+  tables;
+* ``CREATE INDEX`` statements inside the schema reference real tables
+  and columns.
+
+Modules without a ``_SCHEMA``/``SCHEMA`` string constant are skipped, and
+only plain string constants are analysed — f-strings that splice table
+names or placeholder lists are outside static reach.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..framework import LintRule, ModuleContext, Violation, register
+
+_SCHEMA_NAMES = ("_SCHEMA", "SCHEMA")
+
+_CREATE_TABLE_RE = re.compile(
+    r"CREATE\s+TABLE(?:\s+IF\s+NOT\s+EXISTS)?\s+(\w+)\s*\((.*?)\)\s*;",
+    re.IGNORECASE | re.DOTALL,
+)
+_CREATE_INDEX_RE = re.compile(
+    r"CREATE\s+INDEX(?:\s+IF\s+NOT\s+EXISTS)?\s+\w+\s+ON\s+(\w+)\s*\(([^)]*)\)",
+    re.IGNORECASE,
+)
+# Deliberately case-sensitive: prose like "Insert one visit's rows" must
+# not be mistaken for SQL, and this codebase writes SQL keywords upper-case.
+_SQL_HEAD_RE = re.compile(r"\s*(SELECT|INSERT|UPDATE|DELETE)\b")
+_TABLE_REF_RE = re.compile(r"\b(?:FROM|INTO|UPDATE|JOIN)\s+(\w+)", re.IGNORECASE)
+_INSERT_RE = re.compile(
+    r"\s*INSERT\s+INTO\s+(\w+)\s*(?:\(([^)]*)\))?\s*VALUES\s*\((.*)\)",
+    re.IGNORECASE | re.DOTALL,
+)
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_]\w*")
+_STRING_LITERAL_RE = re.compile(r"'[^']*'")
+
+#: SQL keywords, functions and type names that are not column references.
+_SQL_WORDS = frozenset(
+    """
+    abs and as asc avg between by case cast coalesce count delete desc
+    distinct else end exists from full group having if ifnull in inner
+    insert instr into is join key left length like limit lower ltrim max
+    min not notnull null offset on or order outer primary replace right
+    rowid rtrim select set substr sum then trim union update upper using
+    values when where
+    """.split()
+)
+
+
+def _split_columns(body: str) -> List[str]:
+    """Split a CREATE TABLE body on top-level commas only."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+_TABLE_CONSTRAINTS = frozenset({"primary", "foreign", "unique", "check", "constraint"})
+
+
+def _parse_schema(schema_sql: str) -> Dict[str, List[str]]:
+    """Table name → ordered column names, from CREATE TABLE statements."""
+    tables: Dict[str, List[str]] = {}
+    for match in _CREATE_TABLE_RE.finditer(schema_sql):
+        table, body = match.group(1), match.group(2)
+        columns: List[str] = []
+        for item in _split_columns(body):
+            words = item.split()
+            if not words or words[0].lower() in _TABLE_CONSTRAINTS:
+                continue
+            columns.append(words[0])
+        tables[table] = columns
+    return tables
+
+
+def _schema_constant(module: ModuleContext) -> Optional[Tuple[ast.AST, str]]:
+    for node in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id in _SCHEMA_NAMES
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                return node, value.value
+    return None
+
+
+@register
+class SchemaConsistency(LintRule):
+    rule_id = "SQL001"
+    summary = "SQL string disagrees with the module's _SCHEMA constant"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        found = _schema_constant(module)
+        if found is None:
+            return
+        schema_node, schema_sql = found
+        tables = _parse_schema(schema_sql)
+        yield from self._check_indexes(module, schema_node, schema_sql, tables)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _SQL_HEAD_RE.match(node.value)
+            ):
+                continue
+            if node.value == schema_sql:
+                continue
+            yield from self._check_query(module, node, node.value, tables)
+
+    def _check_indexes(
+        self,
+        module: ModuleContext,
+        schema_node: ast.AST,
+        schema_sql: str,
+        tables: Dict[str, List[str]],
+    ) -> Iterator[Violation]:
+        for match in _CREATE_INDEX_RE.finditer(schema_sql):
+            table = match.group(1)
+            if table not in tables:
+                yield self.flag(
+                    module,
+                    schema_node,
+                    f"CREATE INDEX references unknown table {table}",
+                )
+                continue
+            for column in _IDENTIFIER_RE.findall(match.group(2)):
+                if column not in tables[table]:
+                    yield self.flag(
+                        module,
+                        schema_node,
+                        f"CREATE INDEX references unknown column "
+                        f"{table}.{column}",
+                    )
+
+    def _check_query(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        sql: str,
+        tables: Dict[str, List[str]],
+    ) -> Iterator[Violation]:
+        referenced = _TABLE_REF_RE.findall(sql)
+        if not referenced:
+            # No FROM/INTO/UPDATE/JOIN clause — nothing to cross-check.
+            return
+        unknown_tables = [table for table in referenced if table not in tables]
+        for table in unknown_tables:
+            yield self.flag(
+                module,
+                node,
+                f"query references unknown table {table} "
+                f"(schema defines: {', '.join(sorted(tables))})",
+            )
+        if unknown_tables:
+            return
+        insert = _INSERT_RE.match(sql)
+        if insert is not None:
+            yield from self._check_insert(module, node, insert, tables)
+            return
+        known_columns = {
+            column for table in referenced for column in tables[table]
+        }
+        cleaned = _STRING_LITERAL_RE.sub("", sql)
+        flagged = set()
+        for word in _IDENTIFIER_RE.findall(cleaned):
+            if word.lower() in _SQL_WORDS or word in tables or word in known_columns:
+                continue
+            if word in flagged:
+                continue
+            flagged.add(word)
+            yield self.flag(
+                module,
+                node,
+                f"identifier {word} is not a column of "
+                f"{', '.join(sorted(set(referenced)))}",
+            )
+
+    def _check_insert(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        insert: "re.Match[str]",
+        tables: Dict[str, List[str]],
+    ) -> Iterator[Violation]:
+        table, column_list, values = insert.group(1), insert.group(2), insert.group(3)
+        columns = tables[table]
+        expected = len(columns)
+        if column_list is not None:
+            listed = _IDENTIFIER_RE.findall(column_list)
+            for column in listed:
+                if column not in columns:
+                    yield self.flag(
+                        module,
+                        node,
+                        f"INSERT lists unknown column {table}.{column}",
+                    )
+            expected = len(listed)
+        if re.fullmatch(r"[\s?,]*", values):
+            placeholders = values.count("?")
+            if placeholders != expected:
+                yield self.flag(
+                    module,
+                    node,
+                    f"INSERT INTO {table} has {placeholders} placeholders for "
+                    f"{expected} columns",
+                )

@@ -42,6 +42,23 @@ class StorageError(CrawlError):
     """Raised when the measurement store rejects an operation."""
 
 
+class UnknownFrameError(CrawlError, KeyError):
+    """Raised when a frame id is not present in a visit's frame tree.
+
+    Also derives from ``KeyError`` so mapping-style callers
+    (``FrameTree.get``/``create_subframe``) can keep catching the lookup
+    failure they historically got.
+    """
+
+    def __init__(self, frame_id: int) -> None:
+        super().__init__(f"unknown frame: {frame_id}")
+        self.frame_id = frame_id
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes its argument; show the plain message.
+        return Exception.__str__(self)
+
+
 class FilterParseError(ReproError, ValueError):
     """Raised when an Adblock-Plus filter line cannot be parsed."""
 
@@ -56,3 +73,7 @@ class AnalysisError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is misconfigured."""
+
+
+class LintError(ReproError):
+    """Raised when ``repro.devtools.lint`` is misused (bad rule id, path)."""

@@ -10,13 +10,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from ..devtools.clock import Clock, Stopwatch
 from . import ALL_EXPERIMENTS
 from .runner import ExperimentConfig, run_pipeline
 
 
-def main(argv=None) -> int:
+def main(argv=None, clock: "Clock" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
         description="Reproduce the paper's tables and figures.",
@@ -46,7 +46,7 @@ def main(argv=None) -> int:
         sites_per_bucket=args.sites_per_bucket,
         pages_per_site=args.pages_per_site,
     )
-    started = time.time()
+    watch = Stopwatch(clock)
     print(
         f"running pipeline: seed={config.seed}, "
         f"{config.sites_per_bucket} sites/bucket, {config.pages_per_site} pages/site"
@@ -54,7 +54,7 @@ def main(argv=None) -> int:
     ctx = run_pipeline(config)
     print(
         f"crawled {ctx.summary.sites_crawled} sites, {ctx.summary.total_visits} visits, "
-        f"{len(ctx.dataset)} comparable pages ({time.time() - started:.1f}s)\n"
+        f"{len(ctx.dataset)} comparable pages ({watch.elapsed():.1f}s)\n"
     )
     for experiment_id in selected:
         module = ALL_EXPERIMENTS[experiment_id]

@@ -67,4 +67,6 @@ def token_hex(rng: random.Random, nbytes: int = 8) -> str:
     Used to synthesize session identifiers embedded in URLs, one of the
     paper's motivations for stripping query values during analysis.
     """
+    if nbytes <= 0:
+        raise ValueError(f"nbytes must be >= 1, got {nbytes}")
     return "".join(rng.choice("0123456789abcdef") for _ in range(nbytes * 2))

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.browser.frames import Frame, FrameTree, MAIN_FRAME_ID
+from repro.errors import CrawlError, UnknownFrameError
 
 
 class TestFrameTree:
@@ -36,6 +37,20 @@ class TestFrameTree:
         tree = FrameTree("https://e.com/")
         with pytest.raises(KeyError):
             tree.create_subframe(99, "https://a.com/", 1)
+
+    def test_unknown_parent_is_a_crawl_error(self):
+        # The errors.py contract: package failures derive from ReproError.
+        tree = FrameTree("https://e.com/")
+        with pytest.raises(UnknownFrameError) as excinfo:
+            tree.create_subframe(99, "https://a.com/", 1)
+        assert isinstance(excinfo.value, CrawlError)
+        assert excinfo.value.frame_id == 99
+        assert str(excinfo.value) == "unknown frame: 99"
+
+    def test_get_unknown_frame_raises_unknown_frame_error(self):
+        tree = FrameTree("https://e.com/")
+        with pytest.raises(UnknownFrameError):
+            tree.get(7)
 
     def test_contains_and_len(self):
         tree = FrameTree("https://e.com/")

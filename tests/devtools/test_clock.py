@@ -1,0 +1,68 @@
+"""Tests for the injectable clock shim (and its use in the experiments CLI)."""
+
+import pytest
+
+from repro.devtools import Clock, FakeClock, Stopwatch, SystemClock
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestFakeClock:
+    def test_starts_where_told(self):
+        assert FakeClock(41.5).now() == 41.5
+
+    def test_advance(self):
+        clock = FakeClock()
+        clock.advance(2.0)
+        clock.advance(0.5)
+        assert clock.now() == 2.5
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError, match="backwards"):
+            FakeClock().advance(-1.0)
+
+
+class TestSystemClock:
+    def test_is_monotonic_non_decreasing(self):
+        clock = SystemClock()
+        first = clock.now()
+        assert clock.now() >= first
+
+    def test_interface(self):
+        assert isinstance(SystemClock(), Clock)
+        with pytest.raises(NotImplementedError):
+            Clock().now()
+
+
+class TestStopwatch:
+    def test_elapsed_follows_injected_clock(self):
+        clock = FakeClock()
+        watch = Stopwatch(clock)
+        clock.advance(3.25)
+        assert watch.elapsed() == 3.25
+
+    def test_restart(self):
+        clock = FakeClock()
+        watch = Stopwatch(clock)
+        clock.advance(10.0)
+        watch.restart()
+        clock.advance(1.0)
+        assert watch.elapsed() == 1.0
+
+    def test_defaults_to_system_clock(self):
+        assert Stopwatch().elapsed() >= 0.0
+
+
+class TestExperimentsCliTiming:
+    def test_injected_clock_makes_timing_deterministic(self, capsys):
+        code = experiments_main(
+            [
+                "--seed", "7",
+                "--sites-per-bucket", "1",
+                "--pages-per-site", "1",
+                "--only", "figure2",
+            ],
+            clock=FakeClock(100.0),
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(0.0s)" in out  # a FakeClock never advances on its own

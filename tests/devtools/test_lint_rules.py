@@ -1,0 +1,248 @@
+"""Rule unit tests: one positive and one negative snippet per behaviour."""
+
+import textwrap
+
+from repro.devtools.lint import build_rules, lint_source
+
+
+def check(rule_id, source):
+    """Lint a snippet with a single rule; return the rule ids that fired."""
+    rules = build_rules(select=[rule_id])
+    violations = lint_source(textwrap.dedent(source), path="snippet.py", rules=rules)
+    return [v.rule_id for v in violations]
+
+
+class TestDet001UnseededRandomness:
+    def test_global_random_call(self):
+        assert check("DET001", "import random\nx = random.random()\n") == ["DET001"]
+
+    def test_global_shuffle_via_alias(self):
+        src = "import random as rnd\nrnd.shuffle(items)\n"
+        assert check("DET001", src) == ["DET001"]
+
+    def test_random_constructor(self):
+        assert check("DET001", "import random\nr = random.Random(1)\n") == ["DET001"]
+
+    def test_from_import_constructor(self):
+        src = "from random import Random\nr = Random(1)\n"
+        assert check("DET001", src) == ["DET001"]
+
+    def test_from_import_function(self):
+        src = "from random import choice\nx = choice(seq)\n"
+        assert check("DET001", src) == ["DET001"]
+
+    def test_child_rng_stream_is_fine(self):
+        src = (
+            "from repro.rng import child_rng\n"
+            "rng = child_rng(1, 'site')\n"
+            "x = rng.random()\n"
+        )
+        assert check("DET001", src) == []
+
+    def test_rng_module_is_exempt(self):
+        src = "import random\nr = random.Random(42)\n"
+        rules = build_rules(select=["DET001"])
+        assert lint_source(src, path="src/repro/rng.py", rules=rules) == []
+
+    def test_annotation_is_not_a_call(self):
+        src = "import random\ndef f(rng: random.Random) -> None:\n    pass\n"
+        assert check("DET001", src) == []
+
+
+class TestDet002WallClock:
+    def test_time_time(self):
+        assert check("DET002", "import time\nt = time.time()\n") == ["DET002"]
+
+    def test_perf_counter(self):
+        assert check("DET002", "import time\nt = time.perf_counter()\n") == ["DET002"]
+
+    def test_from_import(self):
+        assert check("DET002", "from time import time\nt = time()\n") == ["DET002"]
+
+    def test_datetime_now(self):
+        src = "import datetime\nt = datetime.datetime.now()\n"
+        assert check("DET002", src) == ["DET002"]
+
+    def test_datetime_class_import(self):
+        src = "from datetime import datetime\nt = datetime.now()\n"
+        assert check("DET002", src) == ["DET002"]
+
+    def test_unrelated_now_method_is_fine(self):
+        src = "t = state.clock.now()\n"
+        assert check("DET002", src) == []
+
+    def test_time_sleep_is_fine(self):
+        assert check("DET002", "import time\ntime.sleep(1)\n") == []
+
+
+class TestDet003UnorderedSinks:
+    def test_list_of_set(self):
+        assert check("DET003", "x = list(set(items))\n") == ["DET003"]
+
+    def test_tuple_of_keys(self):
+        assert check("DET003", "x = tuple(mapping.keys())\n") == ["DET003"]
+
+    def test_join_of_set_literal(self):
+        assert check("DET003", "x = ','.join({'a', 'b'})\n") == ["DET003"]
+
+    def test_listcomp_over_set(self):
+        assert check("DET003", "x = [v for v in set(items)]\n") == ["DET003"]
+
+    def test_generator_into_join(self):
+        src = "x = ','.join(str(v) for v in set(items))\n"
+        assert check("DET003", src) == ["DET003"]
+
+    def test_sorted_wrapping_is_fine(self):
+        assert check("DET003", "x = list(sorted(set(items)))\n") == []
+        assert check("DET003", "x = ','.join(sorted(mapping.keys()))\n") == []
+
+    def test_unordered_aggregates_are_fine(self):
+        assert check("DET003", "n = len(set(items))\n") == []
+        assert check("DET003", "s = frozenset(mapping.keys())\n") == []
+        assert check("DET003", "u = set(a) | set(b)\n") == []
+
+
+class TestDet004DirectoryListings:
+    def test_listdir(self):
+        assert check("DET004", "import os\nnames = os.listdir(p)\n") == ["DET004"]
+
+    def test_glob(self):
+        assert check("DET004", "import glob\nnames = glob.glob(p)\n") == ["DET004"]
+
+    def test_from_import(self):
+        src = "from glob import glob\nnames = glob(p)\n"
+        assert check("DET004", src) == ["DET004"]
+
+    def test_os_walk(self):
+        src = "import os\nfor root, dirs, files in os.walk(p):\n    pass\n"
+        assert check("DET004", src) == ["DET004"]
+
+    def test_sorted_listing_is_fine(self):
+        assert check("DET004", "import os\nnames = sorted(os.listdir(p))\n") == []
+
+    def test_unrelated_os_call_is_fine(self):
+        assert check("DET004", "import os\np = os.path.join(a, b)\n") == []
+
+
+class TestErr001ErrorDiscipline:
+    def test_builtin_raise(self):
+        src = "def f():\n    raise KeyError('missing')\n"
+        assert check("ERR001", src) == ["ERR001"]
+
+    def test_valueerror_with_message_allowed(self):
+        src = "def f(n):\n    raise ValueError(f'bad n: {n}')\n"
+        assert check("ERR001", src) == []
+
+    def test_valueerror_without_message_flagged(self):
+        src = "def f():\n    raise ValueError\n"
+        assert check("ERR001", src) == ["ERR001"]
+
+    def test_repro_error_import_allowed(self):
+        src = (
+            "from repro.errors import CrawlError\n"
+            "def f():\n    raise CrawlError('bad')\n"
+        )
+        assert check("ERR001", src) == []
+
+    def test_relative_errors_import_allowed(self):
+        src = (
+            "from ..errors import StorageError\n"
+            "def f():\n    raise StorageError('bad')\n"
+        )
+        assert check("ERR001", src) == []
+
+    def test_local_subclass_of_repro_error_allowed(self):
+        src = (
+            "from repro.errors import CrawlError\n"
+            "class Timeout(CrawlError):\n    pass\n"
+            "def f():\n    raise Timeout()\n"
+        )
+        assert check("ERR001", src) == []
+
+    def test_local_subclass_of_exception_flagged(self):
+        src = (
+            "class Timeout(Exception):\n    pass\n"
+            "def f():\n    raise Timeout()\n"
+        )
+        assert check("ERR001", src) == ["ERR001"]
+
+    def test_transitive_local_base_resolves(self):
+        src = (
+            "from repro.errors import ReproError\n"
+            "class Base(ReproError):\n    pass\n"
+            "class Leaf(Base):\n    pass\n"
+            "def f():\n    raise Leaf('x')\n"
+        )
+        assert check("ERR001", src) == []
+
+    def test_unknown_import_gets_benefit_of_doubt(self):
+        src = (
+            "from somewhere import WeirdError\n"
+            "def f():\n    raise WeirdError('x')\n"
+        )
+        assert check("ERR001", src) == []
+
+    def test_bare_reraise_allowed(self):
+        src = "def f():\n    try:\n        g()\n    except Exception:\n        raise\n"
+        assert check("ERR001", src) == []
+
+    def test_not_implemented_allowed(self):
+        src = "def f():\n    raise NotImplementedError\n"
+        assert check("ERR001", src) == []
+
+
+SCHEMA_PREFIX = '''
+_SCHEMA = """
+CREATE TABLE visits (
+    visit_id INTEGER PRIMARY KEY,
+    page_url TEXT NOT NULL
+);
+CREATE INDEX idx ON visits (page_url);
+"""
+'''
+
+
+class TestSql001SchemaConsistency:
+    def test_placeholder_count_mismatch(self):
+        src = SCHEMA_PREFIX + 'Q = "INSERT INTO visits VALUES (?, ?, ?)"\n'
+        assert check("SQL001", src) == ["SQL001"]
+
+    def test_placeholder_count_match(self):
+        src = SCHEMA_PREFIX + 'Q = "INSERT INTO visits VALUES (?, ?)"\n'
+        assert check("SQL001", src) == []
+
+    def test_unknown_table(self):
+        src = SCHEMA_PREFIX + 'Q = "SELECT * FROM sessions"\n'
+        assert check("SQL001", src) == ["SQL001"]
+
+    def test_unknown_column(self):
+        src = SCHEMA_PREFIX + 'Q = "SELECT * FROM visits WHERE profile = ?"\n'
+        assert check("SQL001", src) == ["SQL001"]
+
+    def test_known_column_ok(self):
+        src = SCHEMA_PREFIX + 'Q = "SELECT * FROM visits WHERE page_url = ?"\n'
+        assert check("SQL001", src) == []
+
+    def test_explicit_column_list(self):
+        src = (
+            SCHEMA_PREFIX
+            + 'Q = "INSERT INTO visits (visit_id, bogus) VALUES (?, ?)"\n'
+        )
+        assert check("SQL001", src) == ["SQL001"]
+
+    def test_bad_index_column(self):
+        src = (
+            '_SCHEMA = """\n'
+            "CREATE TABLE t (a INTEGER);\n"
+            "CREATE INDEX idx ON t (missing);\n"
+            '"""\n'
+        )
+        assert check("SQL001", src) == ["SQL001"]
+
+    def test_module_without_schema_is_skipped(self):
+        src = 'Q = "SELECT * FROM nowhere"\n'
+        assert check("SQL001", src) == []
+
+    def test_prose_starting_with_insert_is_not_sql(self):
+        src = SCHEMA_PREFIX + 'DOC = "Insert one visit into the store"\n'
+        assert check("SQL001", src) == []

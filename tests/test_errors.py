@@ -9,9 +9,11 @@ from repro.errors import (
     ExperimentError,
     FilterParseError,
     InvalidURLError,
+    LintError,
     ReproError,
     StorageError,
     TreeConstructionError,
+    UnknownFrameError,
     VisitFailed,
 )
 
@@ -26,8 +28,10 @@ class TestHierarchy:
             ExperimentError,
             FilterParseError,
             InvalidURLError,
+            LintError,
             StorageError,
             TreeConstructionError,
+            UnknownFrameError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc_type):
@@ -37,6 +41,11 @@ class TestHierarchy:
         # Parsing errors double as ValueErrors for stdlib-style handling.
         assert issubclass(InvalidURLError, ValueError)
         assert issubclass(FilterParseError, ValueError)
+
+    def test_unknown_frame_key_error_compatibility(self):
+        # Mapping-style frame lookups historically raised KeyError.
+        assert issubclass(UnknownFrameError, KeyError)
+        assert str(UnknownFrameError(3)) == "unknown frame: 3"
 
     def test_storage_is_crawl_error(self):
         assert issubclass(StorageError, CrawlError)

@@ -1,0 +1,21 @@
+"""The self-application gate: ``repro-lint`` must be clean over ``src/``.
+
+This is the teeth of the determinism contract — any new unseeded
+randomness, wall-clock read, unsorted set iteration into an ordered
+output, non-ReproError raise, or schema-inconsistent SQL fails CI here
+(or carries an explicit ``# repro: ok[RULE] reason`` suppression).
+"""
+
+import pathlib
+
+import repro
+from repro.devtools.lint import lint_paths
+
+PACKAGE_DIR = pathlib.Path(repro.__file__).parent
+
+
+def test_package_is_lint_clean():
+    violations, files_checked = lint_paths([str(PACKAGE_DIR)], jobs=2)
+    assert files_checked > 100, "walker should see the whole package"
+    formatted = "\n".join(v.format() for v in violations)
+    assert violations == [], f"repro-lint violations in src/:\n{formatted}"

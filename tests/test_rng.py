@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from repro.rng import child_rng, derive_seed, stable_fraction, stable_hash, token_hex
 
 
@@ -56,3 +58,10 @@ class TestTokenHex:
 
     def test_deterministic_given_rng(self):
         assert token_hex(random.Random(5)) == token_hex(random.Random(5))
+
+    def test_rejects_non_positive_nbytes(self):
+        rng = random.Random(3)
+        with pytest.raises(ValueError, match="nbytes must be >= 1"):
+            token_hex(rng, 0)
+        with pytest.raises(ValueError, match="nbytes must be >= 1"):
+            token_hex(rng, -4)
