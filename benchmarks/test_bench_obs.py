@@ -1,0 +1,77 @@
+"""Benchmark: observability overhead on the crawl hot path.
+
+Runs the bench-scale crawl once with telemetry disabled (the default
+``NULL_OBS``) and once fully instrumented (tracer + metrics), asserts the
+stored measurements are unaffected, and records the overhead ratio in
+``bench_results/obs.txt``.  The design target is <5% overhead; the
+assertion binds at 25% to stay robust on noisy CI boxes while still
+catching an accidentally quadratic hook.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.crawler import Commander, MeasurementStore, sample_paper_buckets
+from repro.obs import NULL_OBS, ObsContext
+from repro.web import WebGenerator
+
+from .conftest import emit
+
+SEED = 2023
+SITES_PER_BUCKET = 2
+PAGES_PER_SITE = 5
+REPEATS = 3
+
+
+def _crawl(obs):
+    generator = WebGenerator(SEED)
+    store = MeasurementStore(obs=obs)
+    ranks = sample_paper_buckets(SEED, per_bucket=SITES_PER_BUCKET)
+    started = time.perf_counter()
+    Commander(
+        generator, store, max_pages_per_site=PAGES_PER_SITE, obs=obs
+    ).run(ranks)
+    return store, time.perf_counter() - started
+
+
+def _best_of(make_obs):
+    """Best-of-N wall clock (minimum filters scheduler noise)."""
+    best_seconds, store = None, None
+    for _ in range(REPEATS):
+        if store is not None:
+            store.close()
+        store, seconds = _crawl(make_obs())
+        best_seconds = seconds if best_seconds is None else min(best_seconds, seconds)
+    return store, best_seconds
+
+
+def test_bench_obs_overhead():
+    plain_store, plain_seconds = _best_of(lambda: NULL_OBS)
+    traced_store, traced_seconds = _best_of(lambda: ObsContext.create(seed=SEED))
+
+    # Telemetry must observe the crawl, not perturb it.
+    plain_rows = plain_store._conn.execute(
+        "SELECT * FROM visits ORDER BY visit_id"
+    ).fetchall()
+    traced_rows = traced_store._conn.execute(
+        "SELECT * FROM visits ORDER BY visit_id"
+    ).fetchall()
+    assert plain_rows == traced_rows
+
+    overhead = traced_seconds / plain_seconds if plain_seconds else 1.0
+    lines = [
+        f"config: seed={SEED} sites_per_bucket={SITES_PER_BUCKET} "
+        f"pages_per_site={PAGES_PER_SITE} best-of-{REPEATS}",
+        f"crawl, telemetry off : {plain_seconds:8.3f} s",
+        f"crawl, telemetry on  : {traced_seconds:8.3f} s",
+        f"overhead             : {overhead:8.3f}x (target < 1.05x, gate < 1.25x)",
+        "stored visits identical with and without telemetry: yes",
+    ]
+    emit("obs", "\n".join(lines))
+    plain_store.close()
+    traced_store.close()
+
+    assert overhead < 1.25, (
+        f"instrumentation overhead {overhead:.3f}x exceeds the 1.25x gate"
+    )

@@ -17,6 +17,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 from ..blocklist.matcher import FilterList
 from ..crawler.storage import MeasurementStore
 from ..errors import AnalysisError
+from ..obs import NULL_OBS, ObsContext
 from ..trees.builder import TreeBuilder
 from ..trees.tree import DependencyTree
 from .comparison import NodeComparison, PageComparison
@@ -54,6 +55,7 @@ class AnalysisDataset:
         profiles: Optional[Sequence[str]] = None,
         require_all: bool = True,
         jobs: int = 1,
+        obs: Optional[ObsContext] = None,
     ) -> "AnalysisDataset":
         """Build trees for every vetted page and align them.
 
@@ -65,18 +67,28 @@ class AnalysisDataset:
         contiguously so entry order — and every per-page metric — is
         identical to the serial build.
         """
+        obs = obs if obs is not None else NULL_OBS
         profile_names = list(profiles) if profiles is not None else store.profiles()
-        pages = (
-            store.pages_crawled_by_all(profile_names) if require_all else store.pages()
-        )
-        if jobs > 1 and len(pages) > 1:
-            entries = _build_entries_parallel(
-                store, pages, profile_names, filter_list, require_all, jobs
+        with obs.tracer.span("dataset", key="dataset") as span:
+            pages = (
+                store.pages_crawled_by_all(profile_names)
+                if require_all
+                else store.pages()
             )
-        else:
-            entries = _build_entries(
-                store, pages, profile_names, filter_list, require_all
-            )
+            if jobs > 1 and len(pages) > 1:
+                entries = _build_entries_parallel(
+                    store, pages, profile_names, filter_list, require_all, jobs, obs
+                )
+            else:
+                entries = _build_entries(
+                    store, pages, profile_names, filter_list, require_all, obs
+                )
+            span.set("pages", len(pages))
+            span.set("entries", len(entries))
+            metrics = obs.metrics
+            if metrics.enabled:
+                metrics.counter("dataset.pages_vetted").inc(len(pages))
+                metrics.counter("dataset.entries").inc(len(entries))
         return cls(entries, profile_names)
 
     @classmethod
@@ -127,9 +139,10 @@ def _build_entries(
     profile_names: Sequence[str],
     filter_list: Optional[FilterList],
     require_all: bool,
+    obs: ObsContext = NULL_OBS,
 ) -> List[PageEntry]:
     """The per-page build loop, shared by the serial path and pool workers."""
-    builder = TreeBuilder(filter_list=filter_list)
+    builder = TreeBuilder(filter_list=filter_list, obs=obs)
     entries: List[PageEntry] = []
     for page_url in pages:
         trees = builder.build_for_page(store, page_url, profile_names)
@@ -157,6 +170,7 @@ def _build_entries_parallel(
     filter_list: Optional[FilterList],
     require_all: bool,
     jobs: int,
+    obs: ObsContext = NULL_OBS,
 ) -> List[PageEntry]:
     """Fan the page list out to a process pool over read-only snapshots."""
     snapshot: Optional[str] = None
@@ -169,13 +183,21 @@ def _build_entries_parallel(
     else:
         db_path = store.path
     chunks = _chunked(list(pages), jobs)
+    obs_config = obs.config()
     try:
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
             results = list(
                 pool.map(
                     _build_entries_worker,
                     [
-                        (db_path, chunk, list(profile_names), filter_list, require_all)
+                        (
+                            db_path,
+                            chunk,
+                            list(profile_names),
+                            filter_list,
+                            require_all,
+                            obs_config,
+                        )
                         for chunk in chunks
                     ],
                 )
@@ -183,13 +205,21 @@ def _build_entries_parallel(
     finally:
         if snapshot is not None:
             os.unlink(snapshot)
-    return [entry for chunk_entries in results for entry in chunk_entries]
+    # Chunk order is deterministic and metric merge is commutative, so the
+    # merged registry equals the serial build's.
+    obs.metrics.merge_all(metrics for _, metrics in results if metrics)
+    return [entry for chunk_entries, _ in results for entry in chunk_entries]
 
 
-def _build_entries_worker(args) -> List[PageEntry]:
-    db_path, pages, profile_names, filter_list, require_all = args
+def _build_entries_worker(args):
+    db_path, pages, profile_names, filter_list, require_all, obs_config = args
+    worker_obs = ObsContext.from_config(obs_config)
     with MeasurementStore.open_readonly(db_path) as store:
-        return _build_entries(store, pages, profile_names, filter_list, require_all)
+        entries = _build_entries(
+            store, pages, profile_names, filter_list, require_all, worker_obs
+        )
+    metrics = worker_obs.metrics.as_dict() if worker_obs.metrics.enabled else None
+    return entries, metrics
 
 
 def _chunked(items: List[str], jobs: int) -> List[List[str]]:

@@ -26,21 +26,40 @@ from .blocklist import build_filter_list, generate_easylist
 from .browser import BrowserEngine, PAPER_PROFILES, profile_by_name
 from .crawler import Commander, MeasurementStore, sample_paper_buckets
 from . import export as export_mod
-from .experiments import ALL_EXPERIMENTS
+from .experiments import ALL_EXPERIMENTS, ExperimentConfig
+from .obs import NULL_OBS, ObsContext
 from .reporting.treeview import render_tree, render_tree_summary
 from .trees import TreeBuilder
 from .web import WebGenerator
 
 
 class AnalysisContext:
-    """Duck-typed stand-in for ExperimentContext backed by a stored crawl."""
+    """Duck-typed stand-in for ExperimentContext backed by a stored crawl.
 
-    def __init__(self, store: MeasurementStore, seed: int, jobs: int = 1) -> None:
+    Experiments that re-crawl (replication, timeout ablation, study
+    comparability) read ``config``/``ranks``; both are reconstructed from
+    the seed and the stored visits so every experiment runs on a stored
+    db, not just the dataset-only ones.
+    """
+
+    def __init__(
+        self,
+        store: MeasurementStore,
+        seed: int,
+        jobs: int = 1,
+        obs: ObsContext = NULL_OBS,
+    ) -> None:
         self.store = store
         self.generator = WebGenerator(seed)
-        self.filter_list = build_filter_list(self.generator.ecosystem)
+        ranks = [store.site_rank(site) for site in store.sites()]
+        self.ranks = sorted(rank for rank in ranks if rank is not None)
+        self.config = ExperimentConfig(
+            seed=seed, pages_per_site=store.pages_per_site_cap()
+        )
+        with obs.tracer.span("filter-list", key="filter-list"):
+            self.filter_list = build_filter_list(self.generator.ecosystem)
         self.dataset = AnalysisDataset.from_store(
-            store, filter_list=self.filter_list, jobs=jobs
+            store, filter_list=self.filter_list, jobs=jobs, obs=obs
         )
         self.summary = None
 
@@ -49,11 +68,33 @@ class AnalysisContext:
         return self.store.profiles()
 
 
+def _obs_for(args: argparse.Namespace) -> ObsContext:
+    """An enabled context when the user asked for telemetry output."""
+    if getattr(args, "trace", "") or getattr(args, "metrics_out", ""):
+        return ObsContext.create(seed=args.seed)
+    return NULL_OBS
+
+
+def _write_obs(obs: ObsContext, args: argparse.Namespace) -> None:
+    if getattr(args, "trace", ""):
+        count = obs.tracer.write_jsonl(args.trace)
+        print(f"wrote {count} spans to {args.trace}")
+    if getattr(args, "metrics_out", ""):
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(obs.metrics.to_json() + "\n")
+        print(f"wrote {len(obs.metrics)} metrics to {args.metrics_out}")
+
+
 def _cmd_crawl(args: argparse.Namespace) -> int:
+    obs = _obs_for(args)
     generator = WebGenerator(args.seed)
-    store = MeasurementStore(args.db)
+    store = MeasurementStore(args.db, obs=obs)
     commander = Commander(
-        generator, store, max_pages_per_site=args.pages_per_site, workers=args.jobs
+        generator,
+        store,
+        max_pages_per_site=args.pages_per_site,
+        workers=args.jobs,
+        obs=obs,
     )
     ranks = sample_paper_buckets(args.seed, per_bucket=args.sites_per_bucket)
     summary = commander.run(ranks)
@@ -66,14 +107,16 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             f"  {profile.name:<9} visits: {summary.visits.get(profile.name, 0):>5} "
             f"success: {summary.success_rate(profile.name):.0%}"
         )
+    _write_obs(obs, args)
     store.close()
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    store = MeasurementStore(args.db)
+    obs = _obs_for(args)
+    store = MeasurementStore(args.db, obs=obs)
     try:
-        ctx = AnalysisContext(store, seed=args.seed, jobs=args.jobs)
+        ctx = AnalysisContext(store, seed=args.seed, jobs=args.jobs, obs=obs)
         if not len(ctx.dataset):
             print("no pages were crawled by all profiles; nothing to analyze")
             return 1
@@ -90,8 +133,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         for experiment_id in selected:
             module = ALL_EXPERIMENTS[experiment_id]
             print(f"{'=' * 70}\n[{experiment_id}]\n{'=' * 70}")
-            print(module.render(module.run(ctx)))
+            with obs.tracer.span(
+                "experiment", key=f"experiment:{experiment_id}", id=experiment_id
+            ):
+                result = module.run(ctx)
+            print(module.render(result))
             print()
+        _write_obs(obs, args)
         return 0
     finally:
         store.close()
@@ -166,6 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the sharded crawl (same store for any value)",
     )
+    crawl.add_argument("--trace", default="", help="write a span trace (JSONL)")
+    crawl.add_argument("--metrics-out", default="", help="write run metrics (JSON)")
     crawl.set_defaults(func=_cmd_crawl)
 
     analyze = sub.add_parser("analyze", help="run paper analyses on a stored crawl")
@@ -180,6 +230,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for parallel tree building (same metrics for any value)",
     )
+    analyze.add_argument("--trace", default="", help="write a span trace (JSONL)")
+    analyze.add_argument("--metrics-out", default="", help="write run metrics (JSON)")
     analyze.set_defaults(func=_cmd_analyze)
 
     export = sub.add_parser("export", help="dump crawl/analysis data to files")

@@ -10,7 +10,7 @@ allocation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..browser.cookies import CookieJar
 from ..browser.engine import BrowserEngine
@@ -22,15 +22,41 @@ from ..web.blueprint import PageBlueprint
 
 @dataclass
 class ClientStats:
-    """Running counters for one client."""
+    """Running counters for one client.
+
+    ``failure_reasons`` keeps the per-reason breakdown (``timeout`` vs.
+    ``crawler-error``) the commander aggregates into
+    :class:`~repro.crawler.commander.CrawlSummary` — Table 1 of the paper
+    reports failure *kinds*, not just counts.
+    """
 
     visits: int = 0
     successes: int = 0
     failures: int = 0
+    failure_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
     def success_rate(self) -> float:
         return self.successes / self.visits if self.visits else 0.0
+
+    def record(self, success: bool, failure_reason: Optional[str]) -> None:
+        self.visits += 1
+        if success:
+            self.successes += 1
+        else:
+            self.failures += 1
+            reason = failure_reason if failure_reason else "unknown"
+            self.failure_reasons[reason] = self.failure_reasons.get(reason, 0) + 1
+
+    def merge(self, other: "ClientStats") -> None:
+        """Fold another client's counters in (shard aggregation)."""
+        self.visits += other.visits
+        self.successes += other.successes
+        self.failures += other.failures
+        for reason in sorted(other.failure_reasons):
+            self.failure_reasons[reason] = (
+                self.failure_reasons.get(reason, 0) + other.failure_reasons[reason]
+            )
 
 
 class CrawlClient:
@@ -83,11 +109,8 @@ class CrawlClient:
         )
         self.clock = result.visit.started_at + result.visit.duration
         self.clock += self._jitter.uniform(0.2, 2.0)  # navigation overhead
-        self.stats.visits += 1
-        if result.success:
-            self.stats.successes += 1
-        else:
-            self.stats.failures += 1
+        self.stats.record(result.success, result.visit.failure_reason)
+        if not result.success:
             # A timed-out page holds the browser until the timeout fires —
             # the main cause of the cross-profile start-time drift.
             self.clock += self._jitter.uniform(0.0, self.engine.timeout / 2)

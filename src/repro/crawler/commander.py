@@ -37,8 +37,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..browser.profile import BrowserProfile, PAPER_PROFILES
 from ..errors import CrawlError
+from ..obs import NULL_OBS, ObsConfig, ObsContext, VISIT_SECONDS_BUCKETS
+from ..obs.trace import SpanRecord, split_roots
 from ..web.sitegen import WebGenerator
-from .client import CrawlClient, SiteVisitPlan
+from .client import ClientStats, CrawlClient, SiteVisitPlan
 from .discovery import DiscoveryResult, discover_pages
 from .storage import MeasurementStore
 from .tranco import RankedList
@@ -51,17 +53,35 @@ _NOMINAL_VISIT_SECONDS = 5.0
 
 @dataclass
 class CrawlSummary:
-    """Aggregate outcome of a crawl, per profile and overall."""
+    """Aggregate outcome of a crawl, per profile and overall.
+
+    ``failures`` maps profile → failure reason → count (``timeout`` vs.
+    ``crawler-error``), the breakdown the paper's Table 1 accounts for
+    before trusting any similarity number.  Historically the sharded
+    aggregation collapsed this to bare ``(visits, successes)`` tuples and
+    the reasons were lost; they now ride up from every
+    :class:`~repro.crawler.client.ClientStats`.
+    """
 
     sites_planned: int = 0
     sites_crawled: int = 0
     pages_discovered: int = 0
     visits: Dict[str, int] = field(default_factory=dict)
     successes: Dict[str, int] = field(default_factory=dict)
+    failures: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def success_rate(self, profile: str) -> float:
         visits = self.visits.get(profile, 0)
         return self.successes.get(profile, 0) / visits if visits else 0.0
+
+    def failure_count(self, profile: str, reason: Optional[str] = None) -> int:
+        reasons = self.failures.get(profile, {})
+        if reason is None:
+            return sum(reasons.values())
+        return reasons.get(reason, 0)
+
+    def timeout_count(self, profile: str) -> int:
+        return self.failure_count(profile, "timeout")
 
     @property
     def total_visits(self) -> int:
@@ -106,6 +126,7 @@ class Commander:
         stateful: bool = False,
         repeat_visits: int = 1,
         workers: int = 1,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         if not profiles:
             raise CrawlError("at least one profile is required")
@@ -124,34 +145,50 @@ class Commander:
         if workers < 1:
             raise CrawlError("workers must be >= 1")
         self.workers = workers
+        self.obs = obs if obs is not None else NULL_OBS
 
     # -- pipeline ----------------------------------------------------------
 
     def run(self, ranks: Sequence[int]) -> CrawlSummary:
         """Crawl the sites at ``ranks`` with all profiles; returns a summary."""
-        schedules, plans = self._schedule(ranks)
-        summary = CrawlSummary(
-            sites_planned=len(ranks),
-            sites_crawled=len(schedules),
-            pages_discovered=sum(item.page_count for item in schedules),
-        )
-        if self.workers <= 1 or len(schedules) <= 1:
-            stats = _crawl_sites(
-                self.generator,
-                self.store,
-                self.profiles,
-                schedules,
-                timeout=self.timeout,
-                stateful=self.stateful,
-                repeat_visits=self.repeat_visits,
-                max_pages_per_site=self.max_pages_per_site,
-                plans=plans,
+        tracer = self.obs.tracer
+        with tracer.span("crawl", key="crawl") as crawl_span:
+            with tracer.span("plan", key="plan") as plan_span:
+                schedules, plans = self._schedule(ranks)
+                plan_span.set("sites", len(schedules))
+                plan_span.set(
+                    "pages", sum(item.page_count for item in schedules)
+                )
+            summary = CrawlSummary(
+                sites_planned=len(ranks),
+                sites_crawled=len(schedules),
+                pages_discovered=sum(item.page_count for item in schedules),
             )
-        else:
-            stats = self._run_sharded(schedules)
-        for name, (visits, successes) in stats.items():
-            summary.visits[name] = visits
-            summary.successes[name] = successes
+            if self.workers <= 1 or len(schedules) <= 1:
+                stats = _crawl_sites(
+                    self.generator,
+                    self.store,
+                    self.profiles,
+                    schedules,
+                    timeout=self.timeout,
+                    stateful=self.stateful,
+                    repeat_visits=self.repeat_visits,
+                    max_pages_per_site=self.max_pages_per_site,
+                    plans=plans,
+                    obs=self.obs,
+                )
+            else:
+                stats = self._run_sharded(schedules)
+            for name, client_stats in stats.items():
+                summary.visits[name] = client_stats.visits
+                summary.successes[name] = client_stats.successes
+                summary.failures[name] = dict(
+                    sorted(client_stats.failure_reasons.items())
+                )
+            # Deterministic attrs only: worker count must not leak into
+            # the trace, or byte-identity across worker counts breaks.
+            crawl_span.set("sites", summary.sites_crawled)
+            crawl_span.set("visits", summary.total_visits)
         return summary
 
     def discover(self, ranks: Sequence[int]) -> List[DiscoveryResult]:
@@ -198,8 +235,14 @@ class Commander:
             site_start += plan.page_count * self.repeat_visits * _NOMINAL_VISIT_SECONDS
         return schedules, plans
 
-    def _run_sharded(self, schedules: Sequence[SiteSchedule]) -> Dict[str, Tuple[int, int]]:
-        """Fan the schedule out to worker processes and merge their shards."""
+    def _run_sharded(self, schedules: Sequence[SiteSchedule]) -> Dict[str, ClientStats]:
+        """Fan the schedule out to worker processes and merge their shards.
+
+        Workers record telemetry into private tracers/registries; the
+        parent re-attaches per-site span subtrees in schedule order and
+        merges metrics by summation, so the consolidated telemetry — like
+        the consolidated store — is identical to a serial run's.
+        """
         shards = [list(schedules[index :: self.workers]) for index in range(self.workers)]
         shards = [shard for shard in shards if shard]
         tmpdir = tempfile.mkdtemp(prefix="repro-crawl-")
@@ -216,11 +259,12 @@ class Commander:
                     stateful=self.stateful,
                     repeat_visits=self.repeat_visits,
                     max_pages_per_site=self.max_pages_per_site,
+                    obs_config=self.obs.config(),
                 )
                 for index, shard in enumerate(shards)
             ]
             with ProcessPoolExecutor(max_workers=len(specs)) as pool:
-                shard_stats = list(pool.map(_crawl_shard, specs))
+                shard_results = list(pool.map(_crawl_shard, specs))
             shard_stores = [
                 MeasurementStore.open_readonly(spec.db_path) for spec in specs
             ]
@@ -231,13 +275,25 @@ class Commander:
                     shard_store.close()
         finally:
             shutil.rmtree(tmpdir, ignore_errors=True)
-        totals: Dict[str, Tuple[int, int]] = {
-            profile.name: (0, 0) for profile in self.profiles
+        if self.obs.tracer.enabled:
+            site_spans: Dict[int, List[SpanRecord]] = {}
+            for result in shard_results:
+                for group in split_roots(result.spans):
+                    rank = group[0].attrs.get("rank")
+                    if isinstance(rank, int):
+                        site_spans[rank] = group
+            for schedule in schedules:
+                self.obs.tracer.adopt(site_spans.get(schedule.rank, []))
+        if self.obs.metrics.enabled:
+            self.obs.metrics.merge_all(
+                result.metrics for result in shard_results if result.metrics
+            )
+        totals: Dict[str, ClientStats] = {
+            profile.name: ClientStats() for profile in self.profiles
         }
-        for stats in shard_stats:
-            for name, (visits, successes) in stats.items():
-                base_visits, base_successes = totals[name]
-                totals[name] = (base_visits + visits, base_successes + successes)
+        for result in shard_results:
+            for name, stats in result.stats.items():
+                totals[name].merge(stats)
         return totals
 
 
@@ -255,6 +311,16 @@ class _ShardSpec:
     stateful: bool
     repeat_visits: int
     max_pages_per_site: int
+    obs_config: Optional[ObsConfig] = None
+
+
+@dataclass
+class _ShardResult:
+    """What a worker sends back: outcomes plus its shard's telemetry."""
+
+    stats: Dict[str, ClientStats]
+    spans: List[SpanRecord] = field(default_factory=list)
+    metrics: Optional[Dict[str, Dict[str, object]]] = None
 
 
 def _plan_site(
@@ -280,19 +346,37 @@ def _crawl_sites(
     repeat_visits: int,
     max_pages_per_site: int,
     plans: Optional[Dict[int, SiteVisitPlan]] = None,
-) -> Dict[str, Tuple[int, int]]:
+    obs: ObsContext = NULL_OBS,
+) -> Dict[str, ClientStats]:
     """Crawl ``schedules`` into ``store``; shared by serial path and workers.
 
     Visit ids are taken from each schedule's block, profile-major; all of a
-    site's results are written in one batched transaction.  Returns per-
-    profile ``(visits, successes)`` counters.
+    site's results are written in one batched transaction.  Returns the
+    per-profile :class:`ClientStats` (visit/success counters plus the
+    failure-reason breakdown).
+
+    Telemetry is keyed by ``(site, profile)`` — site spans carry their
+    rank, per-visit counters are labeled by profile — so the recorded
+    stream is a pure function of the schedule, not of shard layout.
     """
+    tracer, metrics = obs.tracer, obs.metrics
     clients = {
         profile.name: CrawlClient(
             profile, seed=generator.seed, timeout=timeout, stateful=stateful
         )
         for profile in profiles
     }
+    visit_counters = {
+        profile.name: metrics.counter("crawl.visits", profile=profile.name)
+        for profile in profiles
+    }
+    success_counters = {
+        profile.name: metrics.counter("crawl.successes", profile=profile.name)
+        for profile in profiles
+    }
+    duration_histogram = metrics.histogram(
+        "crawl.visit_seconds", VISIT_SECONDS_BUCKETS
+    )
     for schedule in schedules:
         plan = (
             plans.get(schedule.rank)
@@ -306,30 +390,62 @@ def _crawl_sites(
         # Site-level barrier: all clients start the site at its scheduled
         # time; stateful jars reset per site (cookies persist between the
         # site's pages).  Page visits then drift per client, unsynchronized.
-        for profile in profiles:
-            client = clients[profile.name]
-            client.begin_site(schedule.rank, schedule.site_start)
-            for page in plan.pages:
-                for _ in range(repeat_visits):
-                    result = client.visit_page(
-                        page, site=plan.site, site_rank=plan.rank, visit_id=visit_id
+        with tracer.span(
+            "site", key=f"site:{schedule.rank}", rank=schedule.rank
+        ) as site_span:
+            for profile in profiles:
+                client = clients[profile.name]
+                visits_before = client.stats.visits
+                successes_before = client.stats.successes
+                with tracer.span(
+                    "profile",
+                    key=f"site:{schedule.rank}/{profile.name}",
+                    profile=profile.name,
+                ) as profile_span:
+                    client.begin_site(schedule.rank, schedule.site_start)
+                    for page in plan.pages:
+                        for _ in range(repeat_visits):
+                            result = client.visit_page(
+                                page,
+                                site=plan.site,
+                                site_rank=plan.rank,
+                                visit_id=visit_id,
+                            )
+                            visit_id += 1
+                            batch.append(result)
+                            visit_counters[profile.name].inc()
+                            duration_histogram.observe(result.visit.duration)
+                            if result.success:
+                                success_counters[profile.name].inc()
+                            else:
+                                metrics.counter(
+                                    "crawl.failures",
+                                    profile=profile.name,
+                                    reason=result.visit.failure_reason or "unknown",
+                                ).inc()
+                    profile_span.set(
+                        "visits", client.stats.visits - visits_before
                     )
-                    visit_id += 1
-                    batch.append(result)
+                    profile_span.set(
+                        "successes", client.stats.successes - successes_before
+                    )
+            site_span.set("visits", len(batch))
         store.store_visits(batch)
-    return {
-        name: (client.stats.visits, client.stats.successes)
-        for name, client in clients.items()
-    }
+    return {name: client.stats for name, client in clients.items()}
 
 
-def _crawl_shard(spec: _ShardSpec) -> Dict[str, Tuple[int, int]]:
-    """Worker entry point: crawl one shard into a private on-disk store."""
+def _crawl_shard(spec: _ShardSpec) -> _ShardResult:
+    """Worker entry point: crawl one shard into a private on-disk store.
+
+    The worker's tracer has no open span, so its site spans are subtree
+    roots — exactly what the parent's :meth:`Tracer.adopt` expects.
+    """
+    obs = ObsContext.from_config(spec.obs_config)
     generator = WebGenerator(
         spec.seed, config=spec.web_config, ecosystem_config=spec.ecosystem_config
     )
-    with MeasurementStore(spec.db_path) as store:
-        return _crawl_sites(
+    with MeasurementStore(spec.db_path, obs=obs) as store:
+        stats = _crawl_sites(
             generator,
             store,
             spec.profiles,
@@ -338,7 +454,13 @@ def _crawl_shard(spec: _ShardSpec) -> Dict[str, Tuple[int, int]]:
             stateful=spec.stateful,
             repeat_visits=spec.repeat_visits,
             max_pages_per_site=spec.max_pages_per_site,
+            obs=obs,
         )
+    return _ShardResult(
+        stats=stats,
+        spans=obs.tracer.records,
+        metrics=obs.metrics.as_dict() if obs.metrics.enabled else None,
+    )
 
 
 def run_measurement(
@@ -349,16 +471,18 @@ def run_measurement(
     max_pages_per_site: int = 25,
     generator: Optional[WebGenerator] = None,
     workers: int = 1,
+    obs: Optional[ObsContext] = None,
 ) -> MeasurementStore:
     """Convenience one-shot: generate the web, crawl it, return the store."""
     generator = generator or WebGenerator(seed)
-    store = store or MeasurementStore()
+    store = store or MeasurementStore(obs=obs)
     commander = Commander(
         generator,
         store,
         profiles=profiles,
         max_pages_per_site=max_pages_per_site,
         workers=workers,
+        obs=obs,
     )
     commander.run(ranks)
     return store

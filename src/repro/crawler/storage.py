@@ -27,6 +27,7 @@ from ..browser.network import (
     VisitResult,
 )
 from ..errors import StorageError
+from ..obs import BATCH_SIZE_BUCKETS, NULL_OBS, ObsContext
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS visits (
@@ -112,9 +113,15 @@ class MeasurementStore:
     parallel analysis workers) can snapshot while a writer consolidates.
     """
 
-    def __init__(self, path: str = ":memory:", readonly: bool = False) -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        readonly: bool = False,
+        obs: Optional[ObsContext] = None,
+    ) -> None:
         self.path = path
         self.readonly = readonly
+        self.obs = obs if obs is not None else NULL_OBS
         if readonly:
             if path == ":memory:":
                 raise StorageError("cannot open an in-memory store read-only")
@@ -184,6 +191,13 @@ class MeasurementStore:
         with self._conn:
             for result in batch:
                 self._insert_result(result)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("storage.batches").inc()
+            metrics.counter("storage.visits_flushed").inc(len(batch))
+            metrics.histogram("storage.batch_size", BATCH_SIZE_BUCKETS).observe(
+                len(batch)
+            )
         return len(batch)
 
     def merge(self, other: "MeasurementStore") -> int:
@@ -350,6 +364,31 @@ class MeasurementStore:
         if success_only:
             query += " AND success = 1"
         return self._conn.execute(query, params).fetchone()[0]
+
+    def pages_per_site_cap(self) -> int:
+        """The crawl's pages-per-site cap, inferred from the densest site."""
+        row = self._conn.execute(
+            "SELECT COUNT(DISTINCT page_url) FROM visits "
+            "GROUP BY site ORDER BY COUNT(DISTINCT page_url) DESC LIMIT 1"
+        ).fetchone()
+        return max(1, row[0]) if row else 1
+
+    def outcome_counts(self) -> List[Tuple[str, bool, Optional[str], int]]:
+        """Per-profile visit outcomes: ``(profile, success, reason, count)``.
+
+        The crawl-health report (:mod:`repro.obs.health`) uses this to
+        rebuild the Table-1-style breakdown from a stored crawl, without
+        needing the live :class:`~repro.crawler.commander.CrawlSummary`.
+        """
+        rows = self._conn.execute(
+            """
+            SELECT profile, success, failure_reason, COUNT(*)
+            FROM visits
+            GROUP BY profile, success, failure_reason
+            ORDER BY profile, success, failure_reason
+            """
+        ).fetchall()
+        return [(row[0], bool(row[1]), row[2], row[3]) for row in rows]
 
     def profiles(self) -> List[str]:
         rows = self._conn.execute("SELECT DISTINCT profile FROM visits ORDER BY profile")

@@ -6,6 +6,6 @@ Importing this package registers every rule with the framework registry;
 
 from __future__ import annotations
 
-from . import determinism, errorpolicy, sql  # noqa: F401  (register rules)
+from . import determinism, errorpolicy, obs, sql  # noqa: F401  (register rules)
 
-__all__ = ["determinism", "errorpolicy", "sql"]
+__all__ = ["determinism", "errorpolicy", "obs", "sql"]

@@ -1,0 +1,57 @@
+"""OBS001: library code must not ``print`` — route output through
+``repro.obs`` or ``repro.reporting``.
+
+A measurement pipeline that prints from the middle of the crawl cannot
+be audited: stray stdout interleaves nondeterministically across worker
+processes and never reaches the trace or the metrics registry.  Library
+modules therefore emit telemetry via :mod:`repro.obs` and leave printing
+to the presentation layer.
+
+Exempt by construction:
+
+* ``repro/reporting/`` and ``repro/devtools/`` — rendering and developer
+  tooling *are* the presentation layer;
+* ``cli.py`` / ``__main__.py`` modules — command-line glue whose job is
+  to print.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import LintRule, ModuleContext, Violation, register
+
+#: Path fragments marking presentation/tooling packages (always allowed).
+_EXEMPT_FRAGMENTS = ("/reporting/", "/devtools/")
+
+#: Module basenames that are command-line glue (always allowed).
+_EXEMPT_BASENAMES = ("cli.py", "__main__.py")
+
+
+def _is_exempt(posix_path: str) -> bool:
+    if any(fragment in posix_path for fragment in _EXEMPT_FRAGMENTS):
+        return True
+    return posix_path.rsplit("/", 1)[-1] in _EXEMPT_BASENAMES
+
+
+@register
+class NoPrintInLibraryCode(LintRule):
+    rule_id = "OBS001"
+    summary = "print() in library code; use repro.obs / repro.reporting instead"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        if _is_exempt(module.posix_path):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.flag(
+                    module,
+                    node,
+                    "library code must not print; record telemetry via "
+                    "repro.obs or render through repro.reporting",
+                )

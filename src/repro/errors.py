@@ -77,3 +77,12 @@ class ExperimentError(ReproError):
 
 class LintError(ReproError):
     """Raised when ``repro.devtools.lint`` is misused (bad rule id, path)."""
+
+
+class ObsError(ReproError):
+    """Raised when the observability layer is misconfigured.
+
+    Bad histogram bucket edges, conflicting metric registrations, and
+    malformed trace files all land here rather than silently producing
+    garbage telemetry — mismeasured measurements are worse than none.
+    """

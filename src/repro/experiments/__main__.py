@@ -12,6 +12,7 @@ import argparse
 import sys
 
 from ..devtools.clock import Clock, Stopwatch
+from ..obs import NULL_OBS, ObsContext
 from . import ALL_EXPERIMENTS
 from .runner import ExperimentConfig, run_pipeline
 
@@ -31,6 +32,12 @@ def main(argv=None, clock: "Clock" = None) -> int:
         help="comma-separated experiment ids (default: all); "
         f"known: {', '.join(ALL_EXPERIMENTS)}",
     )
+    parser.add_argument(
+        "--trace", default="", help="write a span trace of the run (JSONL)"
+    )
+    parser.add_argument(
+        "--metrics-out", default="", help="write the run's metrics (JSON)"
+    )
     args = parser.parse_args(argv)
     selected = (
         [item.strip() for item in args.only.split(",") if item.strip()]
@@ -46,24 +53,39 @@ def main(argv=None, clock: "Clock" = None) -> int:
         sites_per_bucket=args.sites_per_bucket,
         pages_per_site=args.pages_per_site,
     )
+    obs = (
+        ObsContext.create(seed=args.seed, clock=clock)
+        if (args.trace or args.metrics_out)
+        else NULL_OBS
+    )
     watch = Stopwatch(clock)
     print(
         f"running pipeline: seed={config.seed}, "
         f"{config.sites_per_bucket} sites/bucket, {config.pages_per_site} pages/site"
     )
-    ctx = run_pipeline(config)
+    ctx = run_pipeline(config, obs=obs)
     print(
         f"crawled {ctx.summary.sites_crawled} sites, {ctx.summary.total_visits} visits, "
         f"{len(ctx.dataset)} comparable pages ({watch.elapsed():.1f}s)\n"
     )
     for experiment_id in selected:
         module = ALL_EXPERIMENTS[experiment_id]
-        result = module.run(ctx)
+        with obs.tracer.span(
+            "experiment", key=f"experiment:{experiment_id}", id=experiment_id
+        ):
+            result = module.run(ctx)
         print("=" * 72)
         print(f"[{experiment_id}]")
         print("=" * 72)
         print(module.render(result))
         print()
+    if args.trace:
+        count = obs.tracer.write_jsonl(args.trace)
+        print(f"wrote {count} spans to {args.trace}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(obs.metrics.to_json() + "\n")
+        print(f"wrote {len(obs.metrics)} metrics to {args.metrics_out}")
     return 0
 
 

@@ -17,6 +17,7 @@ from ..blocklist import FilterList, build_filter_list
 from ..browser.profile import BrowserProfile, PAPER_PROFILES
 from ..crawler import Commander, CrawlSummary, MeasurementStore, sample_paper_buckets
 from ..analysis import AnalysisDataset
+from ..obs import NULL_OBS, ObsContext
 from ..web import WebConfig, WebGenerator
 
 
@@ -52,25 +53,36 @@ class ExperimentConfig:
 class ExperimentContext:
     """The materialized pipeline for one config."""
 
-    def __init__(self, config: ExperimentConfig) -> None:
+    def __init__(
+        self, config: ExperimentConfig, obs: Optional[ObsContext] = None
+    ) -> None:
         self.config = config
-        self.generator = WebGenerator(config.seed, config=config.web_config)
-        self.store = MeasurementStore()
-        self.ranks: List[int] = sample_paper_buckets(
-            config.seed, per_bucket=config.sites_per_bucket
-        )
-        commander = Commander(
-            self.generator,
-            self.store,
-            profiles=config.profiles,
-            max_pages_per_site=config.pages_per_site,
-            workers=config.workers,
-        )
-        self.summary: CrawlSummary = commander.run(self.ranks)
-        self.filter_list: FilterList = build_filter_list(self.generator.ecosystem)
-        self.dataset: AnalysisDataset = AnalysisDataset.from_store(
-            self.store, filter_list=self.filter_list, jobs=config.jobs
-        )
+        self.obs = obs if obs is not None else NULL_OBS
+        with self.obs.tracer.span("pipeline", key="pipeline"):
+            self.generator = WebGenerator(config.seed, config=config.web_config)
+            self.store = MeasurementStore(obs=self.obs)
+            self.ranks: List[int] = sample_paper_buckets(
+                config.seed, per_bucket=config.sites_per_bucket
+            )
+            commander = Commander(
+                self.generator,
+                self.store,
+                profiles=config.profiles,
+                max_pages_per_site=config.pages_per_site,
+                workers=config.workers,
+                obs=self.obs,
+            )
+            self.summary: CrawlSummary = commander.run(self.ranks)
+            with self.obs.tracer.span("filter-list", key="filter-list"):
+                self.filter_list: FilterList = build_filter_list(
+                    self.generator.ecosystem
+                )
+            self.dataset: AnalysisDataset = AnalysisDataset.from_store(
+                self.store,
+                filter_list=self.filter_list,
+                jobs=config.jobs,
+                obs=self.obs,
+            )
 
     @property
     def profile_names(self) -> List[str]:
@@ -80,9 +92,18 @@ class ExperimentContext:
 _CACHE: Dict[ExperimentConfig, ExperimentContext] = {}
 
 
-def run_pipeline(config: Optional[ExperimentConfig] = None) -> ExperimentContext:
-    """Run (or reuse) the pipeline for ``config``."""
+def run_pipeline(
+    config: Optional[ExperimentConfig] = None, obs: Optional[ObsContext] = None
+) -> ExperimentContext:
+    """Run (or reuse) the pipeline for ``config``.
+
+    An *enabled* observability context bypasses the cache: telemetry has
+    to describe work that actually ran, and cached contexts may have been
+    built without (or with someone else's) instrumentation.
+    """
     config = config or ExperimentConfig()
+    if obs is not None and obs.enabled:
+        return ExperimentContext(config, obs=obs)
     if config not in _CACHE:
         _CACHE[config] = ExperimentContext(config)
     return _CACHE[config]

@@ -1,0 +1,120 @@
+"""``repro.obs`` — deterministic telemetry for the crawl→trees→analysis
+pipeline.
+
+The package is a dependency-free observability layer with three parts:
+
+* :mod:`repro.obs.trace` — span tracing with deterministic span ids
+  (derived via :mod:`repro.rng`) and injectable time
+  (:mod:`repro.devtools.clock`), so traces are byte-identical under
+  ``FakeClock`` at any worker count;
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms with a commutative merge for shard aggregation;
+* :mod:`repro.obs.health` — the Table-1-style crawl-health report
+  (per-profile success/failure/timeout counts, stage timings), also
+  exposed as the ``repro-obs`` console script.
+
+Instrumented modules take an :class:`ObsContext` and default to
+:data:`NULL_OBS`, whose tracer and registry are disabled no-ops — tracing
+is off unless a caller opts in, and the disabled path costs one attribute
+load per hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..devtools.clock import Clock
+from .metrics import (
+    BATCH_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TREE_DEPTH_BUCKETS,
+    TREE_EDGE_BUCKETS,
+    TREE_NODE_BUCKETS,
+    VISIT_SECONDS_BUCKETS,
+    metric_key,
+    validate_bucket_edges,
+)
+from .render import render_metrics, render_trace
+from .trace import Span, SpanRecord, Tracer, read_jsonl, split_roots
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Picklable recipe for recreating an :class:`ObsContext` in a worker.
+
+    ``clock`` travels by value: a pickled ``FakeClock`` carries its
+    current reading, so worker spans see the same frozen time the parent
+    does — one of the ingredients of trace byte-identity across worker
+    counts.
+    """
+
+    enabled: bool = False
+    seed: int = 0
+    clock: Optional[Clock] = None
+
+
+class ObsContext:
+    """One tracer plus one metrics registry, threaded through the pipeline."""
+
+    def __init__(self, tracer: Tracer, metrics: MetricsRegistry) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+    @classmethod
+    def create(cls, seed: int = 0, clock: Optional[Clock] = None) -> "ObsContext":
+        """An enabled context for one pipeline run."""
+        return cls(Tracer(seed=seed, clock=clock), MetricsRegistry())
+
+    @classmethod
+    def disabled(cls) -> "ObsContext":
+        return cls(Tracer.disabled(), MetricsRegistry.disabled())
+
+    def config(self) -> ObsConfig:
+        """The picklable spec workers use to build their own context."""
+        if not self.enabled:
+            return ObsConfig(enabled=False)
+        return ObsConfig(
+            enabled=True, seed=self.tracer.seed, clock=self.tracer.clock
+        )
+
+    @classmethod
+    def from_config(cls, config: Optional[ObsConfig]) -> "ObsContext":
+        if config is None or not config.enabled:
+            return NULL_OBS
+        return cls.create(seed=config.seed, clock=config.clock)
+
+
+#: The shared disabled context instrumented modules default to.
+NULL_OBS = ObsContext.disabled()
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "ObsConfig",
+    "ObsContext",
+    "Span",
+    "SpanRecord",
+    "TREE_DEPTH_BUCKETS",
+    "TREE_EDGE_BUCKETS",
+    "TREE_NODE_BUCKETS",
+    "Tracer",
+    "VISIT_SECONDS_BUCKETS",
+    "metric_key",
+    "read_jsonl",
+    "render_metrics",
+    "render_trace",
+    "split_roots",
+    "validate_bucket_edges",
+]

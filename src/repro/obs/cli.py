@@ -1,0 +1,122 @@
+"""``repro-obs`` — run (or load) a crawl and print its health report.
+
+Two modes::
+
+    repro-obs --seed 7 --sites-per-bucket 10 --pages-per-site 4 --jobs 4 \\
+              [--trace trace.jsonl] [--metrics-out metrics.json]
+    repro-obs --db run.sqlite
+
+The first runs a fully instrumented seeded crawl (10 sites per bucket ×
+5 buckets = 50 sites) and prints per-profile outcomes plus per-stage
+timings; the second audits an existing measurement database (outcome
+counts only — stage timings need a live trace).  ``--fake-clock`` freezes
+span timestamps for deterministic output; ``--show-trace`` appends the
+span tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from ..crawler.commander import Commander
+from ..crawler.storage import MeasurementStore
+from ..crawler.tranco import sample_paper_buckets
+from ..devtools.clock import FakeClock
+from ..errors import ReproError
+from ..web import WebGenerator
+from . import ObsContext
+from .health import build_health_report, render_health_report
+from .render import render_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Crawl-health report: per-profile outcomes and stage timings.",
+    )
+    parser.add_argument("--db", default="", help="report on an existing crawl db")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--sites-per-bucket",
+        type=int,
+        default=10,
+        help="sites per popularity bucket (x5 buckets; default 10 -> 50 sites)",
+    )
+    parser.add_argument("--pages-per-site", type=int, default=4)
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sharded crawl"
+    )
+    parser.add_argument("--trace", default="", help="write the span trace (JSONL)")
+    parser.add_argument("--metrics-out", default="", help="write merged metrics (JSON)")
+    parser.add_argument(
+        "--fake-clock",
+        action="store_true",
+        help="freeze span timestamps (deterministic output for tests)",
+    )
+    parser.add_argument(
+        "--show-trace", action="store_true", help="also print the span tree"
+    )
+    return parser
+
+
+def _report_from_db(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.db):
+        print(f"repro-obs: no such database: {args.db}", file=sys.stderr)
+        return 2
+    with MeasurementStore.open_readonly(args.db) as store:
+        report = build_health_report(store=store)
+        print(render_health_report(report))
+    return 0
+
+
+def _report_from_crawl(args: argparse.Namespace) -> int:
+    clock = FakeClock() if args.fake_clock else None
+    obs = ObsContext.create(seed=args.seed, clock=clock)
+    generator = WebGenerator(args.seed)
+    store = MeasurementStore(obs=obs)
+    commander = Commander(
+        generator,
+        store,
+        max_pages_per_site=args.pages_per_site,
+        workers=args.jobs,
+        obs=obs,
+    )
+    ranks = sample_paper_buckets(args.seed, per_bucket=args.sites_per_bucket)
+    summary = commander.run(ranks)
+    report = build_health_report(summary=summary, records=obs.tracer.records)
+    print(render_health_report(report))
+    if args.show_trace:
+        print()
+        print(render_trace(obs.tracer.records))
+    if args.trace:
+        count = obs.tracer.write_jsonl(args.trace)
+        print(f"\nwrote {count} spans to {args.trace}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(obs.metrics.to_json() + "\n")
+        print(f"wrote {len(obs.metrics)} metrics to {args.metrics_out}")
+    store.close()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.db:
+            return _report_from_db(args)
+        return _report_from_crawl(args)
+    except ReproError as exc:
+        print(f"repro-obs: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, as CLI
+        # tools conventionally do.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

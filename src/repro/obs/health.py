@@ -1,0 +1,220 @@
+"""Crawl-health reporting: the paper's Table 1, for our own runs.
+
+The paper reports per-profile success/failure rates before any similarity
+analysis (§3, Table 1) because a profile that silently fails more often
+*looks* more different.  This module renders the same accounting for a
+reproduction run — per-profile visit outcomes split by failure reason
+(timeout vs. crawler error), plus a per-stage wall-clock breakdown from
+the span trace — so a run can be audited before its numbers are believed.
+
+Inputs are any combination of a :class:`~repro.crawler.commander.CrawlSummary`
+(live run), a :class:`~repro.crawler.storage.MeasurementStore` (stored
+run), trace records, and a metrics registry; the ``repro-obs`` console
+script (:mod:`repro.obs.cli`) wires them together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..reporting.tables import percent, render_kv, render_table
+from .trace import SpanRecord
+
+#: Span names that count as pipeline stages in the timing breakdown.
+STAGE_SPAN_NAMES = ("plan", "crawl", "filter-list", "dataset", "experiment")
+
+#: The failure reason the engine records for timed-out visits.
+TIMEOUT_REASON = "timeout"
+
+
+@dataclass(frozen=True)
+class ProfileHealth:
+    """Per-profile visit outcomes (one Table-1 row)."""
+
+    profile: str
+    visits: int
+    successes: int
+    timeouts: int
+    errors: int
+
+    @property
+    def failures(self) -> int:
+        return self.timeouts + self.errors
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.visits if self.visits else 0.0
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One stage span: its label and wall-clock duration."""
+
+    stage: str
+    seconds: float
+    nested: bool
+
+
+@dataclass
+class HealthReport:
+    """Everything ``repro-obs`` renders."""
+
+    profiles: List[ProfileHealth] = field(default_factory=list)
+    stages: List[StageTiming] = field(default_factory=list)
+    sites_crawled: int = 0
+    pages_discovered: int = 0
+
+    @property
+    def total_visits(self) -> int:
+        return sum(item.visits for item in self.profiles)
+
+
+def profile_health(
+    visits: Mapping[str, int],
+    successes: Mapping[str, int],
+    failures: Mapping[str, Mapping[str, int]],
+) -> List[ProfileHealth]:
+    """Fold per-profile counters into :class:`ProfileHealth` rows.
+
+    ``failures`` maps profile → failure reason → count, the breakdown the
+    commander carries up from its clients.
+    """
+    rows: List[ProfileHealth] = []
+    for profile in sorted(visits):
+        reasons = failures.get(profile, {})
+        timeouts = reasons.get(TIMEOUT_REASON, 0)
+        errors = sum(count for reason, count in reasons.items() if reason != TIMEOUT_REASON)
+        rows.append(
+            ProfileHealth(
+                profile=profile,
+                visits=visits.get(profile, 0),
+                successes=successes.get(profile, 0),
+                timeouts=timeouts,
+                errors=errors,
+            )
+        )
+    return rows
+
+
+def health_from_summary(summary) -> HealthReport:
+    """Build a report from a live run's ``CrawlSummary``."""
+    return HealthReport(
+        profiles=profile_health(summary.visits, summary.successes, summary.failures),
+        sites_crawled=summary.sites_crawled,
+        pages_discovered=summary.pages_discovered,
+    )
+
+
+def health_from_store(store) -> HealthReport:
+    """Build a report from a stored crawl's ``visits`` table."""
+    visits: Dict[str, int] = {}
+    successes: Dict[str, int] = {}
+    failures: Dict[str, Dict[str, int]] = {}
+    for profile, success, reason, count in store.outcome_counts():
+        visits[profile] = visits.get(profile, 0) + count
+        if success:
+            successes[profile] = successes.get(profile, 0) + count
+        else:
+            per_profile = failures.setdefault(profile, {})
+            label = reason if reason else "unknown"
+            per_profile[label] = per_profile.get(label, 0) + count
+    report = HealthReport(profiles=profile_health(visits, successes, failures))
+    report.sites_crawled = len(store.sites())
+    report.pages_discovered = len(store.pages())
+    return report
+
+
+def stage_timings(records: Sequence[SpanRecord]) -> List[StageTiming]:
+    """Extract the stage breakdown from a trace, in record order.
+
+    Stages nested inside another stage (``plan`` inside ``crawl``) are
+    marked so renderers can indent them instead of double-counting.
+    """
+    stage_ids = {
+        record.span_id for record in records if record.name in STAGE_SPAN_NAMES
+    }
+    timings: List[StageTiming] = []
+    for record in records:
+        if record.name not in STAGE_SPAN_NAMES:
+            continue
+        label = record.key if record.key != record.name else record.name
+        timings.append(
+            StageTiming(
+                stage=label,
+                seconds=record.duration,
+                nested=record.parent_id in stage_ids,
+            )
+        )
+    return timings
+
+
+def render_health_report(report: HealthReport) -> str:
+    """Render the Table-1-style summary plus the stage-timing breakdown."""
+    sections: List[str] = []
+    sections.append(
+        render_kv(
+            [
+                ("sites crawled", report.sites_crawled),
+                ("pages discovered", report.pages_discovered),
+                ("total visits", report.total_visits),
+            ],
+            title="Crawl health",
+        )
+    )
+    if report.profiles:
+        rows = [
+            [
+                item.profile,
+                item.visits,
+                item.successes,
+                item.timeouts,
+                item.errors,
+                percent(item.success_rate, 1),
+            ]
+            for item in report.profiles
+        ]
+        sections.append(
+            render_table(
+                ["profile", "visits", "success", "timeout", "error", "success%"],
+                rows,
+                title="Per-profile outcomes (Table 1 style)",
+            )
+        )
+    if report.stages:
+        top_total = sum(item.seconds for item in report.stages if not item.nested)
+        rows = []
+        for item in report.stages:
+            share = (
+                percent(item.seconds / top_total, 1)
+                if top_total > 0 and not item.nested
+                else "-"
+            )
+            label = f"  {item.stage}" if item.nested else item.stage
+            rows.append([label, f"{item.seconds:.3f}", share])
+        sections.append(
+            render_table(["stage", "seconds", "share"], rows, title="Stage timings")
+        )
+    return "\n\n".join(sections)
+
+
+def build_health_report(
+    summary=None,
+    store=None,
+    records: Optional[Sequence[SpanRecord]] = None,
+) -> HealthReport:
+    """Assemble a report from whichever sources are available.
+
+    A live ``summary`` wins over a ``store`` for outcome counts (it carries
+    the failure-reason breakdown even for in-memory runs); trace records
+    contribute the stage timings.
+    """
+    if summary is not None:
+        report = health_from_summary(summary)
+    elif store is not None:
+        report = health_from_store(store)
+    else:
+        report = HealthReport()
+    if records:
+        report.stages = stage_timings(records)
+    return report

@@ -1,0 +1,66 @@
+"""Text renderers for traces and metrics (no external deps, like
+:mod:`repro.reporting`)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .trace import SpanRecord
+
+
+def _format_attrs(attrs: Mapping[str, object]) -> str:
+    if not attrs:
+        return ""
+    rendered = ", ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    return f" [{rendered}]"
+
+
+def render_trace(records: Sequence[SpanRecord], max_depth: Optional[int] = None) -> str:
+    """Render a trace as an indented tree, one span per line.
+
+    Children print under their parent in record order; durations use the
+    span's own clock units (real seconds under ``SystemClock``).
+    """
+    children: Dict[Optional[str], List[SpanRecord]] = {}
+    by_id = {record.span_id: record for record in records}
+    for record in records:
+        parent = record.parent_id if record.parent_id in by_id else None
+        children.setdefault(parent, []).append(record)
+    lines: List[str] = []
+
+    def walk(parent: Optional[str], depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        for record in children.get(parent, []):
+            lines.append(
+                f"{'  ' * depth}- {record.name} ({record.key}) "
+                f"{record.duration:.3f}s{_format_attrs(record.attrs)}"
+            )
+            walk(record.span_id, depth + 1)
+
+    walk(None, 0)
+    if not lines:
+        lines.append("(empty trace)")
+    return "\n".join(lines)
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Render a registry as sorted ``key value`` lines plus histograms."""
+    data = registry.as_dict()
+    lines: List[str] = []
+    for kind in ("counters", "gauges"):
+        for key, value in data[kind].items():
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"{key} {rendered}")
+    for key, payload in data["histograms"].items():
+        lines.append(f"{key} count={payload['count']}")
+        edges = payload["edges"]
+        for index, count in enumerate(payload["counts"]):
+            if count == 0:
+                continue
+            label = f"<= {edges[index]:g}" if index < len(edges) else f"> {edges[-1]:g}"
+            lines.append(f"  {label:>10} : {count}")
+    if not lines:
+        lines.append("(no metrics)")
+    return "\n".join(lines)

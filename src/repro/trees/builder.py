@@ -24,6 +24,13 @@ from ..browser.frames import MAIN_FRAME_ID
 from ..browser.network import RequestRecord, VisitRecord
 from ..crawler.storage import MeasurementStore
 from ..errors import TreeConstructionError
+from ..obs import (
+    NULL_OBS,
+    ObsContext,
+    TREE_DEPTH_BUCKETS,
+    TREE_EDGE_BUCKETS,
+    TREE_NODE_BUCKETS,
+)
 from ..web.resources import ResourceType
 from .node import TreeNode, node_resource_type
 from .normalize import UrlNormalizer
@@ -41,9 +48,11 @@ class TreeBuilder:
         self,
         normalizer: Optional[UrlNormalizer] = None,
         filter_list: Optional[FilterList] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.normalizer = normalizer or UrlNormalizer()
         self.filter_list = filter_list
+        self.obs = obs if obs is not None else NULL_OBS
 
     # -- single tree ---------------------------------------------------------
 
@@ -91,6 +100,14 @@ class TreeBuilder:
                 frame_docs[request.frame_id] = node
         if self.filter_list is not None:
             tree.annotate_tracking(self.filter_list)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("trees.built").inc()
+            metrics.histogram("trees.nodes", TREE_NODE_BUCKETS).observe(tree.node_count)
+            metrics.histogram("trees.edges", TREE_EDGE_BUCKETS).observe(
+                tree.node_count - 1
+            )
+            metrics.histogram("trees.depth", TREE_DEPTH_BUCKETS).observe(tree.max_depth)
         return tree
 
     # -- trees per page ------------------------------------------------------

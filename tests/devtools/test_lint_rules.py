@@ -246,3 +246,57 @@ class TestSql001SchemaConsistency:
     def test_prose_starting_with_insert_is_not_sql(self):
         src = SCHEMA_PREFIX + 'DOC = "Insert one visit into the store"\n'
         assert check("SQL001", src) == []
+
+
+class TestObs001NoPrintInLibraryCode:
+    def test_print_in_library_module_flagged(self):
+        rules = build_rules(select=["OBS001"])
+        violations = lint_source(
+            'print("done")\n', path="src/repro/crawler/commander.py", rules=rules
+        )
+        assert [v.rule_id for v in violations] == ["OBS001"]
+
+    def test_reporting_package_exempt(self):
+        rules = build_rules(select=["OBS001"])
+        assert (
+            lint_source(
+                'print("table")\n', path="src/repro/reporting/tables.py", rules=rules
+            )
+            == []
+        )
+
+    def test_devtools_package_exempt(self):
+        rules = build_rules(select=["OBS001"])
+        assert (
+            lint_source(
+                'print("lint")\n',
+                path="src/repro/devtools/lint/cli.py",
+                rules=rules,
+            )
+            == []
+        )
+
+    def test_cli_module_exempt(self):
+        rules = build_rules(select=["OBS001"])
+        assert (
+            lint_source('print("usage")\n', path="src/repro/cli.py", rules=rules) == []
+        )
+
+    def test_main_module_exempt(self):
+        rules = build_rules(select=["OBS001"])
+        assert (
+            lint_source(
+                'print("run")\n', path="src/repro/experiments/__main__.py", rules=rules
+            )
+            == []
+        )
+
+    def test_name_print_without_call_not_flagged(self):
+        assert check("OBS001", "blueprint = SiteBlueprint(domain)\n") == []
+
+    def test_method_named_print_not_flagged(self):
+        assert check("OBS001", "report.print()\n") == []
+
+    def test_suppression_comment_honoured(self):
+        src = 'print("x")  # repro: ok[OBS001] progress output\n'
+        assert check("OBS001", src) == []

@@ -1,0 +1,142 @@
+"""Crawl-health report tests: folding, store-backed counts, CLI."""
+
+from repro.crawler.commander import run_measurement
+from repro.devtools.clock import FakeClock
+from repro.obs import ObsContext
+from repro.obs.cli import main as obs_main
+from repro.obs.health import (
+    HealthReport,
+    ProfileHealth,
+    build_health_report,
+    profile_health,
+    render_health_report,
+    stage_timings,
+)
+from repro.obs.trace import Tracer
+
+
+class TestProfileHealth:
+    def test_folds_timeouts_and_errors(self):
+        rows = profile_health(
+            visits={"Sim1": 10, "Old": 10},
+            successes={"Sim1": 8, "Old": 10},
+            failures={"Sim1": {"timeout": 1, "crawler-error": 1}},
+        )
+        assert [row.profile for row in rows] == ["Old", "Sim1"]
+        sim1 = rows[1]
+        assert sim1.timeouts == 1
+        assert sim1.errors == 1
+        assert sim1.failures == 2
+        assert sim1.success_rate == 0.8
+
+    def test_zero_visits_has_zero_rate(self):
+        row = ProfileHealth("p", visits=0, successes=0, timeouts=0, errors=0)
+        assert row.success_rate == 0.0
+
+
+class TestStoreBackedReport:
+    def test_outcome_counts_match_summary(self):
+        store = run_measurement(3, [1, 2, 3], max_pages_per_site=3)
+        report = build_health_report(store=store)
+        by_profile = {row.profile: row for row in report.profiles}
+        for profile in store.profiles():
+            assert by_profile[profile].visits == store.visit_count(profile=profile)
+            assert by_profile[profile].successes == store.visit_count(
+                profile=profile, success_only=True
+            )
+        assert report.sites_crawled == 3
+        store.close()
+
+
+class TestStageTimings:
+    def test_nested_stages_are_marked(self):
+        tracer = Tracer(seed=1, clock=FakeClock())
+        with tracer.span("crawl"):
+            with tracer.span("plan"):
+                pass
+        with tracer.span("experiment", key="experiment:table2"):
+            pass
+        timings = stage_timings(tracer.records)
+        assert [t.stage for t in timings] == ["crawl", "plan", "experiment:table2"]
+        assert [t.nested for t in timings] == [False, True, False]
+
+    def test_non_stage_spans_are_ignored(self):
+        tracer = Tracer(seed=1, clock=FakeClock())
+        with tracer.span("site", key="site:1"):
+            pass
+        assert stage_timings(tracer.records) == []
+
+
+class TestRendering:
+    def test_report_contains_table1_columns(self):
+        report = HealthReport(
+            profiles=profile_health(
+                visits={"Sim1": 4},
+                successes={"Sim1": 3},
+                failures={"Sim1": {"timeout": 1}},
+            ),
+            sites_crawled=2,
+            pages_discovered=4,
+        )
+        text = render_health_report(report)
+        assert "Per-profile outcomes" in text
+        assert "timeout" in text
+        assert "75.0%" in text
+
+    def test_report_without_profiles_still_renders(self):
+        text = render_health_report(HealthReport())
+        assert "Crawl health" in text
+
+
+class TestCli:
+    def test_seeded_crawl_mode(self, capsys):
+        code = obs_main(
+            ["--seed", "5", "--sites-per-bucket", "1", "--pages-per-site", "2",
+             "--fake-clock"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Per-profile outcomes" in out
+        assert "Stage timings" in out
+
+    def test_show_trace_appends_span_tree(self, capsys):
+        code = obs_main(
+            ["--seed", "5", "--sites-per-bucket", "1", "--pages-per-site", "2",
+             "--fake-clock", "--show-trace"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "- crawl (crawl)" in out
+
+    def test_trace_and_metrics_files(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        metrics_path = str(tmp_path / "metrics.json")
+        code = obs_main(
+            ["--seed", "5", "--sites-per-bucket", "1", "--pages-per-site", "2",
+             "--fake-clock", "--trace", trace_path, "--metrics-out", metrics_path]
+        )
+        assert code == 0
+        capsys.readouterr()
+        from repro.obs.trace import read_jsonl
+
+        assert read_jsonl(trace_path)
+        import json
+
+        with open(metrics_path) as handle:
+            payload = json.load(handle)
+        assert payload["counters"]
+
+    def test_db_mode(self, tmp_path, capsys):
+        db_path = str(tmp_path / "run.sqlite")
+        store = run_measurement(3, [1, 2], max_pages_per_site=2)
+        store.snapshot_to(db_path)
+        store.close()
+        code = obs_main(["--db", db_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Per-profile outcomes" in out
+
+    def test_missing_db_fails_cleanly(self, tmp_path, capsys):
+        code = obs_main(["--db", str(tmp_path / "absent.sqlite")])
+        assert code == 2
+        assert "no such database" in capsys.readouterr().err

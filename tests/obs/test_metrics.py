@@ -1,0 +1,174 @@
+"""Unit tests for the metrics registry: validation, binning, merge."""
+
+import math
+
+import pytest
+
+from repro.errors import ObsError, ReproError
+from repro.obs import (
+    BATCH_SIZE_BUCKETS,
+    MetricsRegistry,
+    metric_key,
+    validate_bucket_edges,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, NullMetric
+
+
+class TestBucketEdgeValidation:
+    def test_valid_edges_pass_through_as_floats(self):
+        assert validate_bucket_edges((1, 5, 10)) == (1.0, 5.0, 10.0)
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ObsError):
+            validate_bucket_edges(())
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ObsError):
+            validate_bucket_edges((1, 10, 5))
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(ObsError):
+            validate_bucket_edges((1, 5, 5, 10))
+
+    def test_nan_edge_rejected(self):
+        with pytest.raises(ObsError):
+            validate_bucket_edges((1.0, math.nan))
+
+    def test_infinite_edge_rejected(self):
+        with pytest.raises(ObsError):
+            validate_bucket_edges((1.0, math.inf))
+
+    def test_obs_error_is_a_repro_error(self):
+        with pytest.raises(ReproError):
+            validate_bucket_edges(())
+
+    def test_builtin_bucket_constants_are_valid(self):
+        assert validate_bucket_edges(BATCH_SIZE_BUCKETS) == BATCH_SIZE_BUCKETS
+
+
+class TestHistogramBinning:
+    def test_value_on_edge_lands_in_that_bucket(self):
+        hist = Histogram((1, 5, 10))
+        hist.observe(5)
+        assert hist.counts == [0, 1, 0, 0]
+
+    def test_value_below_first_edge(self):
+        hist = Histogram((1, 5, 10))
+        hist.observe(0.2)
+        assert hist.counts == [1, 0, 0, 0]
+
+    def test_value_between_edges(self):
+        hist = Histogram((1, 5, 10))
+        hist.observe(2)
+        assert hist.counts == [0, 1, 0, 0]
+
+    def test_value_above_last_edge_goes_to_overflow(self):
+        hist = Histogram((1, 5, 10))
+        hist.observe(11)
+        assert hist.counts == [0, 0, 0, 1]
+
+    def test_count_tracks_observations(self):
+        hist = Histogram((1,))
+        for value in (0, 1, 2):
+            hist.observe(value)
+        assert hist.count == 3
+
+    def test_bucket_labels(self):
+        hist = Histogram((1, 5))
+        assert hist.bucket_label(0) == "<= 1"
+        assert hist.bucket_label(1) == "<= 5"
+        assert hist.bucket_label(2) == "> 5"
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("visits").inc()
+        registry.counter("visits").inc(2)
+        assert registry.get("visits").value == 3
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObsError):
+            registry.counter("visits").inc(-1)
+
+    def test_labels_are_order_insensitive(self):
+        registry = MetricsRegistry()
+        registry.counter("v", a="x", b="y").inc()
+        registry.counter("v", b="y", a="x").inc()
+        assert registry.get("v", a="x", b="y").value == 2
+        assert metric_key("v", {"b": "y", "a": "x"}) == "v{a=x,b=y}"
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ObsError):
+            registry.gauge("thing")
+
+    def test_histogram_edge_change_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1, 2))
+        with pytest.raises(ObsError):
+            registry.histogram("h", (1, 3))
+
+    def test_disabled_registry_hands_out_null_metrics(self):
+        registry = MetricsRegistry.disabled()
+        metric = registry.counter("visits")
+        assert isinstance(metric, NullMetric)
+        metric.inc()
+        assert len(registry) == 0
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("visits").inc(2)
+        b.counter("visits").inc(3)
+        a.merge(b.as_dict())
+        assert a.get("visits").value == 5
+
+    def test_histograms_sum_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", (1, 5)).observe(0)
+        b.histogram("h", (1, 5)).observe(3)
+        b.histogram("h", (1, 5)).observe(100)
+        a.merge(b.as_dict())
+        merged = a.get("h")
+        assert merged.counts == [1, 1, 1]
+        assert merged.count == 3
+
+    def test_merge_is_commutative(self):
+        def registry(values):
+            reg = MetricsRegistry()
+            for value in values:
+                reg.counter("c").inc(value)
+                reg.histogram("h", (1, 5)).observe(value)
+            return reg.as_dict()
+
+        left, right = registry([1, 2]), registry([3])
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge_all([left, right])
+        ba.merge_all([right, left])
+        assert ab.as_dict() == ba.as_dict()
+
+    def test_gauge_conflict_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(4)
+        b.gauge("depth").set(7)
+        with pytest.raises(ObsError):
+            a.merge(b.as_dict())
+
+    def test_gauge_same_value_merges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(4)
+        b.gauge("depth").set(4)
+        a.merge(b.as_dict())
+        assert a.get("depth").value == 4
+
+    def test_exports_contain_no_floats_from_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (0.5, 1)).observe(0.123456789)
+        payload = registry.as_dict()["histograms"]["h"]
+        assert payload["counts"] == [1, 0, 0]
+        assert all(isinstance(count, int) for count in payload["counts"])
+        assert "sum" not in payload
