@@ -56,11 +56,14 @@ class AnalysisDataset:
         require_all: bool = True,
         jobs: int = 1,
         obs: Optional[ObsContext] = None,
+        include_partial: bool = False,
     ) -> "AnalysisDataset":
         """Build trees for every vetted page and align them.
 
         This is the paper's pipeline step between crawling and analysis:
         only pages successfully crawled by all profiles are kept.
+        ``include_partial`` lets salvaged partial visits stand in for
+        missing successes (default: excluded, matching the paper).
 
         ``jobs > 1`` rebuilds the trees in a process pool, one read-only
         store snapshot per worker, chunking the (sorted) page list
@@ -71,17 +74,32 @@ class AnalysisDataset:
         profile_names = list(profiles) if profiles is not None else store.profiles()
         with obs.tracer.span("dataset", key="dataset") as span:
             pages = (
-                store.pages_crawled_by_all(profile_names)
+                store.pages_crawled_by_all(
+                    profile_names, include_partial=include_partial
+                )
                 if require_all
                 else store.pages()
             )
             if jobs > 1 and len(pages) > 1:
                 entries = _build_entries_parallel(
-                    store, pages, profile_names, filter_list, require_all, jobs, obs
+                    store,
+                    pages,
+                    profile_names,
+                    filter_list,
+                    require_all,
+                    jobs,
+                    obs,
+                    include_partial=include_partial,
                 )
             else:
                 entries = _build_entries(
-                    store, pages, profile_names, filter_list, require_all, obs
+                    store,
+                    pages,
+                    profile_names,
+                    filter_list,
+                    require_all,
+                    obs,
+                    include_partial=include_partial,
                 )
             span.set("pages", len(pages))
             span.set("entries", len(entries))
@@ -140,18 +158,25 @@ def _build_entries(
     filter_list: Optional[FilterList],
     require_all: bool,
     obs: ObsContext = NULL_OBS,
+    include_partial: bool = False,
 ) -> List[PageEntry]:
     """The per-page build loop, shared by the serial path and pool workers."""
     builder = TreeBuilder(filter_list=filter_list, obs=obs)
     entries: List[PageEntry] = []
     for page_url in pages:
-        trees = builder.build_for_page(store, page_url, profile_names)
+        trees = builder.build_for_page(
+            store, page_url, profile_names, include_partial=include_partial
+        )
         if require_all and len(trees) != len(profile_names):
             continue
         if not trees:
             continue
         visit = next(
-            iter(store.successful_visits_for_page(page_url, profile_names).values())
+            iter(
+                store.successful_visits_for_page(
+                    page_url, profile_names, include_partial=include_partial
+                ).values()
+            )
         )
         entries.append(
             PageEntry(
@@ -171,6 +196,7 @@ def _build_entries_parallel(
     require_all: bool,
     jobs: int,
     obs: ObsContext = NULL_OBS,
+    include_partial: bool = False,
 ) -> List[PageEntry]:
     """Fan the page list out to a process pool over read-only snapshots."""
     snapshot: Optional[str] = None
@@ -197,6 +223,7 @@ def _build_entries_parallel(
                             filter_list,
                             require_all,
                             obs_config,
+                            include_partial,
                         )
                         for chunk in chunks
                     ],
@@ -212,11 +239,25 @@ def _build_entries_parallel(
 
 
 def _build_entries_worker(args):
-    db_path, pages, profile_names, filter_list, require_all, obs_config = args
+    (
+        db_path,
+        pages,
+        profile_names,
+        filter_list,
+        require_all,
+        obs_config,
+        include_partial,
+    ) = args
     worker_obs = ObsContext.from_config(obs_config)
     with MeasurementStore.open_readonly(db_path) as store:
         entries = _build_entries(
-            store, pages, profile_names, filter_list, require_all, worker_obs
+            store,
+            pages,
+            profile_names,
+            filter_list,
+            require_all,
+            worker_obs,
+            include_partial=include_partial,
         )
     metrics = worker_obs.metrics.as_dict() if worker_obs.metrics.enabled else None
     return entries, metrics

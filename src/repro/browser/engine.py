@@ -2,7 +2,9 @@
 
 This is the stand-in for Firefox+OpenWPM.  For each visit the engine
 
-1. decides whether the visit fails (timeout model),
+1. decides whether the visit fails (the seed-derived fault taxonomy of
+   :mod:`repro.web.faults`: dns-error, connection-reset, http-5xx,
+   browser-crash, stall-timeout),
 2. emits the main-frame request,
 3. recursively traverses the blueprint's slots, asking the
    :class:`~repro.web.dynamics.SlotSampler` which ones load,
@@ -23,10 +25,11 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..errors import CrawlError
+from ..errors import TransientCrawlError
 from ..rng import child_rng, derive_seed, token_hex
 from ..web.blueprint import InitiatorKind, PageBlueprint, ResourceSlot
 from ..web.dynamics import SlotSampler, VisitConditions
+from ..web.faults import FaultPlan, STALL_TIMEOUT
 from ..web.resources import ResourceType
 from ..web.url import URL
 from .callstack import CallStack, EMPTY_STACK
@@ -44,18 +47,30 @@ from .network import (
 )
 from .profile import BrowserProfile
 
-#: Fraction of visits that fail for crawler-side reasons on top of the
-#: page's own failure probability (network hiccups, browser crashes).
-_CRAWLER_FAIL_PROBABILITY = 0.02
-
 #: Per-slot probability of a network stall (a slowly answering third
 #: party); stalls are what make the page-visit timeout bind.
 _STALL_PROBABILITY = 0.01
 _STALL_SECONDS = (1.0, 8.0)
 
 
-class _VisitTimeout(CrawlError):
-    """Internal: the visit exceeded the configured timeout."""
+class _VisitTimeout(TransientCrawlError):
+    """Internal: the visit exceeded the configured timeout (retryable)."""
+
+    failure_reason = STALL_TIMEOUT
+
+
+class _InjectedFault(TransientCrawlError):
+    """Internal: a drawn fault from the taxonomy aborted the visit.
+
+    ``duration`` is the visit's seeded sub-timeout duration — non-timeout
+    failures resolve before the deadline, so kind and duration agree in
+    Table-1-style reports.
+    """
+
+    def __init__(self, reason: str, duration: float) -> None:
+        super().__init__(f"injected fault: {reason}")
+        self.failure_reason = reason
+        self.duration = duration
 
 
 @dataclass
@@ -94,6 +109,7 @@ class BrowserEngine:
             browser_version=profile.major_version,
             headless=profile.headless,
         )
+        self._fault_plans: dict = {}
 
     # -- public API --------------------------------------------------------
 
@@ -105,32 +121,22 @@ class BrowserEngine:
         visit_id: int,
         started_at: float = 0.0,
         jar: Optional[CookieJar] = None,
+        attempt: int = 1,
     ) -> VisitResult:
         """Visit ``page`` once, returning all records the visit produced.
 
-        Failed visits return a :class:`VisitResult` with ``success=False``
-        and no traffic, matching how the crawler stores them.  Passing a
-        ``jar`` runs the visit *statefully*: cookies accumulate in the
+        Failed visits return a :class:`VisitResult` with ``success=False``;
+        a ``stall-timeout`` additionally carries the *partial* traffic
+        observed before the deadline (``visit.partial``) — the crawl layer
+        decides whether to persist it.  ``attempt`` is bookkeeping for the
+        retry layer: the visit's randomness derives from ``visit_id``
+        (distinct per attempt), so a retry is an independent draw while
+        persistent faults — pinned to the page — repeat exactly.  Passing
+        a ``jar`` runs the visit *statefully*: cookies accumulate in the
         caller's jar instead of a fresh one (the paper's crawl is
         stateless, which is the default).
         """
         visit_seed = derive_seed(self.seed, "visit", str(page.url), self.profile.name, visit_id)
-        fail_rng = child_rng(visit_seed, "failure")
-        failure = self._failure_reason(page, fail_rng)
-        if failure is not None:
-            visit = VisitRecord(
-                visit_id=visit_id,
-                profile_name=self.profile.name,
-                site=site,
-                site_rank=site_rank,
-                page_url=str(page.url),
-                success=False,
-                started_at=started_at,
-                duration=self.timeout,
-                failure_reason=failure,
-            )
-            return VisitResult(visit=visit)
-
         state = _VisitState(
             page=page,
             sampler=SlotSampler(page, self._conditions, visit_seed),
@@ -142,20 +148,45 @@ class BrowserEngine:
         state.deadline = started_at + self.timeout
         state.stall_probability = self.stall_probability
         try:
+            fault = self._fault_plan(page).draw(visit_seed)
+            if fault is not None and not fault.produces_traffic:
+                raise _InjectedFault(
+                    fault.kind, fault.duration_fraction * self.timeout
+                )
+            if fault is not None:
+                # stall-timeout: the page hangs after a seeded number of
+                # requests; what loaded before is the salvageable prefix.
+                state.forced_stall_after = fault.stall_after
             self._load_page(state)
-        except _VisitTimeout:
-            visit = VisitRecord(
-                visit_id=visit_id,
-                profile_name=self.profile.name,
-                site=site,
-                site_rank=site_rank,
-                page_url=str(page.url),
-                success=False,
-                started_at=started_at,
-                duration=self.timeout,
-                failure_reason="timeout",
+            if state.forced_stall_after is not None:
+                raise _VisitTimeout()  # page "finished" but a request hangs
+        except _InjectedFault as exc:
+            visit = self._failed_visit(
+                page, site, site_rank, visit_id, started_at,
+                duration=exc.duration,
+                reason=exc.failure_reason,
+                attempt=attempt,
             )
             return VisitResult(visit=visit)
+        except _VisitTimeout as exc:
+            # Partial-visit salvage: the traffic observed before the
+            # deadline is real measurement data, not garbage; keep it and
+            # flag the visit so the analysis can opt in (or, by default,
+            # exclude it as the paper does).
+            visit = self._failed_visit(
+                page, site, site_rank, visit_id, started_at,
+                duration=self.timeout,
+                reason=exc.failure_reason,
+                attempt=attempt,
+                partial=bool(state.requests),
+            )
+            return VisitResult(
+                visit=visit,
+                requests=tuple(state.requests),
+                responses=tuple(state.responses),
+                redirects=tuple(state.redirects),
+                cookies=self._cookie_records(state),
+            )
         visit = VisitRecord(
             visit_id=visit_id,
             profile_name=self.profile.name,
@@ -165,36 +196,69 @@ class BrowserEngine:
             success=True,
             started_at=started_at,
             duration=state.clock.now - started_at,
+            attempt=attempt,
         )
         return VisitResult(
             visit=visit,
             requests=tuple(state.requests),
             responses=tuple(state.responses),
             redirects=tuple(state.redirects),
-            cookies=tuple(
-                CookieRecord(
-                    visit_id=visit_id,
-                    name=c.name,
-                    domain=c.domain,
-                    path=c.path,
-                    value=c.value,
-                    secure=c.secure,
-                    http_only=c.http_only,
-                    same_site=c.same_site,
-                    set_by_url=state.cookie_setters.get(c.identity, str(page.url)),
-                )
-                for c in state.jar.snapshot()
-            ),
+            cookies=self._cookie_records(state),
         )
 
     # -- internals ---------------------------------------------------------
 
-    def _failure_reason(self, page: PageBlueprint, rng: random.Random) -> Optional[str]:
-        if rng.random() < page.fail_probability:
-            return "timeout"
-        if rng.random() < _CRAWLER_FAIL_PROBABILITY:
-            return "crawler-error"
-        return None
+    def _fault_plan(self, page: PageBlueprint) -> FaultPlan:
+        """The page's seed-derived fault plan (cached per page URL)."""
+        url = str(page.url)
+        plan = self._fault_plans.get(url)
+        if plan is None:
+            plan = FaultPlan.for_page(self.seed, url, page.fail_probability)
+            self._fault_plans[url] = plan
+        return plan
+
+    def _failed_visit(
+        self,
+        page: PageBlueprint,
+        site: str,
+        site_rank: int,
+        visit_id: int,
+        started_at: float,
+        *,
+        duration: float,
+        reason: str,
+        attempt: int,
+        partial: bool = False,
+    ) -> VisitRecord:
+        return VisitRecord(
+            visit_id=visit_id,
+            profile_name=self.profile.name,
+            site=site,
+            site_rank=site_rank,
+            page_url=str(page.url),
+            success=False,
+            started_at=started_at,
+            duration=duration,
+            failure_reason=reason,
+            attempt=attempt,
+            partial=partial,
+        )
+
+    def _cookie_records(self, state: "_VisitState"):
+        return tuple(
+            CookieRecord(
+                visit_id=state.visit_id,
+                name=c.name,
+                domain=c.domain,
+                path=c.path,
+                value=c.value,
+                secure=c.secure,
+                http_only=c.http_only,
+                same_site=c.same_site,
+                set_by_url=state.cookie_setters.get(c.identity, str(state.page.url)),
+            )
+            for c in state.jar.snapshot()
+        )
 
     def _load_page(self, state: "_VisitState") -> None:
         page_url = str(state.page.url)
@@ -344,6 +408,14 @@ class BrowserEngine:
         domain — that is what cookie syncing is for.
         """
         stack = self._stack_for(slot, context)
+        if (
+            state.forced_stall_after is not None
+            and len(state.requests) > state.forced_stall_after
+        ):
+            # The injected stall-timeout fault: this request never answers
+            # and the browser hangs on it until the visit deadline fires.
+            state.clock.advance(max(0.0, state.deadline - state.clock.now))
+            raise _VisitTimeout()
         stall_rng = child_rng(state.visit_seed, "stall", slot.slot_id)
         if state.stall_probability > 0 and stall_rng.random() < state.stall_probability:
             state.clock.advance(stall_rng.uniform(*_STALL_SECONDS))
@@ -538,3 +610,6 @@ class _VisitState:
         self.slot_contexts: dict = {}
         self.deadline: float = float("inf")
         self.stall_probability: float = 0.0
+        # Set when a stall-timeout fault was drawn: the request after this
+        # many observed requests hangs until the deadline.
+        self.forced_stall_after: Optional[int] = None

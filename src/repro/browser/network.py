@@ -99,6 +99,10 @@ class VisitRecord:
     started_at: float
     duration: float
     failure_reason: Optional[str] = None
+    #: 1-based attempt number; >1 means the retry layer re-ran the visit.
+    attempt: int = 1
+    #: A failed stall-timeout visit whose pre-deadline traffic was kept.
+    partial: bool = False
 
 
 @dataclass(frozen=True)

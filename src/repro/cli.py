@@ -24,7 +24,7 @@ from typing import List, Optional
 from .analysis import AnalysisDataset
 from .blocklist import build_filter_list, generate_easylist
 from .browser import BrowserEngine, PAPER_PROFILES, profile_by_name
-from .crawler import Commander, MeasurementStore, sample_paper_buckets
+from .crawler import Commander, MeasurementStore, RetryPolicy, sample_paper_buckets
 from . import export as export_mod
 from .experiments import ALL_EXPERIMENTS, ExperimentConfig
 from .obs import NULL_OBS, ObsContext
@@ -48,6 +48,7 @@ class AnalysisContext:
         seed: int,
         jobs: int = 1,
         obs: ObsContext = NULL_OBS,
+        include_partial: bool = False,
     ) -> None:
         self.store = store
         self.generator = WebGenerator(seed)
@@ -59,7 +60,11 @@ class AnalysisContext:
         with obs.tracer.span("filter-list", key="filter-list"):
             self.filter_list = build_filter_list(self.generator.ecosystem)
         self.dataset = AnalysisDataset.from_store(
-            store, filter_list=self.filter_list, jobs=jobs, obs=obs
+            store,
+            filter_list=self.filter_list,
+            jobs=jobs,
+            obs=obs,
+            include_partial=include_partial,
         )
         self.summary = None
 
@@ -95,6 +100,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         max_pages_per_site=args.pages_per_site,
         workers=args.jobs,
         obs=obs,
+        retry_policy=RetryPolicy.with_retries(args.retries),
+        salvage_partial=args.salvage_partial,
     )
     ranks = sample_paper_buckets(args.seed, per_bucket=args.sites_per_bucket)
     summary = commander.run(ranks)
@@ -103,10 +110,13 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         f"{summary.total_visits} visits -> {args.db}"
     )
     for profile in PAPER_PROFILES:
-        print(
+        line = (
             f"  {profile.name:<9} visits: {summary.visits.get(profile.name, 0):>5} "
             f"success: {summary.success_rate(profile.name):.0%}"
         )
+        if args.retries:
+            line += f" recovered: {summary.recovered_count(profile.name)}"
+        print(line)
     _write_obs(obs, args)
     store.close()
     return 0
@@ -116,7 +126,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     obs = _obs_for(args)
     store = MeasurementStore(args.db, obs=obs)
     try:
-        ctx = AnalysisContext(store, seed=args.seed, jobs=args.jobs, obs=obs)
+        ctx = AnalysisContext(
+            store,
+            seed=args.seed,
+            jobs=args.jobs,
+            obs=obs,
+            include_partial=args.include_partial,
+        )
         if not len(ctx.dataset):
             print("no pages were crawled by all profiles; nothing to analyze")
             return 1
@@ -214,6 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the sharded crawl (same store for any value)",
     )
+    crawl.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-attempts per failed retryable visit (0 = paper's single attempt)",
+    )
+    crawl.add_argument(
+        "--salvage-partial",
+        action="store_true",
+        help="store the partial traffic of timed-out visits (flagged partial)",
+    )
     crawl.add_argument("--trace", default="", help="write a span trace (JSONL)")
     crawl.add_argument("--metrics-out", default="", help="write run metrics (JSON)")
     crawl.set_defaults(func=_cmd_crawl)
@@ -229,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for parallel tree building (same metrics for any value)",
+    )
+    analyze.add_argument(
+        "--include-partial",
+        action="store_true",
+        help="let salvaged partial visits stand in for missing successes",
     )
     analyze.add_argument("--trace", default="", help="write a span trace (JSONL)")
     analyze.add_argument("--metrics-out", default="", help="write run metrics (JSON)")

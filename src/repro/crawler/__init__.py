@@ -9,6 +9,7 @@ single store.
 from .client import ClientStats, CrawlClient, SiteVisitPlan
 from .commander import Commander, CrawlSummary, SiteSchedule, run_measurement
 from .discovery import DiscoveryResult, discover_pages, first_party_links
+from .retry import NO_RETRIES, RetryPolicy
 from .storage import MeasurementStore
 from .tranco import (
     PAPER_BUCKETS,
@@ -25,9 +26,11 @@ __all__ = [
     "CrawlSummary",
     "DiscoveryResult",
     "MeasurementStore",
+    "NO_RETRIES",
     "PAPER_BUCKETS",
     "RankBucket",
     "RankedList",
+    "RetryPolicy",
     "SiteSchedule",
     "SiteVisitPlan",
     "bucket_for_rank",

@@ -9,7 +9,7 @@ allocation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from ..browser.cookies import CookieJar
@@ -24,27 +24,44 @@ from ..web.blueprint import PageBlueprint
 class ClientStats:
     """Running counters for one client.
 
-    ``failure_reasons`` keeps the per-reason breakdown (``timeout`` vs.
-    ``crawler-error``) the commander aggregates into
+    ``failure_reasons`` keeps the per-reason breakdown over the
+    :mod:`repro.web.faults` taxonomy the commander aggregates into
     :class:`~repro.crawler.commander.CrawlSummary` — Table 1 of the paper
-    reports failure *kinds*, not just counts.
+    reports failure *kinds*, not just counts.  ``retries`` counts visit
+    attempts beyond the first; ``recovered`` the retries that succeeded;
+    ``salvaged`` the failed visits whose partial traffic was kept.
     """
 
     visits: int = 0
     successes: int = 0
     failures: int = 0
     failure_reasons: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    recovered: int = 0
+    salvaged: int = 0
 
     @property
     def success_rate(self) -> float:
         return self.successes / self.visits if self.visits else 0.0
 
-    def record(self, success: bool, failure_reason: Optional[str]) -> None:
+    def record(
+        self,
+        success: bool,
+        failure_reason: Optional[str],
+        attempt: int = 1,
+        salvaged: bool = False,
+    ) -> None:
         self.visits += 1
+        if attempt > 1:
+            self.retries += 1
         if success:
             self.successes += 1
+            if attempt > 1:
+                self.recovered += 1
         else:
             self.failures += 1
+            if salvaged:
+                self.salvaged += 1
             reason = failure_reason if failure_reason else "unknown"
             self.failure_reasons[reason] = self.failure_reasons.get(reason, 0) + 1
 
@@ -53,6 +70,9 @@ class ClientStats:
         self.visits += other.visits
         self.successes += other.successes
         self.failures += other.failures
+        self.retries += other.retries
+        self.recovered += other.recovered
+        self.salvaged += other.salvaged
         for reason in sorted(other.failure_reasons):
             self.failure_reasons[reason] = (
                 self.failure_reasons.get(reason, 0) + other.failure_reasons[reason]
@@ -75,6 +95,7 @@ class CrawlClient:
         timeout: float = 30.0,
         browsers_per_vm: int = 15,
         stateful: bool = False,
+        salvage_partial: bool = False,
     ) -> None:
         self.profile = profile
         self.seed = seed
@@ -83,6 +104,7 @@ class CrawlClient:
         self.clock = 0.0
         self.browsers_per_vm = browsers_per_vm
         self.stateful = stateful
+        self.salvage_partial = salvage_partial
         self._jar: Optional[CookieJar] = CookieJar() if stateful else None
         self._jitter = child_rng(seed, "client-clock", profile.name)
 
@@ -92,8 +114,15 @@ class CrawlClient:
         site: str,
         site_rank: int,
         visit_id: int,
+        attempt: int = 1,
     ) -> VisitResult:
         """Visit one page and update the client clock and counters.
+
+        The visit's duration already includes any browser hold (a stalled
+        page bills the full timeout, other failures their seeded
+        sub-timeout duration), so the clock advances by duration plus
+        navigation overhead only — adding a second post-failure pause here
+        would double-count the hold and inflate cross-profile drift.
 
         In stateful mode the client's cookie jar carries over between
         pages (and is reset per *site* by the commander); the paper's
@@ -106,14 +135,21 @@ class CrawlClient:
             visit_id=visit_id,
             started_at=self.clock,
             jar=self._jar,
+            attempt=attempt,
         )
+        if result.visit.partial and not self.salvage_partial:
+            # Salvage is opt-in: without it the partial traffic is dropped
+            # before storage and the visit is a plain failure (the paper's
+            # behaviour).  ``partial`` in the store means "traffic kept".
+            result = VisitResult(visit=replace(result.visit, partial=False))
         self.clock = result.visit.started_at + result.visit.duration
         self.clock += self._jitter.uniform(0.2, 2.0)  # navigation overhead
-        self.stats.record(result.success, result.visit.failure_reason)
-        if not result.success:
-            # A timed-out page holds the browser until the timeout fires —
-            # the main cause of the cross-profile start-time drift.
-            self.clock += self._jitter.uniform(0.0, self.engine.timeout / 2)
+        self.stats.record(
+            result.success,
+            result.visit.failure_reason,
+            attempt=attempt,
+            salvaged=result.visit.partial,
+        )
         return result
 
     def synchronize(self, barrier_time: float) -> None:

@@ -39,9 +39,11 @@ from ..browser.profile import BrowserProfile, PAPER_PROFILES
 from ..errors import CrawlError
 from ..obs import NULL_OBS, ObsConfig, ObsContext, VISIT_SECONDS_BUCKETS
 from ..obs.trace import SpanRecord, split_roots
+from ..rng import child_rng
 from ..web.sitegen import WebGenerator
 from .client import ClientStats, CrawlClient, SiteVisitPlan
 from .discovery import DiscoveryResult, discover_pages
+from .retry import NO_RETRIES, RetryPolicy
 from .storage import MeasurementStore
 from .tranco import RankedList
 
@@ -55,12 +57,14 @@ _NOMINAL_VISIT_SECONDS = 5.0
 class CrawlSummary:
     """Aggregate outcome of a crawl, per profile and overall.
 
-    ``failures`` maps profile → failure reason → count (``timeout`` vs.
-    ``crawler-error``), the breakdown the paper's Table 1 accounts for
-    before trusting any similarity number.  Historically the sharded
-    aggregation collapsed this to bare ``(visits, successes)`` tuples and
-    the reasons were lost; they now ride up from every
-    :class:`~repro.crawler.client.ClientStats`.
+    ``failures`` maps profile → failure reason → count over the
+    :mod:`repro.web.faults` taxonomy, the breakdown the paper's Table 1
+    accounts for before trusting any similarity number.  Historically the
+    sharded aggregation collapsed this to bare ``(visits, successes)``
+    tuples and the reasons were lost; they now ride up from every
+    :class:`~repro.crawler.client.ClientStats`.  ``retries`` counts visit
+    attempts beyond the first per profile; ``recovered`` the retried
+    visits that succeeded.
     """
 
     sites_planned: int = 0
@@ -69,6 +73,8 @@ class CrawlSummary:
     visits: Dict[str, int] = field(default_factory=dict)
     successes: Dict[str, int] = field(default_factory=dict)
     failures: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    retries: Dict[str, int] = field(default_factory=dict)
+    recovered: Dict[str, int] = field(default_factory=dict)
 
     def success_rate(self, profile: str) -> float:
         visits = self.visits.get(profile, 0)
@@ -81,7 +87,17 @@ class CrawlSummary:
         return reasons.get(reason, 0)
 
     def timeout_count(self, profile: str) -> int:
-        return self.failure_count(profile, "timeout")
+        # "stall-timeout" is the taxonomy name; "timeout" the pre-taxonomy
+        # one (still possible in stores written by older crawls).
+        return self.failure_count(profile, "stall-timeout") + self.failure_count(
+            profile, "timeout"
+        )
+
+    def retry_count(self, profile: str) -> int:
+        return self.retries.get(profile, 0)
+
+    def recovered_count(self, profile: str) -> int:
+        return self.recovered.get(profile, 0)
 
     @property
     def total_visits(self) -> int:
@@ -127,6 +143,8 @@ class Commander:
         repeat_visits: int = 1,
         workers: int = 1,
         obs: Optional[ObsContext] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        salvage_partial: bool = False,
     ) -> None:
         if not profiles:
             raise CrawlError("at least one profile is required")
@@ -146,6 +164,8 @@ class Commander:
             raise CrawlError("workers must be >= 1")
         self.workers = workers
         self.obs = obs if obs is not None else NULL_OBS
+        self.retry_policy = retry_policy if retry_policy is not None else NO_RETRIES
+        self.salvage_partial = salvage_partial
 
     # -- pipeline ----------------------------------------------------------
 
@@ -176,6 +196,8 @@ class Commander:
                     max_pages_per_site=self.max_pages_per_site,
                     plans=plans,
                     obs=self.obs,
+                    retry_policy=self.retry_policy,
+                    salvage_partial=self.salvage_partial,
                 )
             else:
                 stats = self._run_sharded(schedules)
@@ -185,6 +207,8 @@ class Commander:
                 summary.failures[name] = dict(
                     sorted(client_stats.failure_reasons.items())
                 )
+                summary.retries[name] = client_stats.retries
+                summary.recovered[name] = client_stats.recovered
             # Deterministic attrs only: worker count must not leak into
             # the trace, or byte-identity across worker counts breaks.
             crawl_span.set("sites", summary.sites_crawled)
@@ -211,7 +235,11 @@ class Commander:
 
         Allocates each plannable site a contiguous visit-id block and a
         scheduled start time, cumulatively in rank order — exactly the ids
-        the historical serial loop handed out.
+        the historical serial loop handed out.  With retries enabled the
+        block is ``max_attempts`` times wider, laid out round-major: all
+        attempt-1 ids first (identical to the no-retry layout), then the
+        attempt-2 sub-block, and so on — so enabling retries never renames
+        a first-attempt visit.
         """
         schedules: List[SiteSchedule] = []
         plans: Dict[int, SiteVisitPlan] = {}
@@ -231,7 +259,7 @@ class Commander:
             )
             plans[rank] = plan
             site_visits = len(self.profiles) * plan.page_count * self.repeat_visits
-            visit_base += site_visits
+            visit_base += site_visits * self.retry_policy.max_attempts
             site_start += plan.page_count * self.repeat_visits * _NOMINAL_VISIT_SECONDS
         return schedules, plans
 
@@ -260,6 +288,8 @@ class Commander:
                     repeat_visits=self.repeat_visits,
                     max_pages_per_site=self.max_pages_per_site,
                     obs_config=self.obs.config(),
+                    retry_policy=self.retry_policy,
+                    salvage_partial=self.salvage_partial,
                 )
                 for index, shard in enumerate(shards)
             ]
@@ -312,6 +342,8 @@ class _ShardSpec:
     repeat_visits: int
     max_pages_per_site: int
     obs_config: Optional[ObsConfig] = None
+    retry_policy: RetryPolicy = NO_RETRIES
+    salvage_partial: bool = False
 
 
 @dataclass
@@ -347,13 +379,21 @@ def _crawl_sites(
     max_pages_per_site: int,
     plans: Optional[Dict[int, SiteVisitPlan]] = None,
     obs: ObsContext = NULL_OBS,
+    retry_policy: RetryPolicy = NO_RETRIES,
+    salvage_partial: bool = False,
 ) -> Dict[str, ClientStats]:
     """Crawl ``schedules`` into ``store``; shared by serial path and workers.
 
-    Visit ids are taken from each schedule's block, profile-major; all of a
-    site's results are written in one batched transaction.  Returns the
-    per-profile :class:`ClientStats` (visit/success counters plus the
-    failure-reason breakdown).
+    Visit ids are taken from each schedule's block, profile-major within
+    each attempt round; all of a site's results are written in one batched
+    transaction, sorted by visit id so shard streams stay ascending for the
+    merge.  Returns the per-profile :class:`ClientStats` (visit/success
+    counters plus the failure-reason breakdown and retry counters).
+
+    Retries run after the site's first-attempt pass, per profile, in visit
+    id order; the backoff jitter stream is anchored per ``(profile, rank,
+    attempt)`` — see :mod:`repro.crawler.retry` for why that keeps serial
+    and sharded crawls byte-identical.
 
     Telemetry is keyed by ``(site, profile)`` — site spans carry their
     rank, per-visit counters are labeled by profile — so the recorded
@@ -362,7 +402,11 @@ def _crawl_sites(
     tracer, metrics = obs.tracer, obs.metrics
     clients = {
         profile.name: CrawlClient(
-            profile, seed=generator.seed, timeout=timeout, stateful=stateful
+            profile,
+            seed=generator.seed,
+            timeout=timeout,
+            stateful=stateful,
+            salvage_partial=salvage_partial,
         )
         for profile in profiles
     }
@@ -374,9 +418,34 @@ def _crawl_sites(
         profile.name: metrics.counter("crawl.successes", profile=profile.name)
         for profile in profiles
     }
+    retry_counters = {
+        profile.name: metrics.counter("crawl.retries", profile=profile.name)
+        for profile in profiles
+    }
+    recovered_counters = {
+        profile.name: metrics.counter("crawl.recovered", profile=profile.name)
+        for profile in profiles
+    }
     duration_histogram = metrics.histogram(
         "crawl.visit_seconds", VISIT_SECONDS_BUCKETS
     )
+
+    def observe(profile_name: str, result, attempt: int) -> None:
+        visit_counters[profile_name].inc()
+        duration_histogram.observe(result.visit.duration)
+        if attempt > 1:
+            retry_counters[profile_name].inc()
+        if result.success:
+            success_counters[profile_name].inc()
+            if attempt > 1:
+                recovered_counters[profile_name].inc()
+        else:
+            metrics.counter(
+                "crawl.failures",
+                profile=profile_name,
+                reason=result.visit.failure_reason or "unknown",
+            ).inc()
+
     for schedule in schedules:
         plan = (
             plans.get(schedule.rank)
@@ -386,14 +455,14 @@ def _crawl_sites(
         if plan is None:  # cannot happen for a schedule produced by planning
             continue
         batch = []
-        visit_id = schedule.visit_base
+        site_visits = len(profiles) * plan.page_count * repeat_visits
         # Site-level barrier: all clients start the site at its scheduled
         # time; stateful jars reset per site (cookies persist between the
         # site's pages).  Page visits then drift per client, unsynchronized.
         with tracer.span(
             "site", key=f"site:{schedule.rank}", rank=schedule.rank
         ) as site_span:
-            for profile in profiles:
+            for profile_index, profile in enumerate(profiles):
                 client = clients[profile.name]
                 visits_before = client.stats.visits
                 successes_before = client.stats.successes
@@ -403,26 +472,67 @@ def _crawl_sites(
                     profile=profile.name,
                 ) as profile_span:
                     client.begin_site(schedule.rank, schedule.site_start)
+                    # First attempt: the profile's slots within the block,
+                    # identical ids to a no-retry crawl.
+                    slot = profile_index * plan.page_count * repeat_visits
+                    pending: List[Tuple[int, object]] = []
                     for page in plan.pages:
                         for _ in range(repeat_visits):
                             result = client.visit_page(
                                 page,
                                 site=plan.site,
                                 site_rank=plan.rank,
-                                visit_id=visit_id,
+                                visit_id=schedule.visit_base + slot,
+                                attempt=1,
                             )
-                            visit_id += 1
                             batch.append(result)
-                            visit_counters[profile.name].inc()
-                            duration_histogram.observe(result.visit.duration)
-                            if result.success:
-                                success_counters[profile.name].inc()
-                            else:
-                                metrics.counter(
-                                    "crawl.failures",
-                                    profile=profile.name,
-                                    reason=result.visit.failure_reason or "unknown",
-                                ).inc()
+                            observe(profile.name, result, attempt=1)
+                            if not result.success and retry_policy.should_retry(
+                                result.visit.failure_reason, 1
+                            ):
+                                pending.append((slot, page))
+                            slot += 1
+                    # Retry rounds: failed retryable visits re-run at the
+                    # end of the site plan, in visit-id order, with ids
+                    # from the round's sub-block.
+                    for attempt in range(2, retry_policy.max_attempts + 1):
+                        if not pending:
+                            break
+                        backoff_rng = child_rng(
+                            generator.seed,
+                            "retry-backoff",
+                            profile.name,
+                            schedule.rank,
+                            attempt,
+                        )
+                        with tracer.span(
+                            "retry",
+                            key=f"site:{schedule.rank}/{profile.name}"
+                            f"/attempt:{attempt}",
+                            attempt=attempt,
+                        ) as retry_span:
+                            retry_span.set("queued", len(pending))
+                            still_failing: List[Tuple[int, object]] = []
+                            for retry_slot, page in pending:
+                                client.clock += retry_policy.backoff_seconds(
+                                    attempt, backoff_rng
+                                )
+                                result = client.visit_page(
+                                    page,
+                                    site=plan.site,
+                                    site_rank=plan.rank,
+                                    visit_id=schedule.visit_base
+                                    + (attempt - 1) * site_visits
+                                    + retry_slot,
+                                    attempt=attempt,
+                                )
+                                batch.append(result)
+                                observe(profile.name, result, attempt=attempt)
+                                if not result.success and retry_policy.should_retry(
+                                    result.visit.failure_reason, attempt
+                                ):
+                                    still_failing.append((retry_slot, page))
+                            pending = still_failing
                     profile_span.set(
                         "visits", client.stats.visits - visits_before
                     )
@@ -430,6 +540,9 @@ def _crawl_sites(
                         "successes", client.stats.successes - successes_before
                     )
             site_span.set("visits", len(batch))
+        # Retry rounds interleave id sub-blocks across profiles; the store
+        # stream must stay ascending in visit id for the shard merge.
+        batch.sort(key=lambda result: result.visit.visit_id)
         store.store_visits(batch)
     return {name: client.stats for name, client in clients.items()}
 
@@ -455,6 +568,8 @@ def _crawl_shard(spec: _ShardSpec) -> _ShardResult:
             repeat_visits=spec.repeat_visits,
             max_pages_per_site=spec.max_pages_per_site,
             obs=obs,
+            retry_policy=spec.retry_policy,
+            salvage_partial=spec.salvage_partial,
         )
     return _ShardResult(
         stats=stats,
@@ -472,6 +587,8 @@ def run_measurement(
     generator: Optional[WebGenerator] = None,
     workers: int = 1,
     obs: Optional[ObsContext] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    salvage_partial: bool = False,
 ) -> MeasurementStore:
     """Convenience one-shot: generate the web, crawl it, return the store."""
     generator = generator or WebGenerator(seed)
@@ -483,6 +600,8 @@ def run_measurement(
         max_pages_per_site=max_pages_per_site,
         workers=workers,
         obs=obs,
+        retry_policy=retry_policy,
+        salvage_partial=salvage_partial,
     )
     commander.run(ranks)
     return store

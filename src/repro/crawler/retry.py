@@ -1,0 +1,96 @@
+"""Deterministic retry policy for failed page visits.
+
+The paper's crawl is single-attempt: ~8.7% of visits are lost to
+timeouts and crawler errors, and the similarity analysis silently runs
+on whatever survived.  :class:`RetryPolicy` makes failure handling an
+explicit, replayable experiment parameter instead — per-reason
+retryability over the :mod:`repro.web.faults` taxonomy, a bounded number
+of attempts, and exponential backoff with *seeded* jitter.
+
+Determinism contract (DESIGN.md §6.2): everything a retry changes must
+be a pure function of the crawl plan.
+
+* Whether a visit is retried follows from its failure reason, which is
+  itself a seed-derived draw.
+* The backoff jitter stream is ``child_rng(seed, "retry-backoff",
+  profile, rank, attempt)`` — anchored per ``(site, profile, attempt
+  round)``, never per worker or wall clock.
+* Retried visits get visit ids from the site's pre-allocated id block
+  (round-major: all attempt-2 ids after every attempt-1 id), so the
+  re-enqueue order — rank, then visit id — is fixed by the plan.
+
+Together these keep serial and sharded crawls byte-identical with
+retries enabled, the same property PR 1 established for single-attempt
+crawls.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from ..errors import CrawlError
+from ..web.faults import TRANSIENT_FAULTS
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) failed visits are re-attempted.
+
+    ``max_attempts`` counts *total* attempts per page visit; the default
+    of 1 reproduces the paper's single-attempt crawl exactly.  Backoff
+    before attempt ``a`` (``a >= 2``) is::
+
+        backoff_base * backoff_factor ** (a - 2) + U(0, backoff_jitter)
+
+    with the uniform jitter drawn from the caller-supplied seeded RNG.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 5.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 2.0
+    retryable: FrozenSet[str] = field(default=TRANSIENT_FAULTS)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise CrawlError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_jitter < 0:
+            raise CrawlError("backoff_base and backoff_jitter must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise CrawlError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    @classmethod
+    def with_retries(cls, retries: int, **kwargs) -> "RetryPolicy":
+        """The policy behind ``--retries N``: N re-attempts after the first."""
+        if retries < 0:
+            raise CrawlError(f"retries must be >= 0, got {retries}")
+        return cls(max_attempts=retries + 1, **kwargs)
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_attempts > 1
+
+    def is_retryable(self, reason: Optional[str]) -> bool:
+        """Whether ``reason`` names a transient (retryable) fault."""
+        return reason is not None and reason in self.retryable
+
+    def should_retry(self, reason: Optional[str], attempt: int) -> bool:
+        """Whether a visit that failed with ``reason`` at ``attempt`` re-runs."""
+        return attempt < self.max_attempts and self.is_retryable(reason)
+
+    def backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        """The pause before ``attempt`` (>= 2), jitter drawn from ``rng``."""
+        if attempt < 2:
+            raise CrawlError(f"backoff applies from attempt 2, got {attempt}")
+        fixed = self.backoff_base * self.backoff_factor ** (attempt - 2)
+        return fixed + rng.uniform(0.0, self.backoff_jitter)
+
+
+#: The paper's configuration: one attempt, no retries.
+NO_RETRIES = RetryPolicy()

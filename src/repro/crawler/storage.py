@@ -39,7 +39,9 @@ CREATE TABLE IF NOT EXISTS visits (
     success INTEGER NOT NULL,
     started_at REAL NOT NULL,
     duration REAL NOT NULL,
-    failure_reason TEXT
+    failure_reason TEXT,
+    attempt INTEGER NOT NULL,
+    partial INTEGER NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_visits_page ON visits (page_url);
 CREATE INDEX IF NOT EXISTS idx_visits_profile ON visits (profile);
@@ -245,7 +247,7 @@ class MeasurementStore:
         visit = result.visit
         try:
             self._conn.execute(
-                "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     visit.visit_id,
                     visit.profile_name,
@@ -256,6 +258,8 @@ class MeasurementStore:
                     visit.started_at,
                     visit.duration,
                     visit.failure_reason,
+                    visit.attempt,
+                    int(visit.partial),
                 ),
             )
         except sqlite3.IntegrityError as exc:
@@ -408,17 +412,22 @@ class MeasurementStore:
         ).fetchone()
         return row[0] if row else None
 
-    def pages_crawled_by_all(self, profiles: Sequence[str]) -> List[str]:
+    def pages_crawled_by_all(
+        self, profiles: Sequence[str], include_partial: bool = False
+    ) -> List[str]:
         """Pages successfully visited by *every* profile in ``profiles``.
 
         This is the paper's vetting step (§3.2): pages missing from any
-        profile are dropped from the analysis.
+        profile are dropped from the analysis.  ``include_partial`` also
+        counts failed visits whose partial traffic was salvaged (opt-in —
+        the paper has no salvage).
         """
         placeholders = ",".join("?" for _ in profiles)
+        usable = "(success = 1 OR partial = 1)" if include_partial else "success = 1"
         rows = self._conn.execute(
             f"""
             SELECT page_url FROM visits
-            WHERE success = 1 AND profile IN ({placeholders})
+            WHERE {usable} AND profile IN ({placeholders})
             GROUP BY page_url
             HAVING COUNT(DISTINCT profile) = ?
             ORDER BY page_url
@@ -428,19 +437,52 @@ class MeasurementStore:
         return [row[0] for row in rows]
 
     def successful_visits_for_page(
-        self, page_url: str, profiles: Sequence[str]
+        self,
+        page_url: str,
+        profiles: Sequence[str],
+        include_partial: bool = False,
     ) -> Dict[str, VisitRecord]:
-        """Map profile name → its successful visit of ``page_url``.
+        """Map profile name → its usable visit of ``page_url``.
 
-        When a profile visited the page successfully more than once, the
-        first visit wins (the paper's crawl visits each page once per
-        profile).
+        The earliest *successful* attempt wins, by explicit ``ORDER BY
+        visit_id`` — retried visits land later visit ids, so physical row
+        order is not the attempt order and must not be relied on.  With
+        ``include_partial``, a salvaged partial visit is used only when the
+        profile has no fully successful visit of the page.
         """
+        usable = "(success = 1 OR partial = 1)" if include_partial else "success = 1"
+        placeholders = ",".join("?" for _ in profiles)
+        rows = self._conn.execute(
+            f"""
+            SELECT * FROM visits
+            WHERE page_url = ? AND {usable} AND profile IN ({placeholders})
+            ORDER BY visit_id
+            """,
+            (page_url, *profiles),
+        ).fetchall()
         result: Dict[str, VisitRecord] = {}
-        for visit in self.visits_for_page(page_url):
-            if visit.success and visit.profile_name in profiles:
+        partials: Dict[str, VisitRecord] = {}
+        for row in rows:
+            visit = _visit_from_row(row)
+            if visit.success:
                 result.setdefault(visit.profile_name, visit)
+            else:
+                partials.setdefault(visit.profile_name, visit)
+        for name, visit in partials.items():
+            result.setdefault(name, visit)
         return result
+
+    def recovered_counts(self) -> Dict[str, int]:
+        """Per-profile count of successful visits that needed a retry."""
+        rows = self._conn.execute(
+            """
+            SELECT profile, COUNT(*) FROM visits
+            WHERE success = 1 AND attempt > 1
+            GROUP BY profile
+            ORDER BY profile
+            """
+        ).fetchall()
+        return {row[0]: row[1] for row in rows}
 
     # -- reads: traffic ----------------------------------------------------
 
@@ -565,6 +607,8 @@ def _visit_from_row(row: Tuple) -> VisitRecord:
         started_at=row[6],
         duration=row[7],
         failure_reason=row[8],
+        attempt=row[9],
+        partial=bool(row[10]),
     )
 
 

@@ -1,10 +1,16 @@
-"""ERR001: every package error must derive from ``repro.errors.ReproError``.
+"""Error-policy rules: ERR001 (ReproError discipline), ERR002 (retryability).
 
-``repro.errors`` promises that callers can catch all package failures
-with one ``except ReproError`` clause.  This rule keeps the promise
-honest: ``raise`` statements may not throw builtin exceptions (argument
-validation via ``ValueError``/``TypeError`` *with a message* excepted),
-and locally defined exception classes must reach a ``repro.errors`` base.
+ERR001 — ``repro.errors`` promises that callers can catch all package
+failures with one ``except ReproError`` clause.  This rule keeps the
+promise honest: ``raise`` statements may not throw builtin exceptions
+(argument validation via ``ValueError``/``TypeError`` *with a message*
+excepted), and locally defined exception classes must reach a
+``repro.errors`` base.
+
+ERR002 — retryable exceptions must carry a ``failure_reason``.  The
+retry layer (:mod:`repro.crawler.retry`) dispatches on the reason of
+every :class:`~repro.errors.TransientCrawlError`; a transient error
+without one would be classified "unknown" and silently never retried.
 
 Resolution is intentionally module-local: a name imported from any module
 whose last path component is ``errors`` is trusted to be a ReproError
@@ -135,3 +141,151 @@ class ReproErrorDiscipline(LintRule):
         if None in verdicts or not verdicts:
             return None
         return False
+
+
+@register
+class RetryableReasonDiscipline(LintRule):
+    rule_id = "ERR002"
+    summary = "retryable exception must carry a failure_reason"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        local_classes: Dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                if self._derives_from_transient(
+                    node.name, local_classes
+                ) and not self._reason_in_chain(node.name, local_classes):
+                    yield self.flag(
+                        module,
+                        node,
+                        f"{node.name} derives from TransientCrawlError but never "
+                        "sets failure_reason; the retry layer dispatches on it",
+                    )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                if isinstance(node.exc, ast.Call):
+                    name = dotted_name(node.exc.func)
+                elif isinstance(node.exc, ast.Name):
+                    name = node.exc.id
+                else:
+                    continue
+                if name and name.rsplit(".", 1)[-1] == "TransientCrawlError":
+                    yield self.flag(
+                        module,
+                        node,
+                        "raise of bare TransientCrawlError; raise a subclass "
+                        "that names its failure_reason",
+                    )
+
+    def _derives_from_transient(
+        self,
+        name: str,
+        local_classes: Dict[str, ast.ClassDef],
+        _seen: Optional[Set[str]] = None,
+    ) -> bool:
+        """Whether ``name`` reaches ``TransientCrawlError`` via local bases."""
+        seen = _seen if _seen is not None else set()
+        if name in seen:
+            return False
+        seen.add(name)
+        definition = local_classes.get(name)
+        if definition is None:
+            return False
+        for base in definition.bases:
+            base_name = dotted_name(base)
+            if base_name is None:
+                continue
+            simple = base_name.rsplit(".", 1)[-1]
+            if simple == "TransientCrawlError":
+                return True
+            if self._derives_from_transient(simple, local_classes, seen):
+                return True
+        return False
+
+    def _reason_in_chain(
+        self,
+        name: str,
+        local_classes: Dict[str, ast.ClassDef],
+        _seen: Optional[Set[str]] = None,
+    ) -> bool:
+        """Whether the class (or a local ancestor) sets a ``failure_reason``.
+
+        The chain stops at ``TransientCrawlError`` itself — its empty
+        default is exactly what subclasses must override.
+        """
+        seen = _seen if _seen is not None else set()
+        if name in seen or name == "TransientCrawlError":
+            return False
+        seen.add(name)
+        definition = local_classes.get(name)
+        if definition is None:
+            return False
+        if self._sets_failure_reason(definition):
+            return True
+        for base in definition.bases:
+            base_name = dotted_name(base)
+            if base_name is None:
+                continue
+            simple = base_name.rsplit(".", 1)[-1]
+            if self._reason_in_chain(simple, local_classes, seen):
+                return True
+        return False
+
+    def _sets_failure_reason(self, definition: ast.ClassDef) -> bool:
+        """A non-empty class attribute, or an assignment in ``__init__``."""
+        for statement in definition.body:
+            value = None
+            if isinstance(statement, ast.Assign):
+                if any(
+                    isinstance(target, ast.Name) and target.id == "failure_reason"
+                    for target in statement.targets
+                ):
+                    value = statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                target = statement.target
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "failure_reason"
+                    and statement.value is not None
+                ):
+                    value = statement.value
+            if value is not None:
+                # A literal must be a non-empty string; a name/attribute
+                # (a faults-module constant) gets the benefit of the doubt.
+                if isinstance(value, ast.Constant):
+                    if isinstance(value.value, str) and value.value:
+                        return True
+                else:
+                    return True
+        init = next(
+            (
+                statement
+                for statement in definition.body
+                if isinstance(statement, ast.FunctionDef)
+                and statement.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return False
+        for node in ast.walk(init):
+            if (
+                isinstance(node, (ast.Assign, ast.AnnAssign))
+                and self._assigns_self_failure_reason(node)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _assigns_self_failure_reason(node) -> bool:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        return any(
+            isinstance(target, ast.Attribute)
+            and target.attr == "failure_reason"
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            for target in targets
+        )

@@ -38,6 +38,20 @@ class VisitFailed(CrawlError):
         self.reason = reason
 
 
+class TransientCrawlError(CrawlError):
+    """Base for *retryable* visit failures.
+
+    Subclasses must carry a machine-readable ``failure_reason`` naming a
+    fault from :mod:`repro.web.faults` (enforced by lint rule ERR002):
+    the retry layer dispatches on the reason, so a transient error
+    without one would be retried blindly — or not at all.
+    """
+
+    #: The fault-taxonomy reason; subclasses set it (class attribute or
+    #: per instance in ``__init__``).
+    failure_reason: str = ""
+
+
 class StorageError(CrawlError):
     """Raised when the measurement store rejects an operation."""
 

@@ -27,13 +27,14 @@ def export_visits_csv(store: MeasurementStore, path: PathLike) -> int:
         writer = csv.writer(handle)
         writer.writerow(
             ["visit_id", "profile", "site", "site_rank", "page_url", "success",
-             "started_at", "duration", "failure_reason"]
+             "started_at", "duration", "failure_reason", "attempt", "partial"]
         )
         for visit in store.iter_visits(success_only=False):
             writer.writerow(
                 [visit.visit_id, visit.profile_name, visit.site, visit.site_rank,
                  visit.page_url, int(visit.success), visit.started_at,
-                 visit.duration, visit.failure_reason or ""]
+                 visit.duration, visit.failure_reason or "", visit.attempt,
+                 int(visit.partial)]
             )
             rows += 1
     return rows

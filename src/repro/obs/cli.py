@@ -22,6 +22,7 @@ import sys
 from typing import List, Optional
 
 from ..crawler.commander import Commander
+from ..crawler.retry import RetryPolicy
 from ..crawler.storage import MeasurementStore
 from ..crawler.tranco import sample_paper_buckets
 from ..devtools.clock import FakeClock
@@ -48,6 +49,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--pages-per-site", type=int, default=4)
     parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes for the sharded crawl"
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-attempts per failed retryable visit (0 = single attempt)",
+    )
+    parser.add_argument(
+        "--salvage-partial",
+        action="store_true",
+        help="store the partial traffic of timed-out visits",
     )
     parser.add_argument("--trace", default="", help="write the span trace (JSONL)")
     parser.add_argument("--metrics-out", default="", help="write merged metrics (JSON)")
@@ -83,6 +95,8 @@ def _report_from_crawl(args: argparse.Namespace) -> int:
         max_pages_per_site=args.pages_per_site,
         workers=args.jobs,
         obs=obs,
+        retry_policy=RetryPolicy.with_retries(args.retries),
+        salvage_partial=args.salvage_partial,
     )
     ranks = sample_paper_buckets(args.seed, per_bucket=args.sites_per_bucket)
     summary = commander.run(ranks)

@@ -24,19 +24,28 @@ from .trace import SpanRecord
 #: Span names that count as pipeline stages in the timing breakdown.
 STAGE_SPAN_NAMES = ("plan", "crawl", "filter-list", "dataset", "experiment")
 
-#: The failure reason the engine records for timed-out visits.
+#: Failure reasons that count as timeouts: the fault-taxonomy name plus
+#: the pre-taxonomy one (stores written by older crawls).
+TIMEOUT_REASONS = frozenset({"stall-timeout", "timeout"})
+
+#: Backwards-compatible alias (pre-taxonomy single reason).
 TIMEOUT_REASON = "timeout"
 
 
 @dataclass(frozen=True)
 class ProfileHealth:
-    """Per-profile visit outcomes (one Table-1 row)."""
+    """Per-profile visit outcomes (one Table-1 row).
+
+    ``recovered`` counts successful visits that needed a retry — visits a
+    single-attempt crawl would have lost.
+    """
 
     profile: str
     visits: int
     successes: int
     timeouts: int
     errors: int
+    recovered: int = 0
 
     @property
     def failures(self) -> int:
@@ -74,17 +83,24 @@ def profile_health(
     visits: Mapping[str, int],
     successes: Mapping[str, int],
     failures: Mapping[str, Mapping[str, int]],
+    recovered: Optional[Mapping[str, int]] = None,
 ) -> List[ProfileHealth]:
     """Fold per-profile counters into :class:`ProfileHealth` rows.
 
     ``failures`` maps profile → failure reason → count, the breakdown the
-    commander carries up from its clients.
+    commander carries up from its clients; ``recovered`` maps profile →
+    retried-then-succeeded visit count.
     """
+    recovered = recovered or {}
     rows: List[ProfileHealth] = []
     for profile in sorted(visits):
         reasons = failures.get(profile, {})
-        timeouts = reasons.get(TIMEOUT_REASON, 0)
-        errors = sum(count for reason, count in reasons.items() if reason != TIMEOUT_REASON)
+        timeouts = sum(
+            count for reason, count in reasons.items() if reason in TIMEOUT_REASONS
+        )
+        errors = sum(
+            count for reason, count in reasons.items() if reason not in TIMEOUT_REASONS
+        )
         rows.append(
             ProfileHealth(
                 profile=profile,
@@ -92,6 +108,7 @@ def profile_health(
                 successes=successes.get(profile, 0),
                 timeouts=timeouts,
                 errors=errors,
+                recovered=recovered.get(profile, 0),
             )
         )
     return rows
@@ -100,7 +117,12 @@ def profile_health(
 def health_from_summary(summary) -> HealthReport:
     """Build a report from a live run's ``CrawlSummary``."""
     return HealthReport(
-        profiles=profile_health(summary.visits, summary.successes, summary.failures),
+        profiles=profile_health(
+            summary.visits,
+            summary.successes,
+            summary.failures,
+            recovered=getattr(summary, "recovered", None),
+        ),
         sites_crawled=summary.sites_crawled,
         pages_discovered=summary.pages_discovered,
     )
@@ -119,7 +141,11 @@ def health_from_store(store) -> HealthReport:
             per_profile = failures.setdefault(profile, {})
             label = reason if reason else "unknown"
             per_profile[label] = per_profile.get(label, 0) + count
-    report = HealthReport(profiles=profile_health(visits, successes, failures))
+    recovered_counts = getattr(store, "recovered_counts", None)
+    recovered = recovered_counts() if callable(recovered_counts) else None
+    report = HealthReport(
+        profiles=profile_health(visits, successes, failures, recovered=recovered)
+    )
     report.sites_crawled = len(store.sites())
     report.pages_discovered = len(store.pages())
     return report
@@ -170,13 +196,22 @@ def render_health_report(report: HealthReport) -> str:
                 item.successes,
                 item.timeouts,
                 item.errors,
+                item.recovered,
                 percent(item.success_rate, 1),
             ]
             for item in report.profiles
         ]
         sections.append(
             render_table(
-                ["profile", "visits", "success", "timeout", "error", "success%"],
+                [
+                    "profile",
+                    "visits",
+                    "success",
+                    "timeout",
+                    "error",
+                    "recovered",
+                    "success%",
+                ],
                 rows,
                 title="Per-profile outcomes (Table 1 style)",
             )

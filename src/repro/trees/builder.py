@@ -56,9 +56,19 @@ class TreeBuilder:
 
     # -- single tree ---------------------------------------------------------
 
-    def build(self, visit: VisitRecord, requests: Sequence[RequestRecord]) -> DependencyTree:
-        """Build the tree for one visit from its request records."""
-        if not visit.success:
+    def build(
+        self,
+        visit: VisitRecord,
+        requests: Sequence[RequestRecord],
+        allow_partial: bool = False,
+    ) -> DependencyTree:
+        """Build the tree for one visit from its request records.
+
+        Failed visits have no tree — except salvaged partial visits
+        (``visit.partial``) when the caller opts in with ``allow_partial``;
+        their tree covers only the traffic observed before the stall.
+        """
+        if not visit.success and not (allow_partial and visit.partial):
             raise TreeConstructionError(
                 f"cannot build a tree for failed visit {visit.visit_id}"
             )
@@ -117,15 +127,25 @@ class TreeBuilder:
         store: MeasurementStore,
         page_url: str,
         profiles: Sequence[str],
+        include_partial: bool = False,
     ) -> Dict[str, DependencyTree]:
         """Build one tree per profile for ``page_url``.
 
         Only profiles that visited the page successfully appear in the
-        result; callers enforce the paper's all-profiles vetting.
+        result; callers enforce the paper's all-profiles vetting.  With
+        ``include_partial`` a salvaged partial visit substitutes when a
+        profile has no fully successful one (default: excluded, as in the
+        paper).
         """
-        visits = store.successful_visits_for_page(page_url, profiles)
+        visits = store.successful_visits_for_page(
+            page_url, profiles, include_partial=include_partial
+        )
         return {
-            profile: self.build(visit, store.requests_for_visit(visit.visit_id))
+            profile: self.build(
+                visit,
+                store.requests_for_visit(visit.visit_id),
+                allow_partial=include_partial,
+            )
             for profile, visit in visits.items()
         }
 
@@ -134,19 +154,23 @@ class TreeBuilder:
         store: MeasurementStore,
         profiles: Sequence[str],
         require_all: bool = True,
+        include_partial: bool = False,
     ) -> Iterable[Dict[str, DependencyTree]]:
         """Yield the per-profile tree set for every comparable page.
 
         With ``require_all`` (the paper's setting) only pages successfully
-        crawled by *every* profile are yielded.
+        crawled by *every* profile are yielded; ``include_partial`` lets
+        salvaged partial visits count.
         """
         pages = (
-            store.pages_crawled_by_all(profiles)
+            store.pages_crawled_by_all(profiles, include_partial=include_partial)
             if require_all
             else store.pages()
         )
         for page_url in pages:
-            trees = self.build_for_page(store, page_url, profiles)
+            trees = self.build_for_page(
+                store, page_url, profiles, include_partial=include_partial
+            )
             if require_all and len(trees) != len(profiles):
                 continue
             if trees:
@@ -208,8 +232,16 @@ def trees_for_store(
     profiles: Optional[Sequence[str]] = None,
     filter_list: Optional[FilterList] = None,
     require_all: bool = True,
+    include_partial: bool = False,
 ) -> List[Dict[str, DependencyTree]]:
     """Build every comparable page's tree set from a store."""
     builder = TreeBuilder(filter_list=filter_list)
     profile_names = list(profiles) if profiles is not None else store.profiles()
-    return list(builder.iter_page_trees(store, profile_names, require_all=require_all))
+    return list(
+        builder.iter_page_trees(
+            store,
+            profile_names,
+            require_all=require_all,
+            include_partial=include_partial,
+        )
+    )

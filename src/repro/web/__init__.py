@@ -21,6 +21,13 @@ from .blueprint import (
     SiteBlueprint,
 )
 from .dynamics import SlotSampler, VisitConditions, expected_slot_count, sample_page
+from .faults import (
+    FAULT_KINDS,
+    FaultOutcome,
+    FaultPlan,
+    PERSISTENT_FAULTS,
+    TRANSIENT_FAULTS,
+)
 from .entities import (
     Ecosystem,
     EcosystemConfig,
@@ -40,13 +47,18 @@ __all__ = [
     "Ecosystem",
     "EcosystemConfig",
     "EntityCategory",
+    "FAULT_KINDS",
+    "FaultOutcome",
+    "FaultPlan",
     "InclusionRule",
     "InitiatorKind",
+    "PERSISTENT_FAULTS",
     "PageBlueprint",
     "ResourceSlot",
     "ResourceType",
     "STATIC_LEAF_TYPES",
     "SiteBlueprint",
+    "TRANSIENT_FAULTS",
     "SlotSampler",
     "ThirdPartyEntity",
     "TRACKING_CATEGORIES",

@@ -1,0 +1,185 @@
+"""Seed-derived fault injection: the crawl's failure taxonomy.
+
+The paper's crawl loses ~8.7% of page visits to timeouts and crawler
+errors (Table 1).  Historically the engine modelled this with a
+two-reason coin flip (``timeout`` / ``crawler-error``); this module
+replaces that with an explicit, replayable taxonomy so failure handling
+— retries, backoff, partial-visit salvage — can be reasoned about and
+reproduced bit-for-bit:
+
+``dns-error``
+    The site's name does not resolve.  *Persistent*: decided once per
+    page from ``(seed, page URL)``, so every profile and every retry of
+    that page fails identically.  Retrying cannot help, and the
+    :class:`~repro.crawler.retry.RetryPolicy` knows it.
+``connection-reset``
+    The TCP connection dies during the handshake.  Transient.
+``http-5xx``
+    The origin answers but with a server error.  Transient.
+``browser-crash``
+    The crawler-side failure of the historical model (the browser or
+    its driver dies mid-visit).  Transient.
+``stall-timeout``
+    A third party answers so slowly that the page-load deadline fires.
+    Transient, and the only fault that produces *partial traffic*: the
+    requests observed before the stall are real measurements, which the
+    salvage path can keep.
+
+Draw structure (replacing the old dependent draws): the page-level
+stall draw and the crawler-side draw are *independent* per visit, so the
+combined failure probability is ``p + q - p*q`` for page-fail
+probability ``p`` and crawler-fault probability ``q`` — the historical
+model drew the crawler fault only when the page draw missed, making its
+effective rate ``(1-p)*q`` rather than the documented ``q``.  When both
+draws hit, the crawler-side fault wins: it strikes during connection
+setup, before page content gets the chance to stall.
+
+Everything is a pure function of ``(seed, page URL, profile, visit id)``
+via :func:`repro.rng.child_rng`, which is what lets retried visits be
+fresh independent draws (their visit id differs) while persistent faults
+repeat exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..rng import child_rng
+
+#: The five failure reasons a visit can record.
+DNS_ERROR = "dns-error"
+CONNECTION_RESET = "connection-reset"
+HTTP_5XX = "http-5xx"
+BROWSER_CRASH = "browser-crash"
+STALL_TIMEOUT = "stall-timeout"
+
+FAULT_KINDS: Tuple[str, ...] = (
+    DNS_ERROR,
+    CONNECTION_RESET,
+    HTTP_5XX,
+    BROWSER_CRASH,
+    STALL_TIMEOUT,
+)
+
+#: Faults that may clear on a retry (a fresh draw for a fresh visit id).
+TRANSIENT_FAULTS = frozenset(
+    {CONNECTION_RESET, HTTP_5XX, BROWSER_CRASH, STALL_TIMEOUT}
+)
+
+#: Faults pinned to the page itself: every attempt fails the same way.
+PERSISTENT_FAULTS = frozenset({DNS_ERROR})
+
+#: Probability that a page is persistently unresolvable (NXDOMAIN).
+PERSISTENT_FAULT_PROBABILITY = 0.005
+
+#: Per-visit probability of a crawler-side fault, independent of the
+#: page's own fail probability (see module docstring for the combined
+#: rate).  This is the documented rate, now actually the effective one.
+CRAWLER_FAULT_PROBABILITY = 0.02
+
+#: Relative mix of crawler-side fault kinds when one fires.
+_CRAWLER_KINDS: Tuple[str, ...] = (CONNECTION_RESET, HTTP_5XX, BROWSER_CRASH)
+_CRAWLER_WEIGHTS: Tuple[float, ...] = (0.45, 0.35, 0.20)
+
+#: Seeded failure-duration ranges, as fractions of the visit timeout.
+#: Non-timeout failures resolve *before* the deadline (an NXDOMAIN is
+#: near-instant, a crash takes a while) so failure kind and duration
+#: agree in Table-1-style reports; only ``stall-timeout`` bills the full
+#: timeout, because only there the browser is actually held until the
+#: deadline fires.
+DURATION_FRACTIONS: Dict[str, Tuple[float, float]] = {
+    DNS_ERROR: (0.002, 0.02),
+    CONNECTION_RESET: (0.01, 0.15),
+    HTTP_5XX: (0.02, 0.30),
+    BROWSER_CRASH: (0.10, 0.80),
+}
+
+#: A stalled page hangs after this many requests at most; the salvaged
+#: prefix is what partial-visit storage keeps.
+_STALL_AFTER_MAX = 12
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """The fault drawn for one visit (or ``None`` drawn at the call site).
+
+    ``duration_fraction`` scales the visit timeout into the failure's
+    duration; ``stall_after`` (``stall-timeout`` only) is the number of
+    requests the page emits before hanging.
+    """
+
+    kind: str
+    duration_fraction: float
+    stall_after: Optional[int] = None
+
+    @property
+    def is_transient(self) -> bool:
+        return self.kind in TRANSIENT_FAULTS
+
+    @property
+    def produces_traffic(self) -> bool:
+        """Only stalls let the page emit (partial) traffic before failing."""
+        return self.kind == STALL_TIMEOUT
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The failure model of one page, derived from the experiment seed.
+
+    ``persistent`` is the page's permanent fault (or ``None``), decided
+    once from ``(seed, "fault-plan", page URL)``; the transient
+    probabilities parameterize the independent per-visit draws.
+    """
+
+    page_url: str
+    persistent: Optional[str]
+    stall_probability: float
+    crawler_fault_probability: float = CRAWLER_FAULT_PROBABILITY
+
+    @classmethod
+    def for_page(
+        cls,
+        seed: int,
+        page_url: str,
+        fail_probability: float,
+        persistent_probability: float = PERSISTENT_FAULT_PROBABILITY,
+    ) -> "FaultPlan":
+        """Derive the page's plan; pure in ``(seed, page_url)``."""
+        rng = child_rng(seed, "fault-plan", page_url)
+        persistent = DNS_ERROR if rng.random() < persistent_probability else None
+        return cls(
+            page_url=page_url,
+            persistent=persistent,
+            stall_probability=fail_probability,
+        )
+
+    def draw(self, visit_seed: int) -> Optional[FaultOutcome]:
+        """Draw this visit's fault (or ``None``), pure in ``visit_seed``."""
+        if self.persistent is not None:
+            rng = child_rng(visit_seed, "fault", "persistent")
+            low, high = DURATION_FRACTIONS[self.persistent]
+            return FaultOutcome(self.persistent, rng.uniform(low, high))
+        # Independent draws — see the module docstring for the combined rate.
+        crawler_rng = child_rng(visit_seed, "fault", "crawler")
+        crawler_hit = crawler_rng.random() < self.crawler_fault_probability
+        page_rng = child_rng(visit_seed, "fault", "page")
+        page_hit = page_rng.random() < self.stall_probability
+        if crawler_hit:
+            kind = crawler_rng.choices(_CRAWLER_KINDS, weights=_CRAWLER_WEIGHTS)[0]
+            low, high = DURATION_FRACTIONS[kind]
+            return FaultOutcome(kind, crawler_rng.uniform(low, high))
+        if page_hit:
+            return FaultOutcome(
+                STALL_TIMEOUT,
+                1.0,
+                stall_after=page_rng.randint(1, _STALL_AFTER_MAX),
+            )
+        return None
+
+    def combined_failure_probability(self) -> float:
+        """``p + q - p*q`` for the transient draws (1.0 when persistent)."""
+        if self.persistent is not None:
+            return 1.0
+        p, q = self.stall_probability, self.crawler_fault_probability
+        return p + q - p * q

@@ -239,13 +239,37 @@ class TestFailures:
         failures = outcomes.count(False)
         assert 60 <= failures <= 140
 
-    def test_failed_visit_has_no_traffic(self):
+    def test_stalled_visit_salvages_partial_traffic(self):
         page = simple_page(fail_probability=1.0)
         result = visit(page=page)
         assert not result.success
-        assert result.requests == ()
-        assert result.cookies == ()
-        assert result.visit.failure_reason == "timeout"
+        assert result.visit.failure_reason == "stall-timeout"
+        # The requests observed before the stall are kept, flagged partial;
+        # the crawl layer decides whether to persist them.
+        assert result.requests
+        assert result.visit.partial
+        assert result.visit.duration == 30.0  # stalls bill the full timeout
+
+    def test_injected_crawler_fault_has_no_traffic(self):
+        from repro.web.faults import TRANSIENT_FAULTS
+
+        page = simple_page(fail_probability=0.0)
+        engine = BrowserEngine(PROFILE_SIM1, seed=3)
+        for visit_id in range(300):
+            result = engine.visit(page, site="e.com", site_rank=1, visit_id=visit_id)
+            if result.success:
+                continue
+            # Non-stall faults abort before any traffic and resolve before
+            # the deadline (seeded sub-timeout duration).
+            assert result.requests == ()
+            assert result.cookies == ()
+            assert not result.visit.partial
+            assert result.visit.failure_reason in TRANSIENT_FAULTS
+            assert result.visit.failure_reason != "stall-timeout"
+            assert 0.0 < result.visit.duration < engine.timeout
+            break
+        else:  # pragma: no cover - seed guarantees a fault within 300 draws
+            raise AssertionError("no crawler fault drawn in 300 visits")
 
 
 class TestCookies:

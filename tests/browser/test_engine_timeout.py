@@ -18,8 +18,11 @@ class TestTimeout:
         engine = BrowserEngine(PROFILE_SIM1, seed=61, timeout=0.05)
         result = engine.visit(site.landing_page, site=site.domain, site_rank=1, visit_id=1)
         assert not result.success
-        assert result.visit.failure_reason == "timeout"
-        assert result.requests == ()
+        assert result.visit.failure_reason == "stall-timeout"
+        # Partial salvage: the traffic observed before the deadline rides
+        # along, flagged, instead of being discarded.
+        assert result.requests
+        assert result.visit.partial
 
     def test_generous_timeout_succeeds(self):
         site = page_and_site()

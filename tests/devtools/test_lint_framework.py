@@ -82,6 +82,7 @@ class TestRegistry:
             "DET003",
             "DET004",
             "ERR001",
+            "ERR002",
             "OBS001",
             "SQL001",
         ]
@@ -92,7 +93,7 @@ class TestRegistry:
             "SQL001",
         ]
         remaining = [r.rule_id for r in build_rules(ignore=["DET003"])]
-        assert "DET003" not in remaining and len(remaining) == 6
+        assert "DET003" not in remaining and len(remaining) == 7
 
     def test_unknown_rule_id_raises_lint_error(self):
         with pytest.raises(LintError, match="unknown rule id"):

@@ -191,6 +191,81 @@ class TestErr001ErrorDiscipline:
         assert check("ERR001", src) == []
 
 
+class TestErr002RetryableReason:
+    def test_subclass_without_reason_flagged(self):
+        src = (
+            "from repro.errors import TransientCrawlError\n"
+            "class Flaky(TransientCrawlError):\n    pass\n"
+        )
+        assert check("ERR002", src) == ["ERR002"]
+
+    def test_class_attribute_string_allowed(self):
+        src = (
+            "from repro.errors import TransientCrawlError\n"
+            "class Flaky(TransientCrawlError):\n"
+            "    failure_reason = 'connection-reset'\n"
+        )
+        assert check("ERR002", src) == []
+
+    def test_empty_string_reason_flagged(self):
+        src = (
+            "from repro.errors import TransientCrawlError\n"
+            "class Flaky(TransientCrawlError):\n"
+            "    failure_reason = ''\n"
+        )
+        assert check("ERR002", src) == ["ERR002"]
+
+    def test_constant_name_allowed(self):
+        src = (
+            "from repro.errors import TransientCrawlError\n"
+            "from repro.web.faults import STALL_TIMEOUT\n"
+            "class Stall(TransientCrawlError):\n"
+            "    failure_reason = STALL_TIMEOUT\n"
+        )
+        assert check("ERR002", src) == []
+
+    def test_init_assignment_allowed(self):
+        src = (
+            "from repro.errors import TransientCrawlError\n"
+            "class Fault(TransientCrawlError):\n"
+            "    def __init__(self, reason):\n"
+            "        super().__init__(reason)\n"
+            "        self.failure_reason = reason\n"
+        )
+        assert check("ERR002", src) == []
+
+    def test_inherited_reason_allowed(self):
+        src = (
+            "from repro.errors import TransientCrawlError\n"
+            "class Base(TransientCrawlError):\n"
+            "    failure_reason = 'http-5xx'\n"
+            "class Leaf(Base):\n    pass\n"
+        )
+        assert check("ERR002", src) == []
+
+    def test_transitive_subclass_without_reason_flagged(self):
+        src = (
+            "from repro.errors import TransientCrawlError\n"
+            "class Base(TransientCrawlError):\n    pass\n"
+            "class Leaf(Base):\n    pass\n"
+        )
+        assert check("ERR002", src) == ["ERR002", "ERR002"]
+
+    def test_bare_raise_of_transient_flagged(self):
+        src = (
+            "from repro.errors import TransientCrawlError\n"
+            "def f():\n    raise TransientCrawlError('flaky')\n"
+        )
+        assert check("ERR002", src) == ["ERR002"]
+
+    def test_unrelated_class_ignored(self):
+        src = (
+            "from repro.errors import CrawlError\n"
+            "class Fatal(CrawlError):\n    pass\n"
+        )
+        assert check("ERR002", src) == []
+
+
 SCHEMA_PREFIX = '''
 _SCHEMA = """
 CREATE TABLE visits (

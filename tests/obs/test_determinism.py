@@ -114,7 +114,7 @@ class TestSummaryFailureBreakdown:
         _, store, summary = crawl(workers=1)
         store.close()
         for profile in summary.visits:
-            timeouts = summary.failures.get(profile, {}).get("timeout", 0)
+            timeouts = summary.failures.get(profile, {}).get("stall-timeout", 0)
             assert summary.timeout_count(profile) == timeouts
             assert summary.failure_count(profile) == sum(
                 summary.failures.get(profile, {}).values()
