@@ -1,0 +1,47 @@
+"""``repro.bundle`` — crawl archive bundles: record once, replay everywhere.
+
+A *bundle* is a frozen, shareable artifact of one finished crawl: every
+store table, the crawl's site-blueprint summary, the seed, the resolved
+crawl configuration, the filter list, and the storage schema version —
+packed into a content-addressed directory whose manifest carries a
+SHA-256 digest per member.  Any later analysis (``AnalysisDataset``,
+``TreeBuilder``, exports, ``run_pipeline``) can replay the bundle into a
+:class:`~repro.crawler.storage.MeasurementStore` that is row-for-row
+identical to the live crawl, without re-running the measurement — the
+"Web Execution Bundles" idea applied to this reproduction.
+
+Three entry points:
+
+* :meth:`Bundle.record` / :func:`record_from_store` — serialize a store;
+* :meth:`Bundle.open` + :meth:`Bundle.replay` — rebuild the store;
+* :func:`diff_against_fresh_crawl` — replay against a fresh crawl of the
+  same seed/config and report per-table fidelity drift.
+"""
+
+from .bundle import (
+    BUNDLE_FORMAT,
+    Bundle,
+    BundleConfig,
+    BundleManifest,
+    BundleMember,
+    record_from_store,
+)
+from .diff import (
+    BundleDiff,
+    TableDrift,
+    diff_against_fresh_crawl,
+    diff_against_store,
+)
+
+__all__ = [
+    "BUNDLE_FORMAT",
+    "Bundle",
+    "BundleConfig",
+    "BundleDiff",
+    "BundleManifest",
+    "BundleMember",
+    "TableDrift",
+    "diff_against_fresh_crawl",
+    "diff_against_store",
+    "record_from_store",
+]

@@ -24,6 +24,7 @@ from typing import List, Optional
 from .analysis import AnalysisDataset
 from .blocklist import build_filter_list, generate_easylist
 from .browser import BrowserEngine, PAPER_PROFILES, profile_by_name
+from .bundle import Bundle
 from .crawler import Commander, MeasurementStore, RetryPolicy, sample_paper_buckets
 from . import export as export_mod
 from .experiments import ALL_EXPERIMENTS, ExperimentConfig
@@ -76,7 +77,7 @@ class AnalysisContext:
 def _obs_for(args: argparse.Namespace) -> ObsContext:
     """An enabled context when the user asked for telemetry output."""
     if getattr(args, "trace", "") or getattr(args, "metrics_out", ""):
-        return ObsContext.create(seed=args.seed)
+        return ObsContext.create(seed=getattr(args, "seed", None) or 0)
     return NULL_OBS
 
 
@@ -122,13 +123,37 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_source(args: argparse.Namespace, obs: ObsContext):
+    """Resolve ``--db``/``--from-bundle`` into ``(store, seed)``.
+
+    A bundle replays into an in-memory store and supplies its own seed;
+    passing a conflicting ``--seed`` is an error rather than a silently
+    wrong regeneration of the synthetic web.
+    """
+    if args.from_bundle and args.db:
+        raise SystemExit("pass either --db or --from-bundle, not both")
+    if args.from_bundle:
+        bundle = Bundle.open(args.from_bundle)
+        if args.seed is not None and args.seed != bundle.seed:
+            raise SystemExit(
+                f"--seed {args.seed} contradicts the bundle's recorded "
+                f"seed {bundle.seed}"
+            )
+        return bundle.replay(obs=obs), bundle.seed
+    if not args.db:
+        raise SystemExit("one of --db or --from-bundle is required")
+    return MeasurementStore(args.db, obs=obs), (
+        args.seed if args.seed is not None else 2023
+    )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     obs = _obs_for(args)
-    store = MeasurementStore(args.db, obs=obs)
+    store, seed = _open_source(args, obs)
     try:
         ctx = AnalysisContext(
             store,
-            seed=args.seed,
+            seed=seed,
             jobs=args.jobs,
             obs=obs,
             include_partial=args.include_partial,
@@ -162,17 +187,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    store = MeasurementStore(args.db)
+    store, seed = _open_source(args, NULL_OBS)
     try:
-        if args.what in ("visits", "requests", "cookies"):
+        if args.what == "visits":
+            rows = export_mod.export_visits_csv(store, args.out)
+        elif args.what in ("requests", "cookies"):
             exporter = {
-                "visits": export_mod.export_visits_csv,
                 "requests": export_mod.export_requests_csv,
                 "cookies": export_mod.export_cookies_csv,
             }[args.what]
-            rows = exporter(store, args.out)
+            rows = exporter(store, args.out, include_partial=args.include_partial)
         else:
-            ctx = AnalysisContext(store, seed=args.seed)
+            ctx = AnalysisContext(
+                store, seed=seed, include_partial=args.include_partial
+            )
             if args.what == "trees":
                 rows = export_mod.export_trees_jsonl(ctx.dataset, args.out)
             else:  # nodes
@@ -246,8 +274,18 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.set_defaults(func=_cmd_crawl)
 
     analyze = sub.add_parser("analyze", help="run paper analyses on a stored crawl")
-    analyze.add_argument("--db", required=True)
-    analyze.add_argument("--seed", type=int, default=2023)
+    analyze.add_argument("--db", default="")
+    analyze.add_argument(
+        "--from-bundle",
+        default="",
+        help="replay a recorded crawl bundle instead of opening --db",
+    )
+    analyze.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="crawl seed (default 2023; a bundle supplies its own)",
+    )
     analyze.add_argument(
         "--experiments", default="", help=f"comma-separated ids ({', '.join(ALL_EXPERIMENTS)})"
     )
@@ -267,14 +305,29 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.set_defaults(func=_cmd_analyze)
 
     export = sub.add_parser("export", help="dump crawl/analysis data to files")
-    export.add_argument("--db", required=True)
-    export.add_argument("--seed", type=int, default=2023)
+    export.add_argument("--db", default="")
+    export.add_argument(
+        "--from-bundle",
+        default="",
+        help="replay a recorded crawl bundle instead of opening --db",
+    )
+    export.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="crawl seed (default 2023; a bundle supplies its own)",
+    )
     export.add_argument(
         "--what",
         choices=["visits", "requests", "cookies", "trees", "nodes"],
         required=True,
     )
     export.add_argument("--out", required=True)
+    export.add_argument(
+        "--include-partial",
+        action="store_true",
+        help="also export the salvaged traffic of partial visits",
+    )
     export.set_defaults(func=_cmd_export)
 
     inspect = sub.add_parser("inspect", help="simulate one visit, print its tree")

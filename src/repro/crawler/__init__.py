@@ -10,7 +10,7 @@ from .client import ClientStats, CrawlClient, SiteVisitPlan
 from .commander import Commander, CrawlSummary, SiteSchedule, run_measurement
 from .discovery import DiscoveryResult, discover_pages, first_party_links
 from .retry import NO_RETRIES, RetryPolicy
-from .storage import MeasurementStore
+from .storage import SCHEMA_VERSION, MeasurementStore
 from .tranco import (
     PAPER_BUCKETS,
     RankBucket,
@@ -31,6 +31,7 @@ __all__ = [
     "RankBucket",
     "RankedList",
     "RetryPolicy",
+    "SCHEMA_VERSION",
     "SiteSchedule",
     "SiteVisitPlan",
     "bucket_for_rank",

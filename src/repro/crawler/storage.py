@@ -29,6 +29,14 @@ from ..browser.network import (
 from ..errors import StorageError
 from ..obs import BATCH_SIZE_BUCKETS, NULL_OBS, ObsContext
 
+#: Stored-schema generation, stamped into ``PRAGMA user_version`` on every
+#: writable open and checked wherever two stores meet (read-only snapshot
+#: opens, shard merges, bundle replay).  Version 1 is the pre-``attempt``/
+#: ``partial`` schema; stores from that era were never stamped and read as
+#: 0, which writable opens upgrade-stamp after applying the (idempotent)
+#: schema script.  Bump this whenever ``_SCHEMA`` changes shape.
+SCHEMA_VERSION = 2
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS visits (
     visit_id INTEGER PRIMARY KEY,
@@ -129,6 +137,11 @@ class MeasurementStore:
                 raise StorageError("cannot open an in-memory store read-only")
             uri = f"file:{_uri_quote(os.path.abspath(path))}?mode=ro"
             self._conn = sqlite3.connect(uri, uri=True)
+            try:
+                self._check_schema_version()
+            except StorageError:
+                self._conn.close()
+                raise
         else:
             self._conn = sqlite3.connect(path)
             if path != ":memory:":
@@ -137,6 +150,14 @@ class MeasurementStore:
             self._conn.execute("PRAGMA cache_size=-65536")  # 64 MiB
             self._conn.execute("PRAGMA temp_store=MEMORY")
             self._conn.executescript(_SCHEMA)
+            if self.schema_version == 0:
+                self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+            else:
+                try:
+                    self._check_schema_version()
+                except StorageError:
+                    self._conn.close()
+                    raise
 
     @classmethod
     def open_readonly(cls, path: str) -> "MeasurementStore":
@@ -148,6 +169,22 @@ class MeasurementStore:
         return cls(path, readonly=True)
 
     # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def schema_version(self) -> int:
+        """The store's stamped schema generation (``PRAGMA user_version``)."""
+        return self._conn.execute("PRAGMA user_version").fetchone()[0]
+
+    def _check_schema_version(self) -> None:
+        """Raise unless the store is stamped with this code's schema."""
+        found = self.schema_version
+        if found == SCHEMA_VERSION:
+            return
+        detail = "unversioned (pre-stamp) store" if found == 0 else f"version {found}"
+        raise StorageError(
+            f"schema version mismatch in {self.path}: {detail}, "
+            f"this code expects version {SCHEMA_VERSION}"
+        )
 
     def close(self) -> None:
         self._conn.close()
@@ -220,6 +257,13 @@ class MeasurementStore:
         serial one, not merely set-equal.  Returns the total number of
         visits merged.
         """
+        for other in others:
+            if other.schema_version != self.schema_version:
+                raise StorageError(
+                    f"cannot merge {other.path} (schema version "
+                    f"{other.schema_version}) into {self.path} (schema "
+                    f"version {self.schema_version})"
+                )
         with self._conn:
             for table in _TABLES:
                 streams = [
@@ -398,6 +442,19 @@ class MeasurementStore:
         rows = self._conn.execute("SELECT DISTINCT profile FROM visits ORDER BY profile")
         return [row[0] for row in rows]
 
+    def profiles_in_crawl_order(self) -> List[str]:
+        """Profiles in the order the crawl ran them.
+
+        Visit ids are handed out profile-major within each site block, so
+        the minimum visit id per profile recovers the crawl's profile
+        order — which a bundle must archive, because re-running the crawl
+        with profiles in any other order would re-deal every visit id.
+        """
+        rows = self._conn.execute(
+            "SELECT profile FROM visits GROUP BY profile ORDER BY MIN(visit_id)"
+        )
+        return [row[0] for row in rows]
+
     def pages(self) -> List[str]:
         rows = self._conn.execute("SELECT DISTINCT page_url FROM visits ORDER BY page_url")
         return [row[0] for row in rows]
@@ -564,8 +621,13 @@ class MeasurementStore:
         ]
 
     def cookies_for_visit(self, visit_id: int) -> List[CookieRecord]:
+        # RFC 6265 identifies a cookie by (name, domain, path); the same
+        # pair can exist under two paths (or setters), so ordering must
+        # run through the full identity or exports and bundle digests
+        # would depend on physical row order.
         rows = self._conn.execute(
-            "SELECT * FROM javascript_cookies WHERE visit_id = ? ORDER BY domain, name",
+            "SELECT * FROM javascript_cookies WHERE visit_id = ? "
+            "ORDER BY domain, name, path, set_by_url",
             (visit_id,),
         ).fetchall()
         return [
@@ -594,6 +656,73 @@ class MeasurementStore:
         query += " ORDER BY visit_id"
         for row in self._conn.execute(query):
             yield _visit_from_row(row)
+
+    # -- reads/writes: whole tables (bundle record/replay) -----------------
+
+    @staticmethod
+    def table_names() -> Tuple[str, ...]:
+        """The store's tables, in dependency order."""
+        return _TABLES
+
+    def _require_table(self, table: str) -> None:
+        if table not in _TABLES:
+            raise StorageError(
+                f"unknown table {table!r} (known: {', '.join(_TABLES)})"
+            )
+
+    def iter_table_rows(self, table: str) -> Iterator[Tuple]:
+        """Stream one table's raw rows in physical (insertion) order.
+
+        The crawl writes rows in a deterministic order (see
+        :meth:`merge_shards`), so physical order *is* the canonical order;
+        bundle serialization and fidelity diffs both key on it.
+        """
+        self._require_table(table)
+        for row in self._conn.execute(f"SELECT * FROM {table} ORDER BY rowid"):
+            yield row
+
+    def table_row_count(self, table: str) -> int:
+        self._require_table(table)
+        return self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+
+    def insert_table_rows(self, table: str, rows: Iterable[Sequence]) -> int:
+        """Append raw rows to ``table`` in one transaction, preserving order.
+
+        The bundle replay path: rows come back exactly as
+        :meth:`iter_table_rows` yielded them, so the replayed store is
+        physically identical to the recorded one.  Returns the number of
+        rows written.
+        """
+        self._require_table(table)
+        columns = len(
+            self._conn.execute(f"SELECT * FROM {table} LIMIT 0").description
+        )
+        placeholders = ", ".join("?" for _ in range(columns))
+        count = 0
+        with self._conn:
+            for chunk in _chunked_rows(rows, 1000):
+                try:
+                    self._conn.executemany(
+                        f"INSERT INTO {table} VALUES ({placeholders})", chunk
+                    )
+                except sqlite3.IntegrityError as exc:
+                    raise StorageError(
+                        f"replay collision in table {table}: {exc}"
+                    ) from exc
+                count += len(chunk)
+        return count
+
+
+def _chunked_rows(rows: Iterable[Sequence], size: int) -> Iterator[List[Sequence]]:
+    """Batch an iterable of rows into lists of at most ``size``."""
+    chunk: List[Sequence] = []
+    for row in rows:
+        chunk.append(row)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 def _visit_from_row(row: Tuple) -> VisitRecord:

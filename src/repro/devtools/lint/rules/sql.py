@@ -1,4 +1,4 @@
-"""SQL001: SQL strings must agree with the module's schema constant.
+"""SQL001/SQL002: SQL strings must agree with the module's schema constant.
 
 The measurement store (``repro/crawler/storage.py``) keeps its schema in
 a module-level ``_SCHEMA`` string and writes with positional ``INSERT
@@ -14,6 +14,19 @@ a long crawl.  This rule cross-checks, per module:
   tables;
 * ``CREATE INDEX`` statements inside the schema reference real tables
   and columns.
+
+SQL002 guards ordering totality: a query whose results feed deterministic
+serialization (exports, digests, bundles) must sort by a *total* order, or
+rows that tie on the sort key come back in an SQLite-internal order that
+is stable per file but not per history of inserts/vacuums.  The rule
+checks every constant single-table ``SELECT ... ORDER BY``: the bare
+columns of the ``ORDER BY`` clause, together with columns pinned by
+``col = ?`` / ``col = literal`` equality in ``WHERE``, must cover a
+unique key of the table — its ``PRIMARY KEY``, the ``GROUP BY`` columns,
+the ``SELECT DISTINCT`` columns, or (for PK-less log tables) a logical
+key registered in :data:`UniqueOrdering.logical_keys`.  Clauses with any
+non-bare-column term (``ORDER BY MIN(x)``) are skipped — expressions are
+outside static reach, like f-string SQL.
 
 Modules without a ``_SCHEMA``/``SCHEMA`` string constant are skipped, and
 only plain string constants are analysed — f-strings that splice table
@@ -238,3 +251,144 @@ class SchemaConsistency(LintRule):
                     f"INSERT INTO {table} has {placeholders} placeholders for "
                     f"{expected} columns",
                 )
+
+
+def _parse_primary_keys(schema_sql: str) -> Dict[str, List[str]]:
+    """Table name → PRIMARY KEY columns (inline or table-level)."""
+    keys: Dict[str, List[str]] = {}
+    for match in _CREATE_TABLE_RE.finditer(schema_sql):
+        table, body = match.group(1), match.group(2)
+        pk: List[str] = []
+        for item in _split_columns(body):
+            words = item.split()
+            if not words:
+                continue
+            lowered = [word.lower() for word in words]
+            if lowered[0] == "primary":
+                # Table-level constraint: PRIMARY KEY (a, b)
+                paren = item.find("(")
+                if paren >= 0:
+                    pk = _IDENTIFIER_RE.findall(item[paren:])
+            elif lowered[0] not in _TABLE_CONSTRAINTS and "primary" in lowered:
+                pk = [words[0]]
+        keys[table] = pk
+    return keys
+
+
+_ORDER_BY_RE = re.compile(
+    r"\bORDER\s+BY\s+(.*?)(?:\bLIMIT\b|;|\Z)", re.IGNORECASE | re.DOTALL
+)
+_GROUP_BY_RE = re.compile(
+    r"\bGROUP\s+BY\s+(.*?)(?:\bHAVING\b|\bORDER\b|\bLIMIT\b|;|\Z)",
+    re.IGNORECASE | re.DOTALL,
+)
+_DISTINCT_SELECT_RE = re.compile(
+    r"\A\s*SELECT\s+DISTINCT\s+(.*?)\bFROM\b", re.IGNORECASE | re.DOTALL
+)
+_BARE_TERM_RE = re.compile(r"\A(\w+)(?:\s+(?:ASC|DESC))?\Z", re.IGNORECASE)
+_EQ_BOUND_RE = re.compile(r"\b(\w+)\s*=\s*(?:\?|\d+|'[^']*')")
+
+
+def _bare_columns(clause: str) -> Optional[List[str]]:
+    """Clause → bare column names, or None if any term is an expression."""
+    columns: List[str] = []
+    for term in clause.split(","):
+        match = _BARE_TERM_RE.match(term.strip())
+        if match is None:
+            return None
+        columns.append(match.group(1))
+    return columns
+
+
+@register
+class UniqueOrdering(LintRule):
+    rule_id = "SQL002"
+    summary = "ORDER BY does not pin a total order (unique key not covered)"
+
+    #: Logical unique keys for append-only tables without a PRIMARY KEY.
+    #: The crawler never writes two rows identical in these columns, so
+    #: covering them makes an ORDER BY total even though SQLite does not
+    #: enforce the uniqueness.
+    logical_keys: Dict[str, Tuple[str, ...]] = {
+        "javascript_cookies": ("visit_id", "name", "domain", "path", "set_by_url"),
+        "http_redirects": ("visit_id", "from_request_id"),
+    }
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        found = _schema_constant(module)
+        if found is None:
+            return
+        _, schema_sql = found
+        tables = _parse_schema(schema_sql)
+        primary_keys = _parse_primary_keys(schema_sql)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _SQL_HEAD_RE.match(node.value)
+            ):
+                continue
+            yield from self._check_query(
+                module, node, node.value, tables, primary_keys
+            )
+
+    def _check_query(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        sql: str,
+        tables: Dict[str, List[str]],
+        primary_keys: Dict[str, List[str]],
+    ) -> Iterator[Violation]:
+        order_match = _ORDER_BY_RE.search(sql)
+        if order_match is None:
+            return
+        referenced = set(_TABLE_REF_RE.findall(sql))
+        if len(referenced) != 1:
+            # Joins and subqueries are outside this rule's static reach.
+            return
+        table = referenced.pop()
+        if table not in tables:
+            return  # SQL001's department
+        order_columns = _bare_columns(order_match.group(1))
+        if order_columns is None:
+            return  # expression term (MIN(x), COUNT(...)) — skip
+        key = self._unique_key(sql, table, primary_keys)
+        if key is None:
+            yield self.flag(
+                module,
+                node,
+                f"ORDER BY on {table} but no unique key is known for it — "
+                f"declare one in UniqueOrdering.logical_keys or add a "
+                f"PRIMARY KEY",
+            )
+            return
+        pinned = set(order_columns)
+        pinned.update(_EQ_BOUND_RE.findall(sql))
+        missing = [column for column in key if column not in pinned]
+        if missing:
+            yield self.flag(
+                module,
+                node,
+                f"ORDER BY ({', '.join(order_columns)}) is not total for "
+                f"{table}: unique key columns {', '.join(missing)} are "
+                f"neither sorted on nor pinned by equality",
+            )
+
+    def _unique_key(
+        self, sql: str, table: str, primary_keys: Dict[str, List[str]]
+    ) -> Optional[List[str]]:
+        """The unique key the ORDER BY must cover, or None if unknown."""
+        group_match = _GROUP_BY_RE.search(sql)
+        if group_match is not None:
+            # Grouped output: one row per distinct group-key tuple.
+            return _bare_columns(group_match.group(1))
+        distinct_match = _DISTINCT_SELECT_RE.match(sql)
+        if distinct_match is not None:
+            columns = _bare_columns(distinct_match.group(1))
+            if columns is not None:
+                return columns
+        if primary_keys.get(table):
+            return primary_keys[table]
+        logical = self.logical_keys.get(table)
+        return list(logical) if logical is not None else None

@@ -100,3 +100,13 @@ class ObsError(ReproError):
     malformed trace files all land here rather than silently producing
     garbage telemetry — mismeasured measurements are worse than none.
     """
+
+
+class BundleError(ReproError):
+    """Raised when a crawl bundle cannot be recorded, opened, or replayed.
+
+    Covers structural problems (missing manifest, unknown format version,
+    schema-version mismatch) and integrity failures (a member whose
+    payload does not hash to its manifest digest) — a bundle that fails
+    verification must never silently stand in for the crawl it archives.
+    """

@@ -17,6 +17,7 @@ from ..blocklist import FilterList, build_filter_list
 from ..browser.profile import BrowserProfile, PAPER_PROFILES
 from ..crawler import Commander, CrawlSummary, MeasurementStore, sample_paper_buckets
 from ..analysis import AnalysisDataset
+from ..errors import ExperimentError
 from ..obs import NULL_OBS, ObsContext
 from ..web import WebConfig, WebGenerator
 
@@ -88,19 +89,65 @@ class ExperimentContext:
     def profile_names(self) -> List[str]:
         return [profile.name for profile in self.config.profiles]
 
+    @classmethod
+    def from_bundle(cls, bundle, obs: Optional[ObsContext] = None) -> "ExperimentContext":
+        """Materialize a context from a recorded crawl bundle — no crawl.
+
+        ``bundle`` is a :class:`~repro.bundle.Bundle` or a path to one.
+        The store replays in memory, the filter list comes from the
+        archive, and the web generator rebuilds from the archived seed
+        (experiments that re-crawl, e.g. the timeout ablation, still
+        can).  ``summary`` is ``None``, as for any stored-crawl context.
+        """
+        from ..bundle import Bundle  # deferred: repro.bundle imports crawler too
+
+        if not isinstance(bundle, Bundle):
+            bundle = Bundle.open(bundle)
+        ctx = cls.__new__(cls)
+        ctx.obs = obs if obs is not None else NULL_OBS
+        bundle_config = bundle.config
+        ctx.config = ExperimentConfig(
+            seed=bundle_config.seed, pages_per_site=bundle_config.pages_per_site
+        )
+        with ctx.obs.tracer.span("pipeline", key="pipeline"):
+            ctx.generator = WebGenerator(bundle_config.seed)
+            ctx.store = bundle.replay(obs=ctx.obs)
+            ctx.ranks = list(bundle_config.ranks)
+            ctx.summary = None
+            with ctx.obs.tracer.span("filter-list", key="filter-list"):
+                ctx.filter_list = FilterList.from_text(bundle.filter_list_text())
+            ctx.dataset = AnalysisDataset.from_store(
+                ctx.store, filter_list=ctx.filter_list, obs=ctx.obs
+            )
+        return ctx
+
 
 _CACHE: Dict[ExperimentConfig, ExperimentContext] = {}
 
 
 def run_pipeline(
-    config: Optional[ExperimentConfig] = None, obs: Optional[ObsContext] = None
+    config: Optional[ExperimentConfig] = None,
+    obs: Optional[ObsContext] = None,
+    from_bundle: Optional[str] = None,
 ) -> ExperimentContext:
     """Run (or reuse) the pipeline for ``config``.
 
     An *enabled* observability context bypasses the cache: telemetry has
     to describe work that actually ran, and cached contexts may have been
     built without (or with someone else's) instrumentation.
+
+    ``from_bundle`` replays a recorded crawl bundle instead of crawling;
+    ``config`` must then be ``None`` (the bundle carries the resolved
+    config it was recorded with) and the cache is bypassed — the bundle
+    on disk, not this process, is the cache.
     """
+    if from_bundle is not None:
+        if config is not None:
+            raise ExperimentError(
+                "pass either a config or from_bundle, not both: a bundle "
+                "replays the configuration it archived"
+            )
+        return ExperimentContext.from_bundle(from_bundle, obs=obs)
     config = config or ExperimentConfig()
     if obs is not None and obs.enabled:
         return ExperimentContext(config, obs=obs)

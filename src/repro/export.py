@@ -40,17 +40,36 @@ def export_visits_csv(store: MeasurementStore, path: PathLike) -> int:
     return rows
 
 
-def export_requests_csv(store: MeasurementStore, path: PathLike) -> int:
-    """Dump all requests of successful visits; returns the row count."""
+def _usable_visits(store: MeasurementStore, include_partial: bool):
+    """Visits whose traffic belongs in a traffic export.
+
+    Successful visits always; with ``include_partial``, also failed
+    visits whose partial traffic was salvaged — without the opt-in those
+    records used to be silently dropped even though the store holds them.
+    """
+    for visit in store.iter_visits(success_only=False):
+        if visit.success or (include_partial and visit.partial):
+            yield visit
+
+
+def export_requests_csv(
+    store: MeasurementStore, path: PathLike, include_partial: bool = False
+) -> int:
+    """Dump all requests of usable visits; returns the row count.
+
+    ``include_partial`` adds the salvaged traffic of partial visits; the
+    ``partial`` column flags those rows so downstream consumers can
+    filter them back out.
+    """
     rows = 0
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
             ["visit_id", "request_id", "url", "resource_type", "frame_id",
              "parent_frame_id", "timestamp", "initiator", "redirect_from",
-             "during_interaction"]
+             "during_interaction", "partial"]
         )
-        for visit in store.iter_visits():
+        for visit in _usable_visits(store, include_partial):
             for request in store.requests_for_visit(visit.visit_id):
                 writer.writerow(
                     [request.visit_id, request.request_id, request.url,
@@ -59,27 +78,32 @@ def export_requests_csv(store: MeasurementStore, path: PathLike) -> int:
                      request.timestamp,
                      request.call_stack.initiating_script_url or "",
                      request.redirect_from if request.redirect_from is not None else "",
-                     int(request.during_interaction)]
+                     int(request.during_interaction), int(visit.partial)]
                 )
                 rows += 1
     return rows
 
 
-def export_cookies_csv(store: MeasurementStore, path: PathLike) -> int:
-    """Dump all observed cookies; returns the row count."""
+def export_cookies_csv(
+    store: MeasurementStore, path: PathLike, include_partial: bool = False
+) -> int:
+    """Dump all observed cookies of usable visits; returns the row count.
+
+    Same ``include_partial`` contract as :func:`export_requests_csv`.
+    """
     rows = 0
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
             ["visit_id", "name", "domain", "path", "secure", "http_only",
-             "same_site", "set_by_url"]
+             "same_site", "set_by_url", "partial"]
         )
-        for visit in store.iter_visits():
+        for visit in _usable_visits(store, include_partial):
             for cookie in store.cookies_for_visit(visit.visit_id):
                 writer.writerow(
                     [cookie.visit_id, cookie.name, cookie.domain, cookie.path,
                      int(cookie.secure), int(cookie.http_only), cookie.same_site,
-                     cookie.set_by_url]
+                     cookie.set_by_url, int(visit.partial)]
                 )
                 rows += 1
     return rows

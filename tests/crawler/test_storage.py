@@ -1,5 +1,7 @@
 """Tests for the SQLite measurement store."""
 
+import sqlite3
+
 import pytest
 
 from repro.browser.callstack import CallStack
@@ -11,7 +13,7 @@ from repro.browser.network import (
     VisitRecord,
     VisitResult,
 )
-from repro.crawler.storage import MeasurementStore
+from repro.crawler.storage import SCHEMA_VERSION, MeasurementStore
 from repro.errors import StorageError
 
 
@@ -211,6 +213,62 @@ class TestMergeAndSnapshots:
         with MeasurementStore(str(tmp_path / "db.sqlite")) as store:
             mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
             assert mode == "wal"
+
+
+class TestSchemaVersion:
+    def test_new_store_is_stamped(self):
+        with MeasurementStore() as store:
+            assert store.schema_version == SCHEMA_VERSION
+
+    def test_snapshot_carries_the_stamp(self, tmp_path):
+        snapshot = str(tmp_path / "snap.sqlite")
+        with MeasurementStore() as store:
+            store.store_visit(make_result(visit_id=1))
+            store.snapshot_to(snapshot)
+        with MeasurementStore.open_readonly(snapshot) as reader:
+            assert reader.schema_version == SCHEMA_VERSION
+
+    def _write_with_version(self, path, version):
+        with MeasurementStore(path) as store:
+            store.store_visit(make_result(visit_id=1))
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {version}")
+        conn.close()
+
+    def test_writable_open_rejects_future_version(self, tmp_path):
+        path = str(tmp_path / "future.sqlite")
+        self._write_with_version(path, SCHEMA_VERSION + 7)
+        with pytest.raises(StorageError, match="schema version"):
+            MeasurementStore(path)
+
+    def test_readonly_open_rejects_mismatch(self, tmp_path):
+        path = str(tmp_path / "future.sqlite")
+        self._write_with_version(path, SCHEMA_VERSION + 7)
+        with pytest.raises(StorageError, match="schema version"):
+            MeasurementStore.open_readonly(path)
+
+    def test_readonly_open_rejects_unversioned_store(self, tmp_path):
+        path = str(tmp_path / "legacy.sqlite")
+        self._write_with_version(path, 0)
+        with pytest.raises(StorageError, match="unversioned"):
+            MeasurementStore.open_readonly(path)
+
+    def test_writable_open_upgrade_stamps_unversioned_store(self, tmp_path):
+        # Pre-stamp stores read as version 0; a writable open re-applies
+        # the (idempotent) schema and stamps them current.
+        path = str(tmp_path / "legacy.sqlite")
+        self._write_with_version(path, 0)
+        with MeasurementStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+            assert store.visit_count() == 1
+
+    def test_merge_of_old_store_raises(self):
+        with MeasurementStore() as old, MeasurementStore() as main:
+            old.store_visit(make_result(visit_id=1))
+            old._conn.execute("PRAGMA user_version = 1")
+            with pytest.raises(StorageError, match="cannot merge"):
+                main.merge(old)
+            assert main.visit_count() == 0
 
 
 class TestDocumentResponse:

@@ -323,6 +323,96 @@ class TestSql001SchemaConsistency:
         assert check("SQL001", src) == []
 
 
+COOKIE_SCHEMA_PREFIX = '''
+_SCHEMA = """
+CREATE TABLE javascript_cookies (
+    visit_id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    path TEXT NOT NULL,
+    set_by_url TEXT NOT NULL
+);
+"""
+'''
+
+
+class TestSql002UniqueOrdering:
+    def test_partial_order_on_logical_key_table_flagged(self):
+        # The pre-fix cookies query: ties on (domain, name) are possible.
+        src = COOKIE_SCHEMA_PREFIX + (
+            'Q = "SELECT * FROM javascript_cookies WHERE visit_id = ? '
+            'ORDER BY domain, name"\n'
+        )
+        assert check("SQL002", src) == ["SQL002"]
+
+    def test_total_order_on_logical_key_table_ok(self):
+        src = COOKIE_SCHEMA_PREFIX + (
+            'Q = "SELECT * FROM javascript_cookies WHERE visit_id = ? '
+            'ORDER BY domain, name, path, set_by_url"\n'
+        )
+        assert check("SQL002", src) == []
+
+    def test_equality_pin_counts_toward_coverage(self):
+        # visit_id is never in the ORDER BY but is pinned by `= ?`.
+        src = COOKIE_SCHEMA_PREFIX + (
+            'Q = "SELECT * FROM javascript_cookies '
+            'ORDER BY domain, name, path, set_by_url"\n'
+        )
+        assert check("SQL002", src) == ["SQL002"]
+
+    def test_order_by_primary_key_ok(self):
+        src = SCHEMA_PREFIX + 'Q = "SELECT * FROM visits ORDER BY visit_id"\n'
+        assert check("SQL002", src) == []
+
+    def test_order_by_non_key_column_flagged(self):
+        src = SCHEMA_PREFIX + 'Q = "SELECT * FROM visits ORDER BY page_url"\n'
+        assert check("SQL002", src) == ["SQL002"]
+
+    def test_group_by_defines_the_key(self):
+        src = SCHEMA_PREFIX + (
+            'Q = "SELECT page_url, COUNT(*) FROM visits '
+            'GROUP BY page_url ORDER BY page_url"\n'
+        )
+        assert check("SQL002", src) == []
+
+    def test_group_by_key_not_covered_flagged(self):
+        src = SCHEMA_PREFIX + (
+            'Q = "SELECT page_url, visit_id, COUNT(*) FROM visits '
+            'GROUP BY page_url, visit_id ORDER BY page_url"\n'
+        )
+        assert check("SQL002", src) == ["SQL002"]
+
+    def test_distinct_select_defines_the_key(self):
+        src = SCHEMA_PREFIX + (
+            'Q = "SELECT DISTINCT page_url FROM visits ORDER BY page_url"\n'
+        )
+        assert check("SQL002", src) == []
+
+    def test_expression_order_term_is_skipped(self):
+        src = SCHEMA_PREFIX + (
+            'Q = "SELECT page_url FROM visits '
+            'GROUP BY page_url ORDER BY MIN(visit_id)"\n'
+        )
+        assert check("SQL002", src) == []
+
+    def test_unknown_unique_key_flagged(self):
+        src = (
+            '_SCHEMA = """\n'
+            "CREATE TABLE events (kind TEXT, payload TEXT);\n"
+            '"""\n'
+            'Q = "SELECT * FROM events ORDER BY kind"\n'
+        )
+        assert check("SQL002", src) == ["SQL002"]
+
+    def test_query_without_order_by_ignored(self):
+        src = SCHEMA_PREFIX + 'Q = "SELECT * FROM visits WHERE visit_id = ?"\n'
+        assert check("SQL002", src) == []
+
+    def test_module_without_schema_is_skipped(self):
+        src = 'Q = "SELECT * FROM nowhere ORDER BY x"\n'
+        assert check("SQL002", src) == []
+
+
 class TestObs001NoPrintInLibraryCode:
     def test_print_in_library_module_flagged(self):
         rules = build_rules(select=["OBS001"])

@@ -82,6 +82,73 @@ class TestExport:
         assert len(document["profiles"]) == 5
 
 
+class TestBundleSource:
+    @pytest.fixture(scope="class")
+    def bundle_path(self, crawl_db, tmp_path_factory):
+        from repro.bundle import record_from_store
+        from repro.crawler import MeasurementStore
+
+        out = tmp_path_factory.mktemp("cli-bundle") / "crawl"
+        with MeasurementStore(crawl_db) as store:
+            record_from_store(store, seed=5, path=out)
+        return str(out)
+
+    def test_analyze_from_bundle(self, bundle_path, capsys):
+        code = main(
+            ["analyze", "--from-bundle", bundle_path, "--experiments", "table2"]
+        )
+        assert code == 0
+        assert "[table2]" in capsys.readouterr().out
+
+    def test_export_from_bundle_matches_db(self, crawl_db, bundle_path, tmp_path):
+        db_out = tmp_path / "db.csv"
+        bundle_out = tmp_path / "bundle.csv"
+        assert main(
+            ["export", "--db", crawl_db, "--seed", "5",
+             "--what", "requests", "--out", str(db_out)]
+        ) == 0
+        assert main(
+            ["export", "--from-bundle", bundle_path,
+             "--what", "requests", "--out", str(bundle_out)]
+        ) == 0
+        assert db_out.read_bytes() == bundle_out.read_bytes()
+
+    def test_both_sources_rejected(self, crawl_db, bundle_path):
+        with pytest.raises(SystemExit, match="not both"):
+            main(["analyze", "--db", crawl_db, "--from-bundle", bundle_path])
+
+    def test_no_source_rejected(self):
+        with pytest.raises(SystemExit, match="required"):
+            main(["analyze"])
+
+    def test_contradicting_seed_rejected(self, bundle_path):
+        with pytest.raises(SystemExit, match="contradicts"):
+            main(["analyze", "--from-bundle", bundle_path, "--seed", "7"])
+
+    def test_matching_seed_accepted(self, bundle_path, tmp_path):
+        out = tmp_path / "visits.csv"
+        code = main(
+            ["export", "--from-bundle", bundle_path, "--seed", "5",
+             "--what", "visits", "--out", str(out)]
+        )
+        assert code == 0
+
+
+class TestIncludePartialFlag:
+    def test_export_include_partial_flag(self, crawl_db, tmp_path):
+        # Seed 5's tiny crawl may have no partials; the contract here is
+        # that the flag parses and the partial column is always present.
+        out = tmp_path / "requests.csv"
+        code = main(
+            ["export", "--db", crawl_db, "--seed", "5", "--what", "requests",
+             "--include-partial", "--out", str(out)]
+        )
+        assert code == 0
+        with open(out) as handle:
+            header = next(csv.reader(handle))
+        assert header[-1] == "partial"
+
+
 class TestInspect:
     def test_renders_tree(self, capsys):
         code = main(["inspect", "--seed", "5", "--rank", "1", "--visit", "2"])

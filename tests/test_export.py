@@ -3,7 +3,11 @@
 import csv
 import json
 
+import pytest
+
 from repro import export
+from repro.crawler import Commander, MeasurementStore
+from repro.web import WebGenerator
 
 
 class TestCsvExports:
@@ -31,6 +35,79 @@ class TestCsvExports:
         with open(out) as handle:
             data = list(csv.DictReader(handle))
         assert all(row["domain"] for row in data)
+
+    def test_cookies_rows_are_totally_ordered(self, store, tmp_path):
+        out = tmp_path / "cookies.csv"
+        export.export_cookies_csv(store, out)
+        with open(out) as handle:
+            data = list(csv.DictReader(handle))
+        def key(row):
+            return (int(row["visit_id"]), row["domain"], row["name"],
+                    row["path"], row["set_by_url"])
+
+        assert [key(row) for row in data] == sorted(key(row) for row in data)
+
+
+class TestPartialVisitExports:
+    """Salvaged partial-visit traffic: dropped by default, flagged on opt-in."""
+
+    @pytest.fixture(scope="class")
+    def salvaged_store(self):
+        # Seed 99 stalls a few pages on these ranks; with salvage on and
+        # no retries their partial traffic is stored on failed visits.
+        store = MeasurementStore()
+        Commander(
+            WebGenerator(99), store, max_pages_per_site=3, salvage_partial=True
+        ).run(ranks=[1, 2, 6001])
+        assert store._conn.execute(
+            "SELECT COUNT(*) FROM visits WHERE partial = 1"
+        ).fetchone()[0] > 0
+        yield store
+        store.close()
+
+    @pytest.mark.parametrize(
+        "exporter",
+        [export.export_requests_csv, export.export_cookies_csv],
+        ids=["requests", "cookies"],
+    )
+    def test_partials_excluded_by_default(self, salvaged_store, tmp_path, exporter):
+        out = tmp_path / "default.csv"
+        exporter(salvaged_store, out)
+        with open(out) as handle:
+            data = list(csv.DictReader(handle))
+        assert all(row["partial"] == "0" for row in data)
+
+    def test_include_partial_adds_flagged_rows(self, salvaged_store, tmp_path):
+        default_out = tmp_path / "default.csv"
+        partial_out = tmp_path / "partial.csv"
+        default_rows = export.export_requests_csv(salvaged_store, default_out)
+        partial_rows = export.export_requests_csv(
+            salvaged_store, partial_out, include_partial=True
+        )
+        assert partial_rows > default_rows
+        with open(partial_out) as handle:
+            data = list(csv.DictReader(handle))
+        flagged = [row for row in data if row["partial"] == "1"]
+        assert len(flagged) == partial_rows - default_rows
+        partial_visits = {
+            str(visit_id)
+            for (visit_id,) in salvaged_store._conn.execute(
+                "SELECT visit_id FROM visits WHERE partial = 1"
+            )
+        }
+        assert {row["visit_id"] for row in flagged} == partial_visits
+
+    def test_include_partial_is_a_superset(self, salvaged_store, tmp_path):
+        default_out = tmp_path / "default.csv"
+        partial_out = tmp_path / "partial.csv"
+        export.export_cookies_csv(salvaged_store, default_out)
+        export.export_cookies_csv(
+            salvaged_store, partial_out, include_partial=True
+        )
+        with open(default_out) as d, open(partial_out) as p:
+            default_lines = set(d.read().splitlines()[1:])
+            partial_lines = set(p.read().splitlines()[1:])
+        assert default_lines <= partial_lines
 
 
 class TestAnalysisExports:
