@@ -1,0 +1,58 @@
+"""Benchmark: whole-program lint over the package, cold vs warm cache.
+
+The cold run parses, rules and summarizes every file; the warm run must
+serve every summary from the content-hash cache and only replay the
+program pass.  Asserts the reports are identical and that the warm run
+takes under 0.35x the cold wall-clock, and records both in
+``bench_results/program_lint.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+import repro
+from repro.devtools.lint import lint_project
+
+from .conftest import emit
+
+PACKAGE_DIR = str(pathlib.Path(repro.__file__).parent)
+WARM_RATIO_CEILING = 0.35
+
+
+def _timed_run(cache_dir: str):
+    started = time.perf_counter()
+    report = lint_project(
+        [PACKAGE_DIR], jobs=1, program=True, cache_dir=cache_dir
+    )
+    return report, time.perf_counter() - started
+
+
+def test_bench_program_lint(tmp_path):
+    cache_dir = str(tmp_path / "lint-cache")
+    cold, cold_seconds = _timed_run(cache_dir)
+    warm, warm_seconds = _timed_run(cache_dir)
+
+    assert cold.violations == warm.violations == []
+    assert cold.files_checked == warm.files_checked > 100
+    assert cold.cache_misses == cold.files_checked
+    assert warm.cache_hits == warm.files_checked
+    assert warm.cache_misses == 0
+
+    ratio = warm_seconds / cold_seconds if cold_seconds else 0.0
+    lines = [
+        f"files checked       : {cold.files_checked}",
+        f"program rules       : {', '.join(cold.program_rules_run)}",
+        f"cold (parse + rules): {cold_seconds:.3f}s",
+        f"warm (cache hits)   : {warm_seconds:.3f}s",
+        f"warm/cold ratio     : {ratio:.2f} (ceiling {WARM_RATIO_CEILING})",
+        f"cpu cores           : {os.cpu_count()}",
+    ]
+    emit("program_lint", "\n".join(lines))
+
+    assert warm_seconds < cold_seconds * WARM_RATIO_CEILING, (
+        f"warm run not cheap enough: {warm_seconds:.3f}s vs "
+        f"{cold_seconds:.3f}s cold"
+    )

@@ -23,28 +23,43 @@ from __future__ import annotations
 from .framework import (
     LintRule,
     ModuleContext,
+    ProgramRule,
     Violation,
+    build_program_rules,
     build_rules,
     lint_source,
+    program_rule_summaries,
     register,
+    register_program,
+    registered_program_rule_ids,
     registered_rule_ids,
     rule_summaries,
 )
-from .reporters import render_json, render_text
+from .program import ProjectReport, git_changed_files, lint_project
+from .reporters import render_json, render_sarif, render_text
 from .walker import collect_files, lint_files, lint_paths
 
 __all__ = [
     "LintRule",
     "ModuleContext",
+    "ProgramRule",
+    "ProjectReport",
     "Violation",
+    "build_program_rules",
     "build_rules",
     "collect_files",
+    "git_changed_files",
     "lint_files",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "program_rule_summaries",
     "register",
+    "register_program",
+    "registered_program_rule_ids",
     "registered_rule_ids",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_summaries",
 ]

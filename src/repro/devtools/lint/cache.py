@@ -1,0 +1,108 @@
+"""Content-addressed cache of per-file lint products.
+
+Warm ``repro-lint`` runs should re-analyze only files whose bytes
+changed.  Each analyzed file stores one JSON document under
+``.repro-lint-cache/`` keyed by a BLAKE2b digest of its *content* plus
+everything else that could change the answer:
+
+- ``CACHE_FORMAT_VERSION`` (bump on any payload-shape change),
+- ``SUMMARY_VERSION`` from :mod:`.symbols` (summary-shape changes),
+- the Python ``major.minor`` (the AST grammar differs across versions),
+- the sorted per-file rule-id list (a different ``--select`` is a
+  different answer).
+
+Rule *logic* changes are covered by bumping :data:`CACHE_FORMAT_VERSION`
+in the same commit — the cache-invalidation rule documented in
+DESIGN.md.  Entries are written atomically (temp file + ``os.replace``)
+so concurrent walker workers never observe a torn entry; a corrupt or
+unreadable entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .symbols import SUMMARY_VERSION
+
+#: Bump whenever the cached payload shape OR any rule's logic changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache directory name, created under the working directory.
+CACHE_DIR_NAME = ".repro-lint-cache"
+
+
+def cache_key(content: bytes, rule_ids: Iterable[str]) -> str:
+    """Stable cache key for one file's analysis products."""
+    hasher = hashlib.blake2b(digest_size=16)
+    preamble = "|".join(
+        [
+            f"fmt{CACHE_FORMAT_VERSION}",
+            f"sum{SUMMARY_VERSION}",
+            f"py{sys.version_info.major}.{sys.version_info.minor}",
+            ",".join(sorted(rule_ids)),
+        ]
+    )
+    hasher.update(preamble.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(content)
+    return hasher.hexdigest()
+
+
+class SummaryCache:
+    """Directory-backed JSON store; ``None`` directory disables it."""
+
+    def __init__(self, directory: Optional[str]) -> None:
+        self.directory = Path(directory) if directory else None
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.directory is not None
+
+    def _entry_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """The cached payload for ``key``, or ``None`` on any miss."""
+        if self.directory is None:
+            return None
+        try:
+            with open(self._entry_path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key`` (best effort)."""
+        if self.directory is None:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(
+                dir=str(self.directory), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                    json.dump(payload, stream, sort_keys=True)
+                os.replace(temp_name, self._entry_path(key))
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full disk never fails the lint run; the
+            # cache is an accelerator, not a correctness dependency.
+            pass

@@ -1,0 +1,265 @@
+"""Project symbol table and call graph over per-file summaries.
+
+:class:`ProjectIndex` links the :class:`~.symbols.ModuleSummary` set into
+one namespace: every function gets a fully-qualified key
+(``repro.crawler.commander.Commander.run``), and call sites resolve
+through import bindings, same-module lookup, ``self``-dispatch,
+constructor-typed locals (``x = TreeBuilder(...)`` → ``x.build`` is
+``TreeBuilder.build``), module-level singletons, and singleton-valued
+parameter defaults — the "assigned-attribute heuristics".
+
+The resolver is deliberately *unsound in the safe direction for each
+rule*: a call it cannot resolve is treated as external (no edge), so
+reachability and taint under-approximate rather than flood.  The known
+false-negative classes are documented in DESIGN.md §"Whole-program
+analysis contracts".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .symbols import FunctionSummary, ModuleSummary
+
+
+class ProjectIndex:
+    """All module summaries, cross-linked and queryable."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+        #: fq function name -> (owning module summary, function summary)
+        self.functions: Dict[str, Tuple[ModuleSummary, FunctionSummary]] = {}
+        #: fq class name -> module summary
+        self.classes: Dict[str, ModuleSummary] = {}
+        #: fq singleton name -> fq class name (or None if unresolved)
+        self.singletons: Dict[str, Optional[str]] = {}
+        for summary in self.modules.values():
+            for qualname, function in summary.functions.items():
+                self.functions[f"{summary.module}.{qualname}"] = (summary, function)
+            for cls in summary.classes:
+                self.classes[f"{summary.module}.{cls}"] = summary
+        for summary in self.modules.values():
+            for name, ctor in summary.singletons.items():
+                self.singletons[f"{summary.module}.{name}"] = self._resolve_class(
+                    summary, ctor
+                )
+        self._edges: Optional[Dict[str, List[Tuple[str, int, int]]]] = None
+
+    # -- name resolution --------------------------------------------------
+
+    def _resolve_class(self, module: ModuleSummary, written: str) -> Optional[str]:
+        """Fully-qualified class for a name as written inside ``module``.
+
+        Classmethod factories are unwrapped: ``ObsContext.disabled`` names
+        the class ``ObsContext`` (trailing lowercase components are
+        stripped until a known class is found).
+        """
+        candidates = [written]
+        parts = written.split(".")
+        while len(parts) > 1 and parts[-1][:1].islower():
+            parts = parts[:-1]
+            candidates.append(".".join(parts))
+        for candidate in candidates:
+            if candidate in module.classes:
+                return f"{module.module}.{candidate}"
+            head, _, rest = candidate.partition(".")
+            target = module.imports.get(head)
+            if target is None:
+                continue
+            qualified = f"{target}.{rest}" if rest else target
+            if qualified in self.classes:
+                return qualified
+        return None
+
+    def method(self, fq_class: Optional[str], name: str) -> Optional[str]:
+        """``Class.meth`` fq function key, or ``None``."""
+        if fq_class is None:
+            return None
+        candidate = f"{fq_class}.{name}"
+        return candidate if candidate in self.functions else None
+
+    def resolve_call(
+        self,
+        module: ModuleSummary,
+        function: Optional[FunctionSummary],
+        name: str,
+    ) -> Optional[str]:
+        """Resolve a call name to a project function, else ``None``."""
+        resolved, _ = self.resolve_call_ex(module, function, name)
+        return resolved
+
+    def resolve_call_ex(
+        self,
+        module: ModuleSummary,
+        function: Optional[FunctionSummary],
+        name: str,
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Like :meth:`resolve_call`, also naming the singleton routed through.
+
+        Returns ``(fq_function, fq_singleton)``; the second element is
+        non-``None`` when the call dispatches off a module-level
+        singleton instance (directly, via import, or via a parameter
+        whose default is one).
+        """
+        parts = name.split(".")
+        head, rest = parts[0], parts[1:]
+
+        if function is not None:
+            if head == "self" and function.cls and len(parts) == 2:
+                return (
+                    self.method(f"{module.module}.{function.cls}", parts[1]),
+                    None,
+                )
+            if len(parts) == 2 and head in function.local_ctor_types:
+                cls = self._resolve_class(module, function.local_ctor_types[head])
+                return self.method(cls, parts[1]), None
+            if len(parts) == 2 and head in function.param_defaults:
+                fq_singleton = self._resolve_value_name(
+                    module, function.param_defaults[head]
+                )
+                if fq_singleton in self.singletons:
+                    cls = self.singletons[fq_singleton]
+                    resolved = self.method(cls, parts[1])
+                    if resolved is not None:
+                        return resolved, fq_singleton
+
+        if len(parts) == 2 and head in module.singletons:
+            cls = self.singletons.get(f"{module.module}.{head}")
+            resolved = self.method(cls, parts[1])
+            if resolved is not None:
+                return resolved, f"{module.module}.{head}"
+
+        # Same-module function or Class.method written out.
+        if name in module.functions:
+            return f"{module.module}.{name}", None
+        # Same-module constructor call → __init__ when defined.
+        if name in module.classes:
+            return self.method(f"{module.module}.{name}", "__init__"), None
+
+        target = module.imports.get(head)
+        if target is not None:
+            qualified = ".".join([target] + rest) if rest else target
+            if qualified in self.functions:
+                return qualified, None
+            if qualified in self.classes:
+                return self.method(qualified, "__init__"), None
+            # ``from mod import SINGLETON`` then ``SINGLETON.meth(...)``.
+            if len(rest) == 1 and target in self.singletons:
+                cls = self.singletons[target]
+                resolved = self.method(cls, rest[0])
+                if resolved is not None:
+                    return resolved, target
+        return None, None
+
+    def _resolve_value_name(self, module: ModuleSummary, name: str) -> Optional[str]:
+        """Fq name of a module-level value referenced as ``name``."""
+        if name in module.singletons or name in module.module_mutables:
+            return f"{module.module}.{name}"
+        return module.imports.get(name)
+
+    # -- graph queries ----------------------------------------------------
+
+    @property
+    def edges(self) -> Dict[str, List[Tuple[str, int, int]]]:
+        """``caller fq -> [(callee fq, lineno, col), ...]`` (resolved only)."""
+        if self._edges is None:
+            edges: Dict[str, List[Tuple[str, int, int]]] = {}
+            for fq in sorted(self.functions):
+                module, function = self.functions[fq]
+                out: List[Tuple[str, int, int]] = []
+                for call in function.calls:
+                    callee = self.resolve_call(module, function, call.name)
+                    if callee is not None:
+                        out.append((callee, call.lineno, call.col))
+                edges[fq] = out
+            self._edges = edges
+        return self._edges
+
+    def worker_entries(self) -> List[str]:
+        """Functions handed to process/thread pools anywhere in the project."""
+        entries: Set[str] = set()
+        for fq in sorted(self.functions):
+            module, function = self.functions[fq]
+            for spawned in function.spawns:
+                resolved = self.resolve_call(module, function, spawned)
+                if resolved is not None:
+                    entries.add(resolved)
+        return sorted(entries)
+
+    def reachable_from(self, entries: Iterable[str]) -> Set[str]:
+        """Transitive closure over resolved call edges."""
+        seen: Set[str] = set()
+        queue = deque(entries)
+        while queue:
+            fq = queue.popleft()
+            if fq in seen or fq not in self.functions:
+                continue
+            seen.add(fq)
+            for callee, _, _ in self.edges.get(fq, ()):
+                if callee not in seen:
+                    queue.append(callee)
+        return seen
+
+    def returns_closure(self, direct: Dict[str, str]) -> Dict[str, str]:
+        """Propagate a "returns X" fact through ``return f(...)`` chains.
+
+        ``direct`` maps fq function → evidence string for functions with
+        the fact locally; the result adds every function that returns the
+        result of a call to a function already in the set, to fixpoint.
+        """
+        facts = dict(direct)
+        changed = True
+        while changed:
+            changed = False
+            for fq in sorted(self.functions):
+                if fq in facts:
+                    continue
+                module, function = self.functions[fq]
+                for call_name in function.return_calls:
+                    callee = self.resolve_call(module, function, call_name)
+                    if callee is not None and callee in facts:
+                        facts[fq] = f"via {callee}: {facts[callee]}"
+                        changed = True
+                        break
+        return facts
+
+    def class_self_writes(self, fq_class: str) -> Dict[str, List[str]]:
+        """Instance attributes written by each method of ``fq_class``.
+
+        ``__init__`` is excluded: constructing the instance is how the
+        singleton came to exist, not a worker-side mutation.
+        """
+        writes: Dict[str, List[str]] = {}
+        prefix = f"{fq_class}."
+        for fq in sorted(self.functions):
+            if not fq.startswith(prefix) or fq.endswith(".__init__"):
+                continue
+            _, function = self.functions[fq]
+            attrs = sorted({site.name for site in function.self_writes})
+            if attrs:
+                writes[fq] = attrs
+        return writes
+
+    def method_closure(self, fq_method: str) -> Set[str]:
+        """``fq_method`` plus methods of the same class it calls via ``self``."""
+        if fq_method not in self.functions:
+            return set()
+        fq_class = fq_method.rsplit(".", 1)[0]
+        closure: Set[str] = set()
+        queue = deque([fq_method])
+        while queue:
+            current = queue.popleft()
+            if current in closure or current not in self.functions:
+                continue
+            closure.add(current)
+            module, function = self.functions[current]
+            for call in function.calls:
+                if not call.name.startswith("self."):
+                    continue
+                resolved = self.resolve_call(module, function, call.name)
+                if resolved is not None and resolved.startswith(f"{fq_class}."):
+                    queue.append(resolved)
+        return closure

@@ -1,6 +1,14 @@
 """Command-line front end: ``python -m repro.devtools.lint`` / ``repro-lint``.
 
 Exit codes: 0 — clean; 1 — violations found; 2 — usage or I/O error.
+
+The CLI always runs the two-pass driver (``program``): per-file rules
+stream over the walker as before, and ``--program`` additionally runs
+the whole-program rules (DET101/DET103/CONC001/CONC002) over the linked
+symbol table.  Per-file parses and summaries are cached under
+``.repro-lint-cache/`` keyed by content hash (``--no-cache`` opts out);
+``--changed [REF]`` lints only files changed versus a git ref, which
+together with the cache gives sub-second incremental runs.
 """
 
 from __future__ import annotations
@@ -11,9 +19,10 @@ import sys
 from typing import List, Optional
 
 from ...errors import LintError
-from .framework import build_rules, rule_summaries
-from .reporters import render_json, render_text
-from .walker import lint_paths
+from .cache import CACHE_DIR_NAME
+from .framework import program_rule_summaries, rule_summaries
+from .program import git_changed_files, lint_project
+from .reporters import render_json, render_sarif, render_text
 
 
 def _split_ids(raw: str) -> List[str]:
@@ -35,7 +44,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -58,6 +67,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--program",
+        action="store_true",
+        help=(
+            "also run the whole-program pass (interprocedural seed "
+            "provenance, shared-state and ordering rules)"
+        ),
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "lint only files changed vs the given git ref (default when "
+            "the flag is bare: HEAD); untracked files count as changed"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=CACHE_DIR_NAME,
+        help=f"parse/summary cache directory (default: {CACHE_DIR_NAME})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash cache for this run",
+    )
+    parser.add_argument(
+        "--no-stale-suppressions",
+        action="store_true",
+        help="do not report SUP002 for suppressions that no longer fire",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
@@ -67,20 +111,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         for rule_id, summary in rule_summaries():
             print(f"{rule_id}  {summary}")
+        for rule_id, summary in program_rule_summaries():
+            print(f"{rule_id}  (program) {summary}")
+        print("IO001   (framework) file vanished between discovery and parse")
         print("SUP001  (framework) suppression comment without a reason")
+        print("SUP002  (framework) stale suppression: rule no longer fires")
         print("SYN001  (framework) file does not parse")
         return 0
 
     try:
-        rules = build_rules(
+        changed = (
+            git_changed_files(args.changed) if args.changed is not None else None
+        )
+        report = lint_project(
+            args.paths,
             select=_split_ids(args.select) or None,
             ignore=_split_ids(args.ignore),
+            jobs=args.jobs,
+            program=args.program,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            changed_files=changed,
+            stale_check=not args.no_stale_suppressions,
         )
-        violations, files_checked = lint_paths(args.paths, rules=rules, jobs=args.jobs)
     except LintError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
 
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(violations, files_checked))
-    return 1 if violations else 0
+    renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
+    try:
+        print(renderers[args.format](report.violations, report.files_checked))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; silence the shutdown
+        # flush as well and keep the exit code meaningful.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 1 if report.violations else 0

@@ -15,9 +15,17 @@ reason is mandatory — a suppression without one does not suppress and is
 itself reported as ``SUP001``.  Only real comment tokens count: the
 marker inside a string literal or docstring is inert.
 
-Two pseudo-rules are reserved for the framework itself and cannot be
-registered or selected: ``SYN001`` (file does not parse) and ``SUP001``
-(suppression comment without a reason).
+Four pseudo-rules are reserved for the framework itself and cannot be
+registered or selected: ``SYN001`` (file does not parse), ``IO001``
+(file vanished or became unreadable between discovery and parse),
+``SUP001`` (suppression comment without a reason) and ``SUP002``
+(stale suppression: the suppressed rule no longer fires on that line).
+
+Rules come in two granularities.  A :class:`LintRule` sees one module at
+a time; a :class:`ProgramRule` sees the whole project at once (symbol
+table + call graph, see ``program``) and runs in a second pass after
+every file has been parsed.  Both share the same id namespace,
+suppression syntax and reporters.
 """
 
 from __future__ import annotations
@@ -33,7 +41,13 @@ from ...errors import LintError
 
 #: Framework-reserved pseudo-rule ids (not in the registry).
 SYNTAX_RULE_ID = "SYN001"
+IO_RULE_ID = "IO001"
 SUPPRESSION_RULE_ID = "SUP001"
+STALE_SUPPRESSION_RULE_ID = "SUP002"
+
+_RESERVED_RULE_IDS = frozenset(
+    {SYNTAX_RULE_ID, IO_RULE_ID, SUPPRESSION_RULE_ID, STALE_SUPPRESSION_RULE_ID}
+)
 
 _RULE_ID_RE = re.compile(r"^[A-Z]{2,6}\d{3}$")
 _SUPPRESSION_RE = re.compile(r"repro:\s*ok\[([^\]]*)\]\s*(.*)\Z")
@@ -144,18 +158,52 @@ class LintRule:
         )
 
 
+class ProgramRule:
+    """Base class for whole-program rules (see ``program``).
+
+    ``check`` receives a :class:`~repro.devtools.lint.callgraph.ProjectIndex`
+    — the project-wide symbol table and call graph — instead of a single
+    module, and yields violations anywhere in the project.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, project) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def flag_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Violation:
+        return Violation(
+            path=path, line=line, col=col, rule_id=self.rule_id, message=message
+        )
+
+
 _REGISTRY: Dict[str, Type[LintRule]] = {}
+_PROGRAM_REGISTRY: Dict[str, Type[ProgramRule]] = {}
+
+
+def _check_rule_id(rule_id: str) -> None:
+    if not _RULE_ID_RE.match(rule_id):
+        raise LintError(f"invalid rule id: {rule_id!r}")
+    if rule_id in _RESERVED_RULE_IDS:
+        raise LintError(f"rule id {rule_id} is reserved for the framework")
+    if rule_id in _REGISTRY or rule_id in _PROGRAM_REGISTRY:
+        raise LintError(f"duplicate rule id: {rule_id}")
 
 
 def register(cls: Type[LintRule]) -> Type[LintRule]:
-    """Class decorator adding a rule to the global registry."""
-    if not _RULE_ID_RE.match(cls.rule_id):
-        raise LintError(f"invalid rule id: {cls.rule_id!r}")
-    if cls.rule_id in (SYNTAX_RULE_ID, SUPPRESSION_RULE_ID):
-        raise LintError(f"rule id {cls.rule_id} is reserved for the framework")
-    if cls.rule_id in _REGISTRY:
-        raise LintError(f"duplicate rule id: {cls.rule_id}")
+    """Class decorator adding a per-file rule to the global registry."""
+    _check_rule_id(cls.rule_id)
     _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def register_program(cls: Type[ProgramRule]) -> Type[ProgramRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    _check_rule_id(cls.rule_id)
+    _PROGRAM_REGISTRY[cls.rule_id] = cls
     return cls
 
 
@@ -164,10 +212,24 @@ def registered_rule_ids() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def registered_program_rule_ids() -> List[str]:
+    _load_builtin_rules()
+    return sorted(_PROGRAM_REGISTRY)
+
+
 def rule_summaries() -> List[Tuple[str, str]]:
     """``(rule_id, summary)`` pairs for every registered rule, sorted."""
     _load_builtin_rules()
     return [(rule_id, _REGISTRY[rule_id].summary) for rule_id in sorted(_REGISTRY)]
+
+
+def program_rule_summaries() -> List[Tuple[str, str]]:
+    """``(rule_id, summary)`` pairs for every whole-program rule, sorted."""
+    _load_builtin_rules()
+    return [
+        (rule_id, _PROGRAM_REGISTRY[rule_id].summary)
+        for rule_id in sorted(_PROGRAM_REGISTRY)
+    ]
 
 
 def build_rules(
@@ -176,16 +238,37 @@ def build_rules(
     """Instantiate registered rules, filtered and in stable id order."""
     _load_builtin_rules()
     chosen = sorted(_REGISTRY)
+    known = set(_REGISTRY) | set(_PROGRAM_REGISTRY)
     for requested in list(select or []) + list(ignore):
-        if requested not in _REGISTRY:
+        if requested not in known:
             raise LintError(
-                f"unknown rule id: {requested} (known: {', '.join(sorted(_REGISTRY))})"
+                f"unknown rule id: {requested} (known: {', '.join(sorted(known))})"
             )
     if select is not None:
         wanted = set(select)
         chosen = [rule_id for rule_id in chosen if rule_id in wanted]
     dropped = set(ignore)
     return [_REGISTRY[rule_id]() for rule_id in chosen if rule_id not in dropped]
+
+
+def build_program_rules(
+    select: Optional[Iterable[str]] = None, ignore: Iterable[str] = ()
+) -> List[ProgramRule]:
+    """Instantiate whole-program rules, filtered and in stable id order.
+
+    Unlike :func:`build_rules`, unknown ids in ``select``/``ignore`` are
+    tolerated here — the caller typically passes one combined filter that
+    also names per-file rules.
+    """
+    _load_builtin_rules()
+    chosen = sorted(_PROGRAM_REGISTRY)
+    if select is not None:
+        wanted = set(select)
+        chosen = [rule_id for rule_id in chosen if rule_id in wanted]
+    dropped = set(ignore)
+    return [
+        _PROGRAM_REGISTRY[rule_id]() for rule_id in chosen if rule_id not in dropped
+    ]
 
 
 def _load_builtin_rules() -> None:
@@ -252,26 +335,119 @@ def apply_suppressions(
     return sorted(kept, key=lambda violation: violation.sort_key)
 
 
+def filter_suppressed(
+    violations: Iterable[Violation],
+    suppressions: Dict[int, Suppression],
+) -> List[Violation]:
+    """Drop suppressed violations without emitting SUP001 markers.
+
+    The program pass uses this to honor suppressions whose SUP001
+    bookkeeping the per-file pass already produced.
+    """
+    kept: List[Violation] = []
+    for violation in violations:
+        marker = suppressions.get(violation.line)
+        if marker and violation.rule_id in marker.rule_ids and marker.reason:
+            continue
+        kept.append(violation)
+    return kept
+
+
+def stale_suppression_violations(
+    suppressions: Dict[int, Suppression],
+    fired_by_line: Dict[int, Set[str]],
+    active_rule_ids: Set[str],
+    path: str,
+) -> List[Violation]:
+    """SUP002 for every suppression whose rule no longer fires on its line.
+
+    A suppressed id only counts as stale when that rule actually *ran*
+    (``active_rule_ids``): ``--select DET001`` must not flag a DET002
+    suppression as stale, and DET101-family markers are only audited when
+    the program pass is enabled.
+    """
+    stale: List[Violation] = []
+    for line in sorted(suppressions):
+        marker = suppressions[line]
+        if not marker.reason:
+            continue  # reason-less markers are SUP001, handled elsewhere
+        fired = fired_by_line.get(line, set())
+        dead = [
+            rule_id
+            for rule_id in marker.rule_ids
+            if rule_id in active_rule_ids and rule_id not in fired
+        ]
+        if dead:
+            stale.append(
+                Violation(
+                    path=path,
+                    line=line,
+                    col=marker.col,
+                    rule_id=STALE_SUPPRESSION_RULE_ID,
+                    message=(
+                        f"stale suppression: {', '.join(dead)} no longer "
+                        "fire(s) on this line; drop the marker"
+                    ),
+                )
+            )
+    return stale
+
+
+@dataclass
+class FileCheck:
+    """Raw per-file lint output, before suppression accounting.
+
+    ``raw`` holds every violation the per-file rules produced (plus
+    ``SYN001`` when the file does not parse); ``tree`` is the parsed AST
+    (``None`` on syntax error) so callers can feed the same parse into
+    the whole-program pass.
+    """
+
+    path: str
+    raw: List[Violation]
+    suppressions: Dict[int, Suppression]
+    tree: Optional[ast.Module]
+
+
+def check_source(
+    source: str,
+    path: str = "<memory>",
+    rules: Optional[Sequence[LintRule]] = None,
+) -> FileCheck:
+    """Run per-file rules over one module, returning raw results."""
+    if rules is None:
+        rules = build_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return FileCheck(
+            path=path,
+            raw=[
+                Violation(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=max((exc.offset or 1) - 1, 0),
+                    rule_id=SYNTAX_RULE_ID,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            suppressions=find_suppressions(source),
+            tree=None,
+        )
+    module = ModuleContext(path=path, source=source, tree=tree)
+    raw = [violation for rule in rules for violation in rule.check(module)]
+    return FileCheck(
+        path=path, raw=raw, suppressions=find_suppressions(source), tree=tree
+    )
+
+
 def lint_source(
     source: str,
     path: str = "<memory>",
     rules: Optional[Sequence[LintRule]] = None,
 ) -> List[Violation]:
     """Lint one module's source text and return sorted violations."""
-    if rules is None:
-        rules = build_rules()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                path=path,
-                line=exc.lineno or 1,
-                col=max((exc.offset or 1) - 1, 0),
-                rule_id=SYNTAX_RULE_ID,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    module = ModuleContext(path=path, source=source, tree=tree)
-    raw = [violation for rule in rules for violation in rule.check(module)]
-    return apply_suppressions(raw, find_suppressions(source), path)
+    checked = check_source(source, path=path, rules=rules)
+    if checked.tree is None:
+        return checked.raw
+    return apply_suppressions(checked.raw, checked.suppressions, path)

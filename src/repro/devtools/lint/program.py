@@ -1,0 +1,346 @@
+"""The two-pass whole-program lint driver.
+
+Pass 1 (parallel, cached): every file is read with tokenize-style
+encoding detection, hashed, and — on cache miss — parsed once, run
+through the per-file rules, and summarized into a
+:class:`~.symbols.ModuleSummary`.  Pass 2 (in-process): the summaries
+link into a :class:`~.callgraph.ProjectIndex` and the registered
+:class:`~.framework.ProgramRule` pack runs over it.
+
+Suppression accounting spans both passes: ``# repro: ok[DET101] reason``
+silences a program finding exactly like a per-file one, and — unless
+disabled — every suppression whose rule *ran but did not fire* on its
+line is reported as ``SUP002`` (stale suppression).
+
+Unparseable files degrade, never abort: a syntax error yields ``SYN001``
+and the file is skipped by the program pass; a file deleted between
+discovery and parse yields ``IO001``.  Findings from every other file
+are unaffected.
+"""
+
+from __future__ import annotations
+
+import io
+import subprocess
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...errors import LintError
+from .cache import CACHE_DIR_NAME, SummaryCache, cache_key
+from .callgraph import ProjectIndex
+from .framework import (
+    IO_RULE_ID,
+    Suppression,
+    Violation,
+    apply_suppressions,
+    build_program_rules,
+    build_rules,
+    check_source,
+    filter_suppressed,
+    stale_suppression_violations,
+)
+from .symbols import ModuleSummary, summarize_module
+from .walker import collect_files
+
+try:  # ProcessPoolExecutor is optional at import time for frozen envs
+    from concurrent.futures import ProcessPoolExecutor
+except ImportError:  # pragma: no cover - CPython always has it
+    ProcessPoolExecutor = None  # type: ignore[assignment]
+
+
+def decode_python_source(data: bytes) -> str:
+    """Decode source bytes honoring BOMs and coding declarations."""
+    encoding, _ = tokenize.detect_encoding(io.BytesIO(data).readline)
+    return data.decode(encoding)
+
+
+@dataclass
+class FileAnalysis:
+    """Everything pass 1 produced for one file (picklable)."""
+
+    path: str
+    raw: List[Violation] = field(default_factory=list)
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+    summary: Optional[ModuleSummary] = None
+    parse_failed: bool = False
+    unreadable: bool = False
+    cache_hit: bool = False
+
+
+def _serialize(analysis: FileAnalysis) -> dict:
+    return {
+        "raw": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule_id": v.rule_id,
+                "message": v.message,
+            }
+            for v in analysis.raw
+        ],
+        "suppressions": [
+            {
+                "line": s.line,
+                "col": s.col,
+                "rule_ids": list(s.rule_ids),
+                "reason": s.reason,
+            }
+            for s in analysis.suppressions.values()
+        ],
+        "summary": analysis.summary.to_dict() if analysis.summary else None,
+        "parse_failed": analysis.parse_failed,
+    }
+
+
+def _deserialize(path: str, payload: dict) -> FileAnalysis:
+    suppressions = {
+        entry["line"]: Suppression(
+            line=entry["line"],
+            col=entry["col"],
+            rule_ids=tuple(entry["rule_ids"]),
+            reason=entry["reason"],
+        )
+        for entry in payload.get("suppressions", [])
+    }
+    summary_data = payload.get("summary")
+    return FileAnalysis(
+        path=path,
+        raw=[Violation(**entry) for entry in payload.get("raw", [])],
+        suppressions=suppressions,
+        summary=ModuleSummary.from_dict(summary_data) if summary_data else None,
+        parse_failed=bool(payload.get("parse_failed", False)),
+        cache_hit=True,
+    )
+
+
+def _analyze_one(
+    task: Tuple[str, Optional[Tuple[str, ...]], Optional[str]]
+) -> FileAnalysis:
+    """Pass-1 analysis for one file; module-level so workers can pickle it."""
+    path, rule_ids, cache_dir = task
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        return FileAnalysis(
+            path=path,
+            raw=[
+                Violation(
+                    path=path,
+                    line=1,
+                    col=0,
+                    rule_id=IO_RULE_ID,
+                    message=f"file vanished or unreadable: {exc}",
+                )
+            ],
+            parse_failed=True,
+            unreadable=True,
+        )
+    rules = build_rules(select=rule_ids)
+    effective_ids = tuple(rule.rule_id for rule in rules)
+    cache = SummaryCache(cache_dir)
+    key = cache_key(data, effective_ids)
+    cached = cache.load(key)
+    if cached is not None:
+        try:
+            restored = _deserialize(path, cached)
+        except (KeyError, TypeError, ValueError):
+            restored = None
+        if restored is not None:
+            return restored
+    try:
+        source = decode_python_source(data)
+    except (SyntaxError, UnicodeDecodeError, LookupError) as exc:
+        analysis = FileAnalysis(
+            path=path,
+            raw=[
+                Violation(
+                    path=path,
+                    line=1,
+                    col=0,
+                    rule_id="SYN001",
+                    message=f"file does not decode: {exc}",
+                )
+            ],
+            parse_failed=True,
+        )
+        cache.store(key, _serialize(analysis))
+        return analysis
+    checked = check_source(source, path=path, rules=rules)
+    summary = None
+    if checked.tree is not None:
+        summary = summarize_module(path, checked.tree)
+    analysis = FileAnalysis(
+        path=path,
+        raw=checked.raw,
+        suppressions=checked.suppressions,
+        summary=summary,
+        parse_failed=checked.tree is None,
+    )
+    cache.store(key, _serialize(analysis))
+    return analysis
+
+
+def analyze_paths(
+    files: Sequence[Path],
+    rule_ids: Optional[Tuple[str, ...]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> List[FileAnalysis]:
+    """Run pass 1 over ``files``, fanning out across ``jobs`` processes."""
+    if jobs < 1:
+        raise LintError(f"jobs must be >= 1, got {jobs}")
+    tasks = [(str(path), rule_ids, cache_dir) for path in files]
+    if jobs == 1 or len(tasks) < 2 or ProcessPoolExecutor is None:
+        return [_analyze_one(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_analyze_one, tasks, chunksize=4))
+
+
+@dataclass
+class ProjectReport:
+    """The combined two-pass result."""
+
+    violations: List[Violation]
+    files_checked: int
+    cache_hits: int
+    cache_misses: int
+    program_rules_run: Tuple[str, ...] = ()
+
+
+def git_changed_files(
+    base: str = "HEAD", cwd: Optional[str] = None
+) -> Set[str]:
+    """Absolute paths of ``.py`` files changed vs ``base`` (plus untracked)."""
+    root = Path(cwd) if cwd else Path.cwd()
+    changed: Set[str] = set()
+    commands = [
+        ["git", "diff", "--name-only", "-z", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+    ]
+    for command in commands:
+        try:
+            result = subprocess.run(
+                command,
+                cwd=str(root),
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            raise LintError(
+                f"--changed needs a git checkout: {detail.strip()}"
+            ) from exc
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=str(root),
+            capture_output=True,
+            text=True,
+            check=False,
+        ).stdout.strip()
+        base_dir = Path(top) if top else root
+        for name in result.stdout.split("\0"):
+            if name.endswith(".py"):
+                changed.add(str((base_dir / name).resolve()))
+    return changed
+
+
+def lint_project(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Sequence[str] = (),
+    jobs: int = 1,
+    program: bool = False,
+    cache_dir: Optional[str] = None,
+    changed_files: Optional[Set[str]] = None,
+    stale_check: bool = True,
+) -> ProjectReport:
+    """Lint ``paths`` with the two-pass driver.
+
+    ``program=True`` enables the whole-program pass; ``cache_dir``
+    enables the content-hash cache (``CACHE_DIR_NAME`` is the
+    conventional location); ``changed_files`` (absolute paths) restricts
+    *reported* files — the program pass still parses the whole project
+    so cross-module findings in changed files stay sound.
+    """
+    per_file_rules = build_rules(select=select, ignore=ignore)
+    program_rules = (
+        build_program_rules(select=select, ignore=ignore) if program else []
+    )
+    rule_ids = tuple(rule.rule_id for rule in per_file_rules)
+
+    files = collect_files(paths)
+    if changed_files is not None and not program:
+        files = [f for f in files if str(f.resolve()) in changed_files]
+    analyses = analyze_paths(
+        files, rule_ids=rule_ids, jobs=jobs, cache_dir=cache_dir
+    )
+
+    program_raw: Dict[str, List[Violation]] = {}
+    if program_rules:
+        summaries = [a.summary for a in analyses if a.summary is not None]
+        project = ProjectIndex(summaries)
+        for rule in program_rules:
+            for violation in rule.check(project):
+                program_raw.setdefault(violation.path, []).append(violation)
+
+    active_ids: Set[str] = set(rule_ids)
+    active_ids.update(rule.rule_id for rule in program_rules)
+
+    reported: List[Violation] = []
+    files_checked = 0
+    for analysis in analyses:
+        if changed_files is not None and (
+            str(Path(analysis.path).resolve()) not in changed_files
+        ):
+            continue
+        files_checked += 1
+        if analysis.parse_failed:
+            reported.extend(analysis.raw)
+            continue
+        extra = program_raw.get(analysis.path, [])
+        kept = apply_suppressions(
+            analysis.raw, analysis.suppressions, analysis.path
+        )
+        kept.extend(filter_suppressed(extra, analysis.suppressions))
+        if stale_check:
+            fired_by_line: Dict[int, Set[str]] = {}
+            for violation in list(analysis.raw) + extra:
+                fired_by_line.setdefault(violation.line, set()).add(
+                    violation.rule_id
+                )
+            kept.extend(
+                stale_suppression_violations(
+                    analysis.suppressions,
+                    fired_by_line,
+                    active_ids,
+                    analysis.path,
+                )
+            )
+        reported.extend(kept)
+
+    cache_hits = sum(1 for a in analyses if a.cache_hit)
+    cache_misses = sum(
+        1 for a in analyses if not a.cache_hit and not a.unreadable
+    )
+    return ProjectReport(
+        violations=sorted(reported, key=lambda violation: violation.sort_key),
+        files_checked=files_checked,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        program_rules_run=tuple(rule.rule_id for rule in program_rules),
+    )
+
+
+__all__ = [
+    "CACHE_DIR_NAME",
+    "FileAnalysis",
+    "ProjectReport",
+    "analyze_paths",
+    "decode_python_source",
+    "git_changed_files",
+    "lint_project",
+]

@@ -6,6 +6,12 @@ Importing this package registers every rule with the framework registry;
 
 from __future__ import annotations
 
-from . import determinism, errorpolicy, obs, sql  # noqa: F401  (register rules)
+from . import (  # noqa: F401  (register rules)
+    determinism,
+    errorpolicy,
+    interprocedural,
+    obs,
+    sql,
+)
 
-__all__ = ["determinism", "errorpolicy", "obs", "sql"]
+__all__ = ["determinism", "errorpolicy", "interprocedural", "obs", "sql"]

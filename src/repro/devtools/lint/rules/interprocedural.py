@@ -1,0 +1,264 @@
+"""Whole-program rules: DET101, DET103, CONC001, CONC002.
+
+These run in the second (program) pass over the
+:class:`~repro.devtools.lint.callgraph.ProjectIndex` and catch the bug
+classes a per-file rule structurally cannot see: seed provenance handed
+across module boundaries, shared state touched from worker-executed
+code, and unordered iteration flowing through a call into an ordered
+sink.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..callgraph import ProjectIndex
+from ..framework import ProgramRule, Violation, register_program
+
+#: Module components whose code is a determinism *sink*: anything the
+#: crawl, tree construction, analysis or bundle layers consume must be
+#: derived from the experiment seed.
+SEED_SINK_COMPONENTS = frozenset({"crawler", "crawl", "trees", "analysis", "bundle"})
+
+_ORIGIN_DESCRIPTIONS = {
+    "unseeded": "an unseeded random.Random() (OS-entropy seeded)",
+    "constant": "a constant-seeded random.Random()",
+    "wall-clock": "a wall-clock-seeded random.Random()",
+    "os-entropy": "an OS-entropy-derived RNG",
+    "entropy-call": "an RNG seeded from a wall-clock/entropy-returning helper",
+}
+
+
+def _is_sink_module(module_name: str) -> bool:
+    return not SEED_SINK_COMPONENTS.isdisjoint(module_name.split("."))
+
+
+@register_program
+class SeedProvenance(ProgramRule):
+    """DET101: RNGs reaching crawl/trees/analysis/bundle code must be
+    seed-derived.
+
+    Interprocedural taint: a function *produces a tainted RNG* when it
+    returns an RNG born from a constant, the wall clock, or OS entropy —
+    directly, or by returning another producer's result (any number of
+    hops).  Every call to a producer from a sink-package function is
+    flagged at the call site; deriving the stream with
+    ``repro.rng.child_rng(seed, *labels)`` is the fix.
+    """
+
+    rule_id = "DET101"
+    summary = (
+        "RNG not derived from the crawl seed reaches crawl/trees/analysis/"
+        "bundle code"
+    )
+
+    def _direct_producers(self, project: ProjectIndex) -> Dict[str, str]:
+        entropy_direct = {
+            fq: "returns a wall-clock/OS-entropy value"
+            for fq, (_, function) in project.functions.items()
+            if function.returns_entropy
+        }
+        entropy = project.returns_closure(entropy_direct)
+        producers: Dict[str, str] = {}
+        for fq in sorted(project.functions):
+            module, function = project.functions[fq]
+            birth = function.returns_rng
+            if birth is None:
+                continue
+            if birth.kind in _ORIGIN_DESCRIPTIONS:
+                producers[fq] = _ORIGIN_DESCRIPTIONS[birth.kind]
+            elif birth.kind == "call":
+                seed_call = birth.seed_call
+                callee: Optional[str] = None
+                if seed_call is not None:
+                    callee = project.resolve_call(module, function, seed_call)
+                if callee is not None and callee in entropy:
+                    producers[fq] = _ORIGIN_DESCRIPTIONS["entropy-call"]
+        return producers
+
+    def check(self, project: ProjectIndex) -> Iterator[Violation]:
+        producers = project.returns_closure(self._direct_producers(project))
+        if not producers:
+            return
+        for fq in sorted(project.functions):
+            module, function = project.functions[fq]
+            if not _is_sink_module(module.module):
+                continue
+            for call in function.calls:
+                callee = project.resolve_call(module, function, call.name)
+                if callee is None or callee not in producers:
+                    continue
+                if callee == fq:
+                    continue
+                yield self.flag_at(
+                    module.path,
+                    call.lineno,
+                    call.col,
+                    f"{call.name}() hands {module.module}.{function.qualname} "
+                    f"{producers[callee]} ({callee}); derive it from the crawl "
+                    "seed with repro.rng.child_rng(seed, *labels)",
+                )
+
+
+@register_program
+class UnorderedFlow(ProgramRule):
+    """DET103: unordered iteration reaching an ordered sink across calls.
+
+    Generalizes DET003: a function returning a set / ``dict.keys()``
+    view (directly or through ``return f(...)`` chains) must not have
+    its result fed raw into ``list``/``tuple``/``enumerate``/``join`` or
+    a list comprehension anywhere in the project — the order would
+    depend on ``PYTHONHASHSEED``.  Wrapping the call in ``sorted(...)``
+    sanctions it.
+    """
+
+    rule_id = "DET103"
+    summary = (
+        "set/dict.keys() return value feeds an ordered sink through a call "
+        "chain; wrap in sorted(...)"
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Violation]:
+        direct = {
+            fq: "returns a set/dict.keys() value"
+            for fq, (_, function) in project.functions.items()
+            if function.returns_unordered
+        }
+        producers = project.returns_closure(direct)
+        if not producers:
+            return
+        for fq in sorted(project.functions):
+            module, function = project.functions[fq]
+            for feed in function.sink_feeds:
+                callee = project.resolve_call(module, function, feed.callee)
+                if callee is None or callee not in producers:
+                    continue
+                yield self.flag_at(
+                    module.path,
+                    feed.lineno,
+                    feed.col,
+                    f"{feed.callee}() returns unordered iteration "
+                    f"({producers[callee]}) and feeds ordered sink "
+                    f"{feed.sink}; wrap the call in sorted(...)",
+                )
+
+
+@register_program
+class SharedMutableWrite(ProgramRule):
+    """CONC001: module-level mutable state written from worker-executed code.
+
+    Any function transitively reachable from a process-pool entry point
+    (``pool.map(f, ...)``, ``pool.submit(f, ...)``, ``Process(target=f)``)
+    that mutates or rebinds a module-level mutable object is a static
+    race: worker processes each mutate a private copy (the write is
+    silently lost), and a future thread-based pool would race for real.
+    """
+
+    rule_id = "CONC001"
+    summary = (
+        "module-level mutable written from a function reachable from a "
+        "worker entry point"
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Violation]:
+        entries = project.worker_entries()
+        if not entries:
+            return
+        reachable = project.reachable_from(entries)
+        for fq in sorted(reachable):
+            module, function = project.functions[fq]
+            for write in function.global_writes:
+                if write.name not in module.module_mutables:
+                    continue
+                yield self.flag_at(
+                    module.path,
+                    write.lineno,
+                    write.col,
+                    f"{write.action} of module-level mutable "
+                    f"'{module.module}.{write.name}' in "
+                    f"{function.qualname}(), which is reachable from worker "
+                    f"entry point(s) {', '.join(entries)}; worker writes are "
+                    "lost on fork and race under threads — pass state "
+                    "explicitly or merge results in the parent",
+                )
+
+
+@register_program
+class SingletonAttrWrite(ProgramRule):
+    """CONC002: shared-singleton instance attributes written from workers.
+
+    A module-level instance (``NULL_OBS = ObsContext.disabled()``,
+    ``ALWAYS = InclusionRule()``) is shared by every importer.  When
+    worker-reachable code calls a method *through the singleton* —
+    directly, via an import, or via a parameter defaulting to it — and
+    that method (or a method it reaches through ``self``) writes an
+    instance attribute, the mutation is process-local and
+    order-dependent: a static race on the shared object.
+    """
+
+    rule_id = "CONC002"
+    summary = (
+        "shared singleton instance attribute written from worker-reachable "
+        "code"
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Violation]:
+        entries = project.worker_entries()
+        if not entries:
+            return
+        reachable = project.reachable_from(entries)
+        for fq in sorted(reachable):
+            module, function = project.functions[fq]
+            # Direct attribute writes on a singleton object.
+            for write in function.attr_writes:
+                base, _, attr = write.name.partition(".")
+                fq_singleton = self._singleton_for(project, module, function, base)
+                if fq_singleton is None:
+                    continue
+                yield self.flag_at(
+                    module.path,
+                    write.lineno,
+                    write.col,
+                    f"{write.action} of attribute '{attr}' on shared "
+                    f"singleton {fq_singleton} in worker-reachable "
+                    f"{function.qualname}()",
+                )
+            # Method calls routed through a singleton that end up writing
+            # self state somewhere in the method's self-call closure.
+            for call in function.calls:
+                resolved, fq_singleton = project.resolve_call_ex(
+                    module, function, call.name
+                )
+                if resolved is None or fq_singleton is None:
+                    continue
+                for method in sorted(project.method_closure(resolved)):
+                    _, target = project.functions[method]
+                    attrs = sorted({site.name for site in target.self_writes})
+                    if not attrs:
+                        continue
+                    yield self.flag_at(
+                        module.path,
+                        call.lineno,
+                        call.col,
+                        f"{call.name}() dispatches on shared singleton "
+                        f"{fq_singleton} and writes instance attribute(s) "
+                        f"{', '.join(attrs)} (in {method}); shared-object "
+                        "mutation from worker-reachable code is a race",
+                    )
+                    break
+
+    @staticmethod
+    def _singleton_for(project, module, function, base: str) -> Optional[str]:
+        if base in module.singletons:
+            return f"{module.module}.{base}"
+        if base in function.param_defaults:
+            default = function.param_defaults[base]
+            if default in module.singletons:
+                return f"{module.module}.{default}"
+            imported = module.imports.get(default)
+            if imported in project.singletons:
+                return imported
+        imported = module.imports.get(base)
+        if imported in project.singletons:
+            return imported
+        return None

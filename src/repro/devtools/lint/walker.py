@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from ...errors import LintError
-from .framework import LintRule, Violation, build_rules, lint_source
+from .framework import IO_RULE_ID, LintRule, Violation, build_rules, lint_source
 
 
 def collect_files(paths: Sequence[str]) -> List[Path]:
@@ -37,13 +37,40 @@ def collect_files(paths: Sequence[str]) -> List[Path]:
 
 
 def _lint_one(task: Tuple[str, Optional[Tuple[str, ...]]]) -> List[Violation]:
-    """Lint a single file; module-level so worker processes can pickle it."""
+    """Lint a single file; module-level so worker processes can pickle it.
+
+    A file that vanishes (or loses read permission) between discovery
+    and parse is *reported* as ``IO001`` rather than aborting the run:
+    races against concurrent editors must not cost the findings from
+    every other file.  BOMs and ``# -*- coding: ... -*-`` declarations
+    are honored via tokenize-style encoding detection.
+    """
+    from .program import decode_python_source  # deferred: avoids a cycle
+
     path, rule_ids = task
     rules = build_rules(select=rule_ids)
     try:
-        source = Path(path).read_text(encoding="utf-8")
+        source = decode_python_source(Path(path).read_bytes())
     except OSError as exc:
-        raise LintError(f"cannot read {path}: {exc}") from exc
+        return [
+            Violation(
+                path=path,
+                line=1,
+                col=0,
+                rule_id=IO_RULE_ID,
+                message=f"file vanished or unreadable: {exc}",
+            )
+        ]
+    except (SyntaxError, UnicodeDecodeError, LookupError) as exc:
+        return [
+            Violation(
+                path=path,
+                line=1,
+                col=0,
+                rule_id="SYN001",
+                message=f"file does not decode: {exc}",
+            )
+        ]
     return lint_source(source, path=path, rules=rules)
 
 

@@ -1,0 +1,8 @@
+"""Fixture package: a cross-module unseeded-RNG flow for DET101 tests.
+
+The taint travels two call hops before reaching crawl code:
+``entropy.raw_rng`` (constant-seeded birth) → ``middle.hand_off`` →
+``crawler.run.schedule`` (the sink).  Nothing in here is imported by the
+real package; the lint tests point the whole-program driver at this
+directory.
+"""

@@ -1,0 +1,8 @@
+"""Hop 2: crawl code consumes the tainted RNG — the DET101 sink."""
+
+from ..middle import hand_off
+
+
+def schedule(ranks):
+    rng = hand_off()
+    return [rng.random() for _ in ranks]

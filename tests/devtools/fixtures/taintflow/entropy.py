@@ -1,0 +1,7 @@
+"""Hop 0: the tainted birth — an RNG seeded with a constant."""
+
+import random
+
+
+def raw_rng():
+    return random.Random(99)

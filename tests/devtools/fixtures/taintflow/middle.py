@@ -1,0 +1,7 @@
+"""Hop 1: an innocent-looking pass-through another module provides."""
+
+from .entropy import raw_rng
+
+
+def hand_off():
+    return raw_rng()

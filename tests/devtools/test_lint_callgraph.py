@@ -1,0 +1,211 @@
+"""Unit tests for the project symbol table and call graph (``callgraph``)."""
+
+import ast
+import textwrap
+from typing import Dict
+
+from repro.devtools.lint.callgraph import ProjectIndex
+from repro.devtools.lint.symbols import summarize_module
+
+
+def build_index(modules: Dict[str, str]) -> ProjectIndex:
+    summaries = []
+    for module, source in modules.items():
+        path = module.replace(".", "/") + ".py"
+        tree = ast.parse(textwrap.dedent(source))
+        summaries.append(summarize_module(path, tree, module=module))
+    return ProjectIndex(summaries)
+
+
+class TestCallResolution:
+    def test_cross_module_import(self):
+        project = build_index(
+            {
+                "pkg.a": "def f():\n    return 1\n",
+                "pkg.b": "from pkg.a import f\n\ndef g():\n    return f()\n",
+            }
+        )
+        assert [edge[0] for edge in project.edges["pkg.b.g"]] == ["pkg.a.f"]
+
+    def test_self_dispatch(self):
+        project = build_index(
+            {
+                "m": """
+                class C:
+                    def helper(self):
+                        return 1
+
+                    def run(self):
+                        return self.helper()
+                """
+            }
+        )
+        assert [edge[0] for edge in project.edges["m.C.run"]] == ["m.C.helper"]
+
+    def test_constructor_typed_local(self):
+        project = build_index(
+            {
+                "m": """
+                class Builder:
+                    def build(self):
+                        return 1
+
+                def g():
+                    b = Builder()
+                    return b.build()
+                """
+            }
+        )
+        callees = {edge[0] for edge in project.edges["m.g"]}
+        assert "m.Builder.build" in callees
+
+    def test_module_singleton_method(self):
+        project = build_index(
+            {
+                "m": """
+                class Recorder:
+                    def record(self, item):
+                        self.items.append(item)
+
+                SHARED = Recorder()
+
+                def g():
+                    SHARED.record(1)
+                """
+            }
+        )
+        module, function = project.functions["m.g"]
+        resolved, singleton = project.resolve_call_ex(
+            module, function, "SHARED.record"
+        )
+        assert resolved == "m.Recorder.record"
+        assert singleton == "m.SHARED"
+
+    def test_param_default_singleton(self):
+        project = build_index(
+            {
+                "m": """
+                class Recorder:
+                    def record(self, item):
+                        self.items.append(item)
+
+                SHARED = Recorder()
+
+                def g(sink=SHARED):
+                    sink.record(1)
+                """
+            }
+        )
+        module, function = project.functions["m.g"]
+        resolved, singleton = project.resolve_call_ex(module, function, "sink.record")
+        assert resolved == "m.Recorder.record"
+        assert singleton == "m.SHARED"
+
+    def test_imported_singleton(self):
+        project = build_index(
+            {
+                "moda": """
+                class Recorder:
+                    def record(self, item):
+                        self.items.append(item)
+
+                SHARED = Recorder()
+                """,
+                "modb": """
+                from moda import SHARED
+
+                def g():
+                    SHARED.record(1)
+                """,
+            }
+        )
+        module, function = project.functions["modb.g"]
+        resolved, singleton = project.resolve_call_ex(
+            module, function, "SHARED.record"
+        )
+        assert resolved == "moda.Recorder.record"
+        assert singleton == "moda.SHARED"
+
+    def test_classmethod_factory_singleton_resolves_its_class(self):
+        project = build_index(
+            {
+                "m": """
+                class Obs:
+                    @classmethod
+                    def disabled(cls):
+                        return cls()
+
+                    def note(self):
+                        return None
+
+                OBS = Obs.disabled()
+                """
+            }
+        )
+        assert project.singletons["m.OBS"] == "m.Obs"
+        assert project.method("m.Obs", "note") == "m.Obs.note"
+
+    def test_unresolved_external_call_has_no_edge(self):
+        project = build_index(
+            {"m": "import requests\n\ndef g(url):\n    return requests.get(url)\n"}
+        )
+        assert project.edges["m.g"] == []
+
+
+class TestGraphQueries:
+    def test_worker_entries_and_reachability(self):
+        project = build_index(
+            {
+                "m": """
+                def helper(x):
+                    return x + 1
+
+                def _shard(x):
+                    return helper(x)
+
+                def run(pool, items):
+                    return pool.map(_shard, items)
+                """
+            }
+        )
+        assert project.worker_entries() == ["m._shard"]
+        assert project.reachable_from(["m._shard"]) == {"m._shard", "m.helper"}
+
+    def test_returns_closure_propagates_two_hops(self):
+        project = build_index(
+            {
+                "m": """
+                def a(x):
+                    return set(x)
+
+                def b(x):
+                    return a(x)
+
+                def c(x):
+                    return b(x)
+                """
+            }
+        )
+        facts = project.returns_closure({"m.a": "returns a set"})
+        assert set(facts) == {"m.a", "m.b", "m.c"}
+        assert facts["m.c"].startswith("via m.b:")
+
+    def test_method_closure_and_self_writes(self):
+        project = build_index(
+            {
+                "m": """
+                class C:
+                    def __init__(self):
+                        self.count = 0
+
+                    def inner(self):
+                        self.count = self.count + 1
+
+                    def outer(self):
+                        self.inner()
+                """
+            }
+        )
+        assert project.method_closure("m.C.outer") == {"m.C.outer", "m.C.inner"}
+        writes = project.class_self_writes("m.C")
+        assert writes == {"m.C.inner": ["count"]}  # __init__ excluded

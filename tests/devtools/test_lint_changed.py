@@ -1,0 +1,104 @@
+"""Git-aware incremental linting: ``git_changed_files`` and ``--changed``."""
+
+import subprocess
+
+import pytest
+
+from repro.devtools.lint import git_changed_files, lint_project
+from repro.devtools.lint.cli import main
+from repro.errors import LintError
+
+
+def _git(cwd, *argv):
+    subprocess.run(
+        ["git", *argv], cwd=str(cwd), check=True, capture_output=True, text=True
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path):
+    repo = tmp_path / "checkout"
+    repo.mkdir()
+    _git(repo, "init", "-q")
+    _git(repo, "config", "user.email", "lint@example.invalid")
+    _git(repo, "config", "user.name", "lint tests")
+    (repo / "a.py").write_text("A = 1\n")
+    (repo / "b.py").write_text("B = 1\n")
+    _git(repo, "add", ".")
+    _git(repo, "commit", "-q", "-m", "seed")
+    return repo
+
+
+class TestGitChangedFiles:
+    def test_modified_and_untracked_files_count(self, git_repo):
+        (git_repo / "a.py").write_text("A = 2\n")
+        (git_repo / "c.py").write_text("C = 1\n")
+        changed = git_changed_files("HEAD", cwd=str(git_repo))
+        expected = {
+            str((git_repo / "a.py").resolve()),
+            str((git_repo / "c.py").resolve()),
+        }
+        assert changed == expected
+
+    def test_clean_tree_changes_nothing(self, git_repo):
+        assert git_changed_files("HEAD", cwd=str(git_repo)) == set()
+
+    def test_outside_a_checkout_raises_lint_error(self, tmp_path):
+        bare = tmp_path / "not-a-repo"
+        bare.mkdir()
+        with pytest.raises(LintError, match="git"):
+            git_changed_files("HEAD", cwd=str(bare))
+
+
+class TestDriverScoping:
+    def test_changed_files_restrict_the_report(self, git_repo):
+        (git_repo / "a.py").write_text("import time\nT = time.time()\n")
+        (git_repo / "b.py").write_text("import time\nU = time.time()\n")
+        changed = {str((git_repo / "a.py").resolve())}
+        report = lint_project([str(git_repo)], changed_files=changed)
+        assert report.files_checked == 1
+        assert report.violations  # the DET002 seeded into a.py
+        assert all(v.path.endswith("a.py") for v in report.violations)
+
+    def test_program_mode_still_sees_unchanged_producers(self, make_project):
+        root = make_project(
+            {
+                "lib.py": "def names(m):\n    return m.keys()\n",
+                "use.py": (
+                    "from .lib import names\n\n"
+                    "def collect(m):\n    return list(names(m))\n"
+                ),
+            }
+        )
+        changed = {str((root / "use.py").resolve())}
+        report = lint_project([str(root)], program=True, changed_files=changed)
+        # Only the changed file is reported, but the producer in the
+        # unchanged file was still parsed — the cross-module finding lands.
+        assert report.files_checked == 1
+        assert [v.rule_id for v in report.violations] == ["DET103"]
+        assert report.violations[0].path.endswith("use.py")
+
+
+class TestCLI:
+    def test_changed_defaults_to_head(self, git_repo, monkeypatch, capsys):
+        (git_repo / "a.py").write_text("import time\nT = time.time()\n")
+        monkeypatch.chdir(git_repo)
+        assert main([str(git_repo), "--changed", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out
+        assert "b.py" not in out
+
+    def test_changed_with_clean_diff_lints_nothing(
+        self, git_repo, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(git_repo)
+        assert main([str(git_repo), "--changed", "--no-cache"]) == 0
+        assert "0 file(s) clean" in capsys.readouterr().out
+
+    def test_changed_outside_git_exits_two(self, tmp_path, monkeypatch, capsys):
+        bare = tmp_path / "plain"
+        bare.mkdir()
+        (bare / "mod.py").write_text("x = 1\n")
+        monkeypatch.chdir(bare)
+        assert main([str(bare), "--changed", "--no-cache"]) == 2
+        assert "git" in capsys.readouterr().err

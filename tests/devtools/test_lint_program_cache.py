@@ -1,0 +1,91 @@
+"""The content-hash summary cache: cold/warm runs and invalidation."""
+
+from repro.devtools.lint import lint_project
+from repro.devtools.lint.cache import SummaryCache, cache_key
+
+SOURCES = {
+    "lib.py": (
+        "def names(m):\n"
+        "    return m.keys()\n\n"
+        "def wrapper(m):\n"
+        "    return names(m)\n"
+    ),
+    "use.py": "from .lib import wrapper\n\ndef collect(m):\n    return list(wrapper(m))\n",
+    "other.py": "def untouched():\n    return 1\n",
+}
+
+
+def run(root, cache):
+    return lint_project(
+        [str(root)], jobs=1, program=True, cache_dir=str(cache)
+    )
+
+
+class TestColdWarm:
+    def test_cold_run_misses_then_warm_run_hits_everything(
+        self, make_project, tmp_path
+    ):
+        root = make_project(SOURCES)
+        cache = tmp_path / "cache"
+        cold = run(root, cache)
+        assert cold.cache_misses == cold.files_checked
+        assert cold.cache_hits == 0
+        warm = run(root, cache)
+        assert warm.cache_hits == warm.files_checked
+        assert warm.cache_misses == 0
+        assert warm.violations == cold.violations
+        # The seeded DET103 flow survives the cache round trip.
+        assert [v.rule_id for v in warm.violations] == ["DET103"]
+
+    def test_mutating_one_file_re_parses_exactly_that_file(
+        self, make_project, tmp_path
+    ):
+        root = make_project(SOURCES)
+        cache = tmp_path / "cache"
+        cold = run(root, cache)
+        (root / "other.py").write_text("def untouched():\n    return 2\n")
+        warm = run(root, cache)
+        assert warm.cache_misses == 1
+        assert warm.cache_hits == cold.files_checked - 1
+        assert warm.violations == cold.violations
+
+    def test_no_cache_dir_disables_caching(self, make_project):
+        root = make_project(SOURCES)
+        first = lint_project([str(root)], jobs=1, program=True)
+        second = lint_project([str(root)], jobs=1, program=True)
+        assert first.cache_hits == second.cache_hits == 0
+
+
+class TestCacheKey:
+    def test_key_tracks_content_and_rule_set(self):
+        base = cache_key(b"x = 1\n", ("DET001",))
+        assert cache_key(b"x = 1\n", ("DET001",)) == base
+        assert cache_key(b"x = 2\n", ("DET001",)) != base
+        assert cache_key(b"x = 1\n", ("DET001", "DET002")) != base
+
+    def test_rule_order_does_not_matter(self):
+        forward = cache_key(b"x\n", ("DET001", "DET002"))
+        backward = cache_key(b"x\n", ("DET002", "DET001"))
+        assert forward == backward
+
+
+class TestSummaryCacheStore:
+    def test_round_trip(self, tmp_path):
+        cache = SummaryCache(str(tmp_path / "c"))
+        cache.store("abc", {"raw": [], "parse_failed": False})
+        assert cache.load("abc") == {"raw": [], "parse_failed": False}
+        assert cache.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        directory = tmp_path / "c"
+        cache = SummaryCache(str(directory))
+        cache.store("abc", {"ok": True})
+        (directory / "abc.json").write_text("{not json")
+        assert cache.load("abc") is None
+        assert cache.misses == 1
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = SummaryCache(None)
+        assert not cache.enabled
+        cache.store("abc", {"ok": True})
+        assert cache.load("abc") is None

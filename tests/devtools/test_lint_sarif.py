@@ -1,0 +1,81 @@
+"""SARIF reporter: document shape and CLI integration."""
+
+import json
+import pathlib
+
+from repro.devtools.lint.cli import main
+from repro.devtools.lint.framework import Violation
+from repro.devtools.lint.reporters import SARIF_VERSION, render_sarif
+
+FIXTURE = str(pathlib.Path(__file__).parent / "fixtures" / "dirty.py")
+
+
+def violation(rule_id="DET001", line=3, col=4):
+    return Violation(
+        path="src/repro/mod.py",
+        line=line,
+        col=col,
+        rule_id=rule_id,
+        message="something nondeterministic",
+    )
+
+
+class TestRenderSarif:
+    def test_document_shape(self):
+        document = json.loads(render_sarif([violation()], files_checked=9))
+        assert document["version"] == SARIF_VERSION
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["properties"]["filesChecked"] == 9
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "something nondeterministic"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/mod.py"
+        assert location["region"]["startLine"] == 3
+        assert location["region"]["startColumn"] == 5  # 1-based
+
+    def test_rule_index_is_consistent(self):
+        violations = [violation("SQL001"), violation("DET001"), violation("SQL001")]
+        document = json.loads(render_sarif(violations, files_checked=1))
+        run = document["runs"][0]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for result in run["results"]:
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_registered_rules_get_their_summaries(self):
+        document = json.loads(
+            render_sarif([violation("DET001"), violation("SUP002")], files_checked=1)
+        )
+        rules = {
+            rule["id"]: rule["shortDescription"]["text"]
+            for rule in document["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert "repro.rng" in rules["DET001"]
+        assert "stale" in rules["SUP002"]
+
+    def test_empty_report_is_valid(self):
+        document = json.loads(render_sarif([], files_checked=4))
+        run = document["runs"][0]
+        assert run["results"] == []
+        assert run["tool"]["driver"]["rules"] == []
+
+
+class TestCLI:
+    def test_format_sarif(self, capsys):
+        assert main([FIXTURE, "--no-cache", "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == SARIF_VERSION
+        results = document["runs"][0]["results"]
+        fired = sorted({result["ruleId"] for result in results})
+        assert fired == ["DET001", "DET002", "DET003", "DET004", "ERR001", "SQL001"]
+
+    def test_clean_run_emits_empty_sarif(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean), "--no-cache", "--format", "sarif"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"][0]["results"] == []

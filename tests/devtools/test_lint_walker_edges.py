@@ -1,0 +1,103 @@
+"""Walker and driver edge cases: report, never crash.
+
+Syntax errors, empty files, BOMs, coding declarations, bogus encodings
+and files that vanish between discovery and parse all degrade to a
+reported pseudo-violation (or a clean pass) without costing the findings
+from any other file.
+"""
+
+import pathlib
+
+from repro.devtools.lint import lint_project
+from repro.devtools.lint.cli import main
+from repro.devtools.lint.program import analyze_paths
+from repro.devtools.lint.walker import _lint_one, lint_files
+
+
+def rules_fired(report):
+    return sorted({violation.rule_id for violation in report.violations})
+
+
+class TestDecoding:
+    def test_empty_file_is_clean(self, tmp_path):
+        target = tmp_path / "empty.py"
+        target.write_text("")
+        report = lint_project([str(target)])
+        assert report.violations == []
+        assert report.files_checked == 1
+
+    def test_utf8_bom_is_honored(self, tmp_path):
+        target = tmp_path / "bom.py"
+        target.write_bytes(b"\xef\xbb\xbfx = 1\n")
+        report = lint_project([str(target)])
+        assert report.violations == []
+
+    def test_coding_declaration_is_honored(self, tmp_path):
+        target = tmp_path / "latin.py"
+        target.write_bytes(b"# -*- coding: latin-1 -*-\n# caf\xe9\ns = 1\n")
+        report = lint_project([str(target)])
+        assert report.violations == []
+
+    def test_unknown_encoding_reports_syn001(self, tmp_path):
+        target = tmp_path / "bogus.py"
+        target.write_bytes(b"# -*- coding: no-such-codec -*-\nx = 1\n")
+        report = lint_project([str(target)])
+        assert rules_fired(report) == ["SYN001"]
+
+
+class TestSyntaxErrors:
+    def test_syntax_error_reports_syn001_not_crash(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(:\n")
+        assert main([str(bad), "--no-cache"]) == 1
+        assert "SYN001" in capsys.readouterr().out
+
+    def test_program_pass_skips_unparseable_keeps_other_findings(
+        self, make_project
+    ):
+        root = make_project(
+            {
+                "bad.py": "def f(:\n",
+                "lib.py": "def names(m):\n    return m.keys()\n",
+                "use.py": (
+                    "from .lib import names\n\n"
+                    "def collect(m):\n    return list(names(m))\n"
+                ),
+            }
+        )
+        report = lint_project([str(root)], program=True)
+        assert rules_fired(report) == ["DET103", "SYN001"]
+        by_rule = {v.rule_id: v.path for v in report.violations}
+        assert by_rule["SYN001"].endswith("bad.py")
+        assert by_rule["DET103"].endswith("use.py")
+
+
+class TestVanishingFiles:
+    def test_walker_reports_io001(self, tmp_path):
+        missing = tmp_path / "gone.py"
+        (violation,) = _lint_one((str(missing), None))
+        assert violation.rule_id == "IO001"
+        assert "unreadable" in violation.message
+
+    def test_lint_files_does_not_abort(self, tmp_path):
+        missing = tmp_path / "gone.py"
+        present = tmp_path / "here.py"
+        present.write_text("x = 1\n")
+        violations = lint_files([missing, present])
+        assert [v.rule_id for v in violations] == ["IO001"]
+
+    def test_program_driver_reports_io001(self, tmp_path):
+        missing = tmp_path / "gone.py"
+        (analysis,) = analyze_paths([pathlib.Path(missing)])
+        assert analysis.unreadable
+        assert [v.rule_id for v in analysis.raw] == ["IO001"]
+
+    def test_unreadable_file_does_not_count_as_cache_miss(
+        self, make_project, tmp_path
+    ):
+        root = make_project({"ok.py": "x = 1\n"})
+        analyses = analyze_paths(
+            [root / "ok.py", root / "gone.py"],
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert [a.unreadable for a in analyses] == [False, True]

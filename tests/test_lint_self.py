@@ -4,12 +4,18 @@ This is the teeth of the determinism contract — any new unseeded
 randomness, wall-clock read, unsorted set iteration into an ordered
 output, non-ReproError raise, or schema-inconsistent SQL fails CI here
 (or carries an explicit ``# repro: ok[RULE] reason`` suppression).
+
+Since the whole-program pass landed, the gate also runs the
+interprocedural rules (DET101 seed provenance, DET103 cross-call
+unordered flow, CONC001/CONC002 shared-state safety) over the linked
+project, and audits every suppression for staleness (SUP002) — a
+marker whose rule no longer fires is itself a violation.
 """
 
 import pathlib
 
 import repro
-from repro.devtools.lint import lint_paths
+from repro.devtools.lint import lint_project, lint_paths
 
 PACKAGE_DIR = pathlib.Path(repro.__file__).parent
 
@@ -19,3 +25,19 @@ def test_package_is_lint_clean():
     assert files_checked > 100, "walker should see the whole package"
     formatted = "\n".join(v.format() for v in violations)
     assert violations == [], f"repro-lint violations in src/:\n{formatted}"
+
+
+def test_package_is_clean_under_program_pass():
+    """src/ carries no interprocedural findings and no stale suppressions."""
+    report = lint_project(
+        [str(PACKAGE_DIR)], jobs=2, program=True, stale_check=True
+    )
+    assert report.files_checked > 100
+    assert set(report.program_rules_run) == {
+        "CONC001",
+        "CONC002",
+        "DET101",
+        "DET103",
+    }
+    formatted = "\n".join(v.format() for v in report.violations)
+    assert report.violations == [], f"program-pass violations in src/:\n{formatted}"
