@@ -11,11 +11,15 @@ the shape.
 
 from __future__ import annotations
 
+import hashlib
 import pathlib
 
 import pytest
 
+from repro import __version__
 from repro.experiments import ExperimentConfig, run_pipeline
+from repro.obs.ledger import RunLedger, RunRecord, config_hash
+from repro.obs.profile import peak_rss_kb
 
 BENCH_CONFIG = ExperimentConfig(seed=2023, sites_per_bucket=2, pages_per_site=5)
 
@@ -28,8 +32,53 @@ def bench_ctx():
     return run_pipeline(BENCH_CONFIG)
 
 
-def emit(experiment_id: str, text: str) -> None:
-    """Print a rendered experiment and persist it for inspection."""
+def bench_ledger() -> RunLedger:
+    """The ledger every bench result is appended to (perf trajectories
+    across working-tree states live here, next to the rendered text)."""
+    return RunLedger(_RESULTS_DIR / "ledger")
+
+
+def bench_record(
+    experiment_id: str, text: str, seconds: float = 0.0
+) -> RunRecord:
+    """A ``kind="benchmark"`` run record for one bench's rendered output.
+
+    The deterministic section carries the bench config and the output
+    digest — rendered rows are pure functions of the pipeline, so output
+    drift between two appends of the same bench is a correctness signal.
+    Wall seconds land in the measured section (real clock, compared by
+    ratio), zero for benches that only assert shape.
+    """
+    config = {
+        "seed": BENCH_CONFIG.seed,
+        "sites_per_bucket": BENCH_CONFIG.sites_per_bucket,
+        "pages_per_site": BENCH_CONFIG.pages_per_site,
+    }
+    deterministic = {
+        "seed": BENCH_CONFIG.seed,
+        "config": config,
+        "config_hash": config_hash(config),
+        "code_version": __version__,
+        "output_digest": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+    }
+    measured = {
+        "clock": "system",
+        "wall_seconds": round(seconds, 6),
+        "phase_seconds": {},
+        "visits_per_second": 0.0,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    return RunRecord(
+        kind="benchmark",
+        label=experiment_id,
+        deterministic=deterministic,
+        measured=measured,
+    )
+
+
+def emit(experiment_id: str, text: str, seconds: float = 0.0) -> None:
+    """Print a rendered experiment, persist it, and ledger the run."""
     print(f"\n{'=' * 70}\n[{experiment_id}]\n{'=' * 70}\n{text}\n")
     _RESULTS_DIR.mkdir(exist_ok=True)
     (_RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    bench_ledger().append(bench_record(experiment_id, text, seconds))

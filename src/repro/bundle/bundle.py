@@ -38,6 +38,7 @@ from ..blocklist.easylist import generate_easylist
 from ..crawler.storage import SCHEMA_VERSION, MeasurementStore
 from ..errors import BundleError
 from ..obs import NULL_OBS, ObsContext
+from ..obs.ledger import build_run_record, outcomes_from_store
 from ..web.blueprint import SiteBlueprint
 from ..web.sitegen import WebGenerator
 
@@ -193,6 +194,15 @@ class BundleManifest:
         return [
             entry for entry in self.members if entry.name.startswith("tables/")
         ]
+
+    def digest(self) -> str:
+        """Content address of the whole bundle: sha256 of the manifest JSON.
+
+        Every member is itself content-addressed inside the manifest, so
+        this one hash pins the full archive — it is what run-ledger
+        records cite as ``bundle_digest``.
+        """
+        return _sha256(self.to_json().encode("utf-8"))
 
     def to_json(self) -> str:
         document = {
@@ -384,6 +394,7 @@ class Bundle:
             )
         store = MeasurementStore(path, obs=obs)
         total_rows = 0
+        spans_before = len(obs.tracer.records)
         with obs.tracer.span("bundle-replay", key="bundle-replay") as span:
             for table in store.table_names():
                 total_rows += store.insert_table_rows(
@@ -393,6 +404,21 @@ class Bundle:
             span.set("rows", total_rows)
         if obs.metrics.enabled:
             obs.metrics.counter("bundle.rows_replayed").inc(total_rows)
+        if obs.ledger is not None:
+            obs.ledger.append(
+                build_run_record(
+                    "replay",
+                    seed=self.seed,
+                    config=self.config.to_dict(),
+                    obs=obs,
+                    records=obs.tracer.records[spans_before:],
+                    primary_phase="bundle-replay",
+                    outcomes=outcomes_from_store(store),
+                    filter_list_version=self.manifest.filter_list_version,
+                    store_schema_version=store.schema_version,
+                    bundle_digest=self.manifest.digest(),
+                )
+            )
         return store
 
 

@@ -22,14 +22,22 @@ from typing import List, Optional
 
 from ..crawler.storage import MeasurementStore
 from ..errors import BundleError, ReproError
-from ..obs import NULL_OBS, ObsContext
+from ..obs import NULL_OBS, ObsContext, RunLedger
 from .bundle import Bundle, record_from_store
 from .diff import diff_against_fresh_crawl, diff_against_store
 
 
 def _obs_for(args: argparse.Namespace) -> ObsContext:
-    if getattr(args, "trace", "") or getattr(args, "metrics_out", ""):
-        return ObsContext.create(seed=getattr(args, "seed", 0) or 0)
+    ledger_dir = getattr(args, "ledger", "")
+    if (
+        getattr(args, "trace", "")
+        or getattr(args, "metrics_out", "")
+        or ledger_dir
+    ):
+        return ObsContext.create(
+            seed=getattr(args, "seed", 0) or 0,
+            ledger=RunLedger(ledger_dir) if ledger_dir else None,
+        )
     return NULL_OBS
 
 
@@ -162,6 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--db", required=True, help="path for the replayed store")
     replay.add_argument("--trace", default="")
     replay.add_argument("--metrics-out", default="")
+    replay.add_argument(
+        "--ledger", default="", help="append the replay's run record here"
+    )
     replay.set_defaults(func=_cmd_replay)
 
     diff = sub.add_parser(
@@ -176,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("--trace", default="")
     diff.add_argument("--metrics-out", default="")
+    diff.add_argument(
+        "--ledger", default="", help="append the replay's run record here"
+    )
     diff.set_defaults(func=_cmd_diff)
 
     return parser

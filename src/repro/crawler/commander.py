@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..browser.profile import BrowserProfile, PAPER_PROFILES
 from ..errors import CrawlError
 from ..obs import NULL_OBS, ObsConfig, ObsContext, VISIT_SECONDS_BUCKETS
+from ..obs.ledger import build_run_record, outcomes_from_summary
 from ..obs.trace import SpanRecord, split_roots
 from ..rng import child_rng
 from ..web.sitegen import WebGenerator
@@ -170,8 +171,15 @@ class Commander:
     # -- pipeline ----------------------------------------------------------
 
     def run(self, ranks: Sequence[int]) -> CrawlSummary:
-        """Crawl the sites at ``ranks`` with all profiles; returns a summary."""
+        """Crawl the sites at ``ranks`` with all profiles; returns a summary.
+
+        When the observability context carries a run ledger, the crawl
+        appends a ``kind="crawl"`` run record after its crawl span
+        closes — provenance, per-phase profile, metrics snapshot, and the
+        per-profile outcome breakdown, diffable against any other run.
+        """
         tracer = self.obs.tracer
+        spans_before = len(tracer.records)
         with tracer.span("crawl", key="crawl") as crawl_span:
             with tracer.span("plan", key="plan") as plan_span:
                 schedules, plans = self._schedule(ranks)
@@ -213,7 +221,40 @@ class Commander:
             # the trace, or byte-identity across worker counts breaks.
             crawl_span.set("sites", summary.sites_crawled)
             crawl_span.set("visits", summary.total_visits)
+        if self.obs.ledger is not None:
+            self.obs.ledger.append(
+                build_run_record(
+                    "crawl",
+                    seed=self.generator.seed,
+                    config=self.resolved_config(ranks),
+                    obs=self.obs,
+                    records=tracer.records[spans_before:],
+                    primary_phase="crawl",
+                    outcomes=outcomes_from_summary(summary),
+                    store_schema_version=self.store.schema_version,
+                )
+            )
         return summary
+
+    def resolved_config(self, ranks: Sequence[int]) -> Dict[str, object]:
+        """The resolved measurement configuration this crawl runs.
+
+        Everything that can change a stored value is here; ``workers``
+        deliberately is not — the sharding contract guarantees any worker
+        count produces identical results, so ledger records from
+        different worker counts must hash identically.
+        """
+        return {
+            "seed": self.generator.seed,
+            "ranks": list(ranks),
+            "pages_per_site": self.max_pages_per_site,
+            "profiles": [profile.name for profile in self.profiles],
+            "timeout": self.timeout,
+            "stateful": self.stateful,
+            "repeat_visits": self.repeat_visits,
+            "retries": self.retry_policy.max_attempts - 1,
+            "salvage_partial": self.salvage_partial,
+        }
 
     def discover(self, ranks: Sequence[int]) -> List[DiscoveryResult]:
         """Run only the discovery pre-crawl (useful for inspection)."""

@@ -1,13 +1,21 @@
-"""OBS001: library code must not ``print`` — route output through
-``repro.obs`` or ``repro.reporting``.
+"""Observability rules: OBS001 (no ``print`` in library code) and
+OBS002 (metric and span names must be literal constants).
 
 A measurement pipeline that prints from the middle of the crawl cannot
 be audited: stray stdout interleaves nondeterministically across worker
 processes and never reaches the trace or the metrics registry.  Library
 modules therefore emit telemetry via :mod:`repro.obs` and leave printing
-to the presentation layer.
+to the presentation layer (OBS001).
 
-Exempt by construction:
+Telemetry names are part of the schema the run ledger byte-compares:
+a span or counter named through an f-string or concatenation mints a
+new time series per dynamic value, breaks cross-run diffs, and defeats
+grep.  Dynamic identity belongs in span ``key=`` / metric labels, so
+the first argument of ``span(...)``, ``counter(...)``, ``gauge(...)``,
+and ``histogram(...)`` must be a string literal or a name bound to one
+(OBS002).
+
+Exempt from OBS001 by construction:
 
 * ``repro/reporting/`` and ``repro/devtools/`` — rendering and developer
   tooling *are* the presentation layer;
@@ -54,4 +62,38 @@ class NoPrintInLibraryCode(LintRule):
                     node,
                     "library code must not print; record telemetry via "
                     "repro.obs or render through repro.reporting",
+                )
+
+
+#: Telemetry constructors whose first argument names a series/span.
+_NAMED_TELEMETRY_CALLS = ("counter", "gauge", "histogram", "span")
+
+
+@register
+class LiteralTelemetryNames(LintRule):
+    rule_id = "OBS002"
+    summary = "metric/span name built dynamically; use a literal constant"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                call_name = func.attr
+            elif isinstance(func, ast.Name):
+                call_name = func.id
+            else:
+                continue
+            if call_name not in _NAMED_TELEMETRY_CALLS:
+                continue
+            name_arg = node.args[0]
+            # Literals and names bound to module-level constants are
+            # fine; anything *built* at the call site is a violation.
+            if isinstance(name_arg, (ast.JoinedStr, ast.BinOp, ast.Call)):
+                yield self.flag(
+                    module,
+                    name_arg,
+                    f"{call_name}() name must be a literal constant; put "
+                    "dynamic identity in key=/labels, not the series name",
                 )

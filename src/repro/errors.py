@@ -102,6 +102,16 @@ class ObsError(ReproError):
     """
 
 
+class LedgerError(ObsError):
+    """Raised when the run ledger cannot append, load, or diff a record.
+
+    Malformed index lines, unknown or ambiguous run-id references, and
+    records whose schema version this code cannot read all land here —
+    a provenance registry that silently skips what it cannot parse would
+    defeat its own purpose.
+    """
+
+
 class BundleError(ReproError):
     """Raised when a crawl bundle cannot be recorded, opened, or replayed.
 

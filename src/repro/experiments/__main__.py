@@ -12,7 +12,7 @@ import argparse
 import sys
 
 from ..devtools.clock import Clock, Stopwatch
-from ..obs import NULL_OBS, ObsContext
+from ..obs import NULL_OBS, ObsContext, RunLedger
 from . import ALL_EXPERIMENTS
 from .runner import ExperimentConfig, run_pipeline
 
@@ -38,6 +38,11 @@ def main(argv=None, clock: "Clock" = None) -> int:
     parser.add_argument(
         "--metrics-out", default="", help="write the run's metrics (JSON)"
     )
+    parser.add_argument(
+        "--ledger",
+        default="",
+        help="append the pipeline's run record to this ledger directory",
+    )
     args = parser.parse_args(argv)
     selected = (
         [item.strip() for item in args.only.split(",") if item.strip()]
@@ -54,8 +59,12 @@ def main(argv=None, clock: "Clock" = None) -> int:
         pages_per_site=args.pages_per_site,
     )
     obs = (
-        ObsContext.create(seed=args.seed, clock=clock)
-        if (args.trace or args.metrics_out)
+        ObsContext.create(
+            seed=args.seed,
+            clock=clock,
+            ledger=RunLedger(args.ledger) if args.ledger else None,
+        )
+        if (args.trace or args.metrics_out or args.ledger)
         else NULL_OBS
     )
     watch = Stopwatch(clock)
@@ -86,6 +95,10 @@ def main(argv=None, clock: "Clock" = None) -> int:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(obs.metrics.to_json() + "\n")
         print(f"wrote {len(obs.metrics)} metrics to {args.metrics_out}")
+    if obs.ledger is not None:
+        entries = obs.ledger.entries()
+        if entries:
+            print(f"ledger: run {entries[-1].run_id[:12]} -> {obs.ledger.root}")
     return 0
 
 

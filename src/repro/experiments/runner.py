@@ -10,15 +10,18 @@ tables and figures — the same economy the paper's own evaluation has
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..blocklist import FilterList, build_filter_list
+from ..blocklist.easylist import generate_easylist
 from ..browser.profile import BrowserProfile, PAPER_PROFILES
 from ..crawler import Commander, CrawlSummary, MeasurementStore, sample_paper_buckets
 from ..analysis import AnalysisDataset
 from ..errors import ExperimentError
 from ..obs import NULL_OBS, ObsContext
+from ..obs.ledger import build_run_record, outcomes_from_store, outcomes_from_summary
 from ..web import WebConfig, WebGenerator
 
 
@@ -51,6 +54,28 @@ class ExperimentConfig:
             raise ValueError("workers and jobs must be >= 1")
 
 
+def resolved_pipeline_config(config: ExperimentConfig) -> Dict[str, object]:
+    """The pipeline knobs that shape the data, as a JSON-safe document.
+
+    This is what the run ledger hashes as the pipeline's configuration
+    identity.  ``workers`` and ``jobs`` are deliberately absent: sharding
+    must not change any stored or analyzed value, so two runs that differ
+    only in parallelism hash (and diff) as the same setup.
+    """
+    return {
+        "seed": config.seed,
+        "sites_per_bucket": config.sites_per_bucket,
+        "pages_per_site": config.pages_per_site,
+        "profiles": [profile.name for profile in config.profiles],
+        "web_config": asdict(config.web_config),
+    }
+
+
+def _filter_list_version(text: str) -> str:
+    """Same identity a bundle manifest stamps: sha256 of the document."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 class ExperimentContext:
     """The materialized pipeline for one config."""
 
@@ -59,6 +84,7 @@ class ExperimentContext:
     ) -> None:
         self.config = config
         self.obs = obs if obs is not None else NULL_OBS
+        spans_before = len(self.obs.tracer.records)
         with self.obs.tracer.span("pipeline", key="pipeline"):
             self.generator = WebGenerator(config.seed, config=config.web_config)
             self.store = MeasurementStore(obs=self.obs)
@@ -83,6 +109,22 @@ class ExperimentContext:
                 filter_list=self.filter_list,
                 jobs=config.jobs,
                 obs=self.obs,
+            )
+        if self.obs.ledger is not None:
+            self.obs.ledger.append(
+                build_run_record(
+                    "pipeline",
+                    seed=config.seed,
+                    config=resolved_pipeline_config(config),
+                    obs=self.obs,
+                    records=self.obs.tracer.records[spans_before:],
+                    primary_phase="pipeline",
+                    outcomes=outcomes_from_summary(self.summary),
+                    filter_list_version=_filter_list_version(
+                        generate_easylist(self.generator.ecosystem)
+                    ),
+                    store_schema_version=self.store.schema_version,
+                )
             )
 
     @property
@@ -109,6 +151,7 @@ class ExperimentContext:
         ctx.config = ExperimentConfig(
             seed=bundle_config.seed, pages_per_site=bundle_config.pages_per_site
         )
+        spans_before = len(ctx.obs.tracer.records)
         with ctx.obs.tracer.span("pipeline", key="pipeline"):
             ctx.generator = WebGenerator(bundle_config.seed)
             ctx.store = bundle.replay(obs=ctx.obs)
@@ -118,6 +161,22 @@ class ExperimentContext:
                 ctx.filter_list = FilterList.from_text(bundle.filter_list_text())
             ctx.dataset = AnalysisDataset.from_store(
                 ctx.store, filter_list=ctx.filter_list, obs=ctx.obs
+            )
+        if ctx.obs.ledger is not None:
+            ctx.obs.ledger.append(
+                build_run_record(
+                    "pipeline",
+                    seed=bundle_config.seed,
+                    config=resolved_pipeline_config(ctx.config),
+                    obs=ctx.obs,
+                    records=ctx.obs.tracer.records[spans_before:],
+                    label="from-bundle",
+                    primary_phase="pipeline",
+                    outcomes=outcomes_from_store(ctx.store),
+                    filter_list_version=bundle.manifest.filter_list_version,
+                    store_schema_version=ctx.store.schema_version,
+                    bundle_digest=bundle.manifest.digest(),
+                )
             )
         return ctx
 

@@ -25,6 +25,18 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..devtools.clock import Clock
+from .ledger import (
+    DiffThresholds,
+    LedgerDiff,
+    LedgerEntry,
+    RunLedger,
+    RunRecord,
+    build_run_record,
+    config_hash,
+    diff_records,
+    outcomes_from_store,
+    outcomes_from_summary,
+)
 from .metrics import (
     BATCH_SIZE_BUCKETS,
     Counter,
@@ -38,7 +50,8 @@ from .metrics import (
     metric_key,
     validate_bucket_edges,
 )
-from .render import render_metrics, render_trace
+from .profile import PhaseStat, RunProfile, build_profile, profile_from_parts
+from .render import render_flame, render_metrics, render_profile, render_trace
 from .trace import Span, SpanRecord, Tracer, read_jsonl, split_roots
 
 
@@ -58,20 +71,39 @@ class ObsConfig:
 
 
 class ObsContext:
-    """One tracer plus one metrics registry, threaded through the pipeline."""
+    """One tracer plus one metrics registry, threaded through the pipeline.
 
-    def __init__(self, tracer: Tracer, metrics: MetricsRegistry) -> None:
+    ``ledger`` optionally names a :class:`~repro.obs.ledger.RunLedger`;
+    instrumented entry points (``Commander.run``, ``run_pipeline``,
+    ``Bundle.replay``) append a run record to it when present.  The
+    ledger stays with the parent process — :meth:`config` deliberately
+    does not ship it to shard workers, whose telemetry reaches the
+    ledger through the parent's merged record.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        metrics: MetricsRegistry,
+        ledger: Optional[RunLedger] = None,
+    ) -> None:
         self.tracer = tracer
         self.metrics = metrics
+        self.ledger = ledger
 
     @property
     def enabled(self) -> bool:
         return self.tracer.enabled or self.metrics.enabled
 
     @classmethod
-    def create(cls, seed: int = 0, clock: Optional[Clock] = None) -> "ObsContext":
+    def create(
+        cls,
+        seed: int = 0,
+        clock: Optional[Clock] = None,
+        ledger: Optional[RunLedger] = None,
+    ) -> "ObsContext":
         """An enabled context for one pipeline run."""
-        return cls(Tracer(seed=seed, clock=clock), MetricsRegistry())
+        return cls(Tracer(seed=seed, clock=clock), MetricsRegistry(), ledger=ledger)
 
     @classmethod
     def disabled(cls) -> "ObsContext":
@@ -98,12 +130,19 @@ NULL_OBS = ObsContext.disabled()
 __all__ = [
     "BATCH_SIZE_BUCKETS",
     "Counter",
+    "DiffThresholds",
     "Gauge",
     "Histogram",
+    "LedgerDiff",
+    "LedgerEntry",
     "MetricsRegistry",
     "NULL_OBS",
     "ObsConfig",
     "ObsContext",
+    "PhaseStat",
+    "RunLedger",
+    "RunProfile",
+    "RunRecord",
     "Span",
     "SpanRecord",
     "TREE_DEPTH_BUCKETS",
@@ -111,9 +150,18 @@ __all__ = [
     "TREE_NODE_BUCKETS",
     "Tracer",
     "VISIT_SECONDS_BUCKETS",
+    "build_profile",
+    "build_run_record",
+    "config_hash",
+    "diff_records",
     "metric_key",
+    "outcomes_from_store",
+    "outcomes_from_summary",
+    "profile_from_parts",
     "read_jsonl",
+    "render_flame",
     "render_metrics",
+    "render_profile",
     "render_trace",
     "split_roots",
     "validate_bucket_edges",

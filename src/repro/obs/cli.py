@@ -1,17 +1,25 @@
-"""``repro-obs`` — run (or load) a crawl and print its health report.
+"""``repro-obs`` — crawl health, run ledger, and drift reports.
 
-Two modes::
+Subcommands::
 
-    repro-obs --seed 7 --sites-per-bucket 10 --pages-per-site 4 --jobs 4 \\
-              [--trace trace.jsonl] [--metrics-out metrics.json]
-    repro-obs --db run.sqlite
+    repro-obs health  [--seed N ... | --db run.sqlite | --from-bundle DIR]
+    repro-obs runs    --ledger DIR
+    repro-obs show    [REF] --ledger DIR
+    repro-obs profile [REF] --ledger DIR | --trace trace.jsonl [--flame]
+    repro-obs diff    [RECORDED [LIVE]] --ledger DIR [--gate]
 
-The first runs a fully instrumented seeded crawl (10 sites per bucket ×
-5 buckets = 50 sites) and prints per-profile outcomes plus per-stage
-timings; the second audits an existing measurement database (outcome
-counts only — stage timings need a live trace).  ``--fake-clock`` freezes
-span timestamps for deterministic output; ``--show-trace`` appends the
-span tree.
+``health`` runs a fully instrumented seeded crawl (or audits an existing
+measurement database, or replays a recorded bundle) and prints
+per-profile outcomes plus per-stage timings.  ``--fake-clock`` freezes
+span timestamps for deterministic output; ``--ledger DIR`` appends the
+run's record to a ledger.  The ledger subcommands list, print, profile,
+and diff stored run records; run references are ``latest``, ``prev``, or
+a unique run-id prefix.  ``diff --gate`` exits nonzero on deterministic
+drift *or* a measured regression past the thresholds.
+
+For compatibility with the original flag-only interface, an invocation
+whose first argument is not a subcommand is treated as ``health``
+(``repro-obs --seed 7`` still works).
 """
 
 from __future__ import annotations
@@ -30,48 +38,132 @@ from ..errors import ReproError
 from ..web import WebGenerator
 from . import ObsContext
 from .health import build_health_report, render_health_report
-from .render import render_trace
+from .ledger import DiffThresholds, RunLedger, diff_records
+from .profile import build_profile, profile_from_parts
+from .render import render_flame, render_profile, render_trace
+from .trace import read_jsonl
+
+_SUBCOMMANDS = ("health", "runs", "show", "profile", "diff")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
-        description="Crawl-health report: per-profile outcomes and stage timings.",
+        description="Crawl health, run ledger, and cross-run drift reports.",
     )
-    parser.add_argument("--db", default="", help="report on an existing crawl db")
-    parser.add_argument("--seed", type=int, default=2023)
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    health = sub.add_parser(
+        "health", help="per-profile outcomes and stage timings"
+    )
+    health.add_argument("--db", default="", help="report on an existing crawl db")
+    health.add_argument(
+        "--from-bundle",
+        default="",
+        help="replay a recorded bundle and report on the replayed store",
+    )
+    health.add_argument("--seed", type=int, default=2023)
+    health.add_argument(
         "--sites-per-bucket",
         type=int,
         default=10,
         help="sites per popularity bucket (x5 buckets; default 10 -> 50 sites)",
     )
-    parser.add_argument("--pages-per-site", type=int, default=4)
-    parser.add_argument(
+    health.add_argument("--pages-per-site", type=int, default=4)
+    health.add_argument(
         "--jobs", type=int, default=1, help="worker processes for the sharded crawl"
     )
-    parser.add_argument(
+    health.add_argument(
         "--retries",
         type=int,
         default=0,
         help="re-attempts per failed retryable visit (0 = single attempt)",
     )
-    parser.add_argument(
+    health.add_argument(
         "--salvage-partial",
         action="store_true",
         help="store the partial traffic of timed-out visits",
     )
-    parser.add_argument("--trace", default="", help="write the span trace (JSONL)")
-    parser.add_argument("--metrics-out", default="", help="write merged metrics (JSON)")
-    parser.add_argument(
+    health.add_argument("--trace", default="", help="write the span trace (JSONL)")
+    health.add_argument(
+        "--metrics-out", default="", help="write merged metrics (JSON)"
+    )
+    health.add_argument(
+        "--ledger", default="", help="append this run's record to a ledger"
+    )
+    health.add_argument(
         "--fake-clock",
         action="store_true",
         help="freeze span timestamps (deterministic output for tests)",
     )
-    parser.add_argument(
+    health.add_argument(
         "--show-trace", action="store_true", help="also print the span tree"
     )
+    health.set_defaults(func=_cmd_health)
+
+    runs = sub.add_parser("runs", help="list the runs a ledger has recorded")
+    runs.add_argument("--ledger", required=True, help="ledger directory")
+    runs.set_defaults(func=_cmd_runs)
+
+    show = sub.add_parser("show", help="print one run record as JSON")
+    show.add_argument("ref", nargs="?", default="latest")
+    show.add_argument("--ledger", required=True, help="ledger directory")
+    show.set_defaults(func=_cmd_show)
+
+    profile = sub.add_parser(
+        "profile", help="phase profile of a recorded run (or a trace file)"
+    )
+    profile.add_argument("ref", nargs="?", default="latest")
+    profile.add_argument("--ledger", default="", help="ledger directory")
+    profile.add_argument(
+        "--trace", default="", help="profile a span trace (JSONL) instead"
+    )
+    profile.add_argument(
+        "--flame",
+        action="store_true",
+        help="flame-style span rendering (needs --trace; records keep "
+        "phase aggregates, not span trees)",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    diff = sub.add_parser(
+        "diff",
+        help="drift report between two runs (default: prev vs latest); "
+        "exit 1 on deterministic drift",
+    )
+    diff.add_argument("recorded", nargs="?", default="prev")
+    diff.add_argument("live", nargs="?", default="latest")
+    diff.add_argument("--ledger", required=True, help="ledger directory")
+    diff.add_argument(
+        "--gate",
+        action="store_true",
+        help="also exit 1 when a measured ratio passes its threshold",
+    )
+    diff.add_argument(
+        "--wall-ratio",
+        type=float,
+        default=DiffThresholds.wall_ratio,
+        help="regression threshold for wall seconds (live/recorded)",
+    )
+    diff.add_argument(
+        "--phase-ratio",
+        type=float,
+        default=DiffThresholds.phase_ratio,
+        help="regression threshold for per-phase seconds",
+    )
+    diff.add_argument(
+        "--rss-ratio",
+        type=float,
+        default=DiffThresholds.rss_ratio,
+        help="regression threshold for peak RSS",
+    )
+    diff.set_defaults(func=_cmd_diff)
+
     return parser
+
+
+def _ledger_for(args: argparse.Namespace) -> Optional[RunLedger]:
+    return RunLedger(args.ledger) if getattr(args, "ledger", "") else None
 
 
 def _report_from_db(args: argparse.Namespace) -> int:
@@ -84,9 +176,27 @@ def _report_from_db(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_from_bundle(args: argparse.Namespace) -> int:
+    from ..bundle import Bundle  # deferred: repro.bundle imports crawler too
+
+    clock = FakeClock() if args.fake_clock else None
+    obs = ObsContext.create(
+        seed=args.seed, clock=clock, ledger=_ledger_for(args)
+    )
+    bundle = Bundle.open(args.from_bundle)
+    store = bundle.replay(obs=obs)
+    report = build_health_report(store=store, records=obs.tracer.records)
+    print(render_health_report(report))
+    _write_telemetry(obs, args)
+    store.close()
+    return 0
+
+
 def _report_from_crawl(args: argparse.Namespace) -> int:
     clock = FakeClock() if args.fake_clock else None
-    obs = ObsContext.create(seed=args.seed, clock=clock)
+    obs = ObsContext.create(
+        seed=args.seed, clock=clock, ledger=_ledger_for(args)
+    )
     generator = WebGenerator(args.seed)
     store = MeasurementStore(obs=obs)
     commander = Commander(
@@ -105,6 +215,12 @@ def _report_from_crawl(args: argparse.Namespace) -> int:
     if args.show_trace:
         print()
         print(render_trace(obs.tracer.records))
+    _write_telemetry(obs, args)
+    store.close()
+    return 0
+
+
+def _write_telemetry(obs: ObsContext, args: argparse.Namespace) -> None:
     if args.trace:
         count = obs.tracer.write_jsonl(args.trace)
         print(f"\nwrote {count} spans to {args.trace}")
@@ -112,16 +228,104 @@ def _report_from_crawl(args: argparse.Namespace) -> int:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(obs.metrics.to_json() + "\n")
         print(f"wrote {len(obs.metrics)} metrics to {args.metrics_out}")
-    store.close()
+    if obs.ledger is not None:
+        entries = obs.ledger.entries()
+        if entries:
+            print(f"ledger: run {entries[-1].run_id[:12]} -> {obs.ledger.root}")
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    if args.db:
+        return _report_from_db(args)
+    if args.from_bundle:
+        return _report_from_bundle(args)
+    return _report_from_crawl(args)
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.ledger)
+    entries = ledger.entries()
+    if not entries:
+        print("(empty ledger)")
+        return 0
+    print(
+        f"{'seq':>4} {'run id':<14} {'kind':<10} {'label':<14} "
+        f"{'seed':>6} {'provenance':<14}"
+    )
+    for entry in entries:
+        print(
+            f"{entry.seq:>4} {entry.run_id[:12]:<14} {entry.kind:<10} "
+            f"{(entry.label or '-'):<14} {entry.seed:>6} "
+            f"{entry.provenance_id[:12]:<14}"
+        )
     return 0
 
 
+def _cmd_show(args: argparse.Namespace) -> int:
+    record = RunLedger(args.ledger).load(args.ref)
+    print(f"run {record.run_id}")
+    print(f"provenance {record.provenance_id}")
+    print(record.to_json(), end="")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.trace:
+        records = read_jsonl(args.trace)
+        if args.flame:
+            print(render_flame(records))
+        else:
+            print(render_profile(build_profile(records)))
+        return 0
+    if not args.ledger:
+        print(
+            "repro-obs profile: need --ledger (with a run ref) or --trace",
+            file=sys.stderr,
+        )
+        return 2
+    if args.flame:
+        print(
+            "repro-obs profile: --flame needs --trace (ledger records keep "
+            "phase aggregates, not span trees)",
+            file=sys.stderr,
+        )
+        return 2
+    record = RunLedger(args.ledger).load(args.ref)
+    rows = record.deterministic.get("phases", [])
+    phase_seconds = record.measured.get("phase_seconds", {})
+    wall = float(record.measured.get("wall_seconds", 0.0))
+    print(f"run {record.run_id[:12]} kind={record.kind} clock={record.measured.get('clock')}")
+    print(render_profile(profile_from_parts(rows, phase_seconds, wall)))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.ledger)
+    recorded = ledger.load(args.recorded)
+    live = ledger.load(args.live)
+    thresholds = DiffThresholds(
+        wall_ratio=args.wall_ratio,
+        phase_ratio=args.phase_ratio,
+        rss_ratio=args.rss_ratio,
+    )
+    diff = diff_records(recorded, live, thresholds=thresholds)
+    print(diff.render())
+    if args.gate:
+        return 0 if diff.gate_ok else 1
+    return 0 if diff.clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Flag-only compatibility: the original repro-obs had no subcommands,
+    # so anything that does not start with one is a health invocation.
+    if not argv or (
+        argv[0] not in _SUBCOMMANDS and argv[0] not in ("-h", "--help")
+    ):
+        argv = ["health"] + argv
     args = build_parser().parse_args(argv)
     try:
-        if args.db:
-            return _report_from_db(args)
-        return _report_from_crawl(args)
+        return args.func(args)
     except ReproError as exc:
         print(f"repro-obs: error: {exc}", file=sys.stderr)
         return 2

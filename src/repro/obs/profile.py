@@ -1,0 +1,148 @@
+"""Deterministic phase profiling over span records.
+
+A *phase* is all spans sharing one span name (``crawl``, ``site``,
+``dataset``, ``bundle-replay``, …).  :func:`build_profile` folds a span
+record stream into per-phase aggregates:
+
+* ``spans`` — how many spans of the phase ran (deterministic);
+* ``ops`` — summed operation counts from the spans' deterministic
+  attributes (``visits``, ``pages``, ``rows``, …) (deterministic);
+* ``seconds`` — summed wall-clock duration in the tracer's clock units
+  (byte-identical under :class:`~repro.devtools.clock.FakeClock`, real
+  time under :class:`~repro.devtools.clock.SystemClock`).
+
+The split matters for the run ledger (:mod:`repro.obs.ledger`): span and
+op counts go into a record's *deterministic* section (drift there is a
+correctness regression), while seconds and peak RSS go into the
+*measured* section (drift there is a performance regression, judged
+against thresholds rather than byte equality).
+
+Phases keep first-span order, which under the tracing determinism
+contract is itself a pure function of the plan.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .trace import SpanRecord
+
+#: Span attributes that count as operations (all integer-valued by the
+#: instrumentation contract); anything else is descriptive metadata.
+OP_ATTRS = ("entries", "members", "pages", "rows", "sites", "tables", "visits")
+
+
+def span_duration(record: SpanRecord) -> float:
+    """A span's duration, clamped at zero for spans an exception left
+    open (``end`` never written) — negative time is always a lie."""
+    return max(record.end - record.start, 0.0)
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregate of every span sharing one name."""
+
+    phase: str
+    spans: int
+    seconds: float
+    ops: int
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The byte-comparable part (no clock readings)."""
+        return {"phase": self.phase, "spans": self.spans, "ops": self.ops}
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """The per-phase breakdown of one run's trace."""
+
+    phases: Tuple[PhaseStat, ...]
+    total_seconds: float
+
+    def phase(self, name: str) -> Optional[PhaseStat]:
+        for stat in self.phases:
+            if stat.phase == name:
+                return stat
+        return None
+
+    def seconds_for(self, name: str) -> float:
+        stat = self.phase(name)
+        return stat.seconds if stat is not None else 0.0
+
+    def ops_for(self, name: str) -> int:
+        stat = self.phase(name)
+        return stat.ops if stat is not None else 0
+
+    def deterministic_rows(self) -> List[Dict[str, object]]:
+        return [stat.deterministic_dict() for stat in self.phases]
+
+    def phase_seconds(self) -> Dict[str, float]:
+        return {stat.phase: round(stat.seconds, 6) for stat in self.phases}
+
+
+def build_profile(records: Sequence[SpanRecord]) -> RunProfile:
+    """Fold a span record stream into a :class:`RunProfile`.
+
+    ``total_seconds`` sums the durations of *closed* root spans — the
+    wall clock the run actually occupied, without double-counting nested
+    phases.
+    """
+    aggregates: Dict[str, List[float]] = {}
+    total_seconds = 0.0
+    for record in records:
+        entry = aggregates.setdefault(record.name, [0, 0.0, 0])
+        entry[0] += 1
+        entry[1] += span_duration(record)
+        for attr in OP_ATTRS:
+            value = record.attrs.get(attr)
+            if isinstance(value, int) and not isinstance(value, bool):
+                entry[2] += value
+        if record.parent_id is None:
+            total_seconds += span_duration(record)
+    phases = tuple(
+        PhaseStat(phase=name, spans=int(entry[0]), seconds=entry[1], ops=int(entry[2]))
+        for name, entry in aggregates.items()
+    )
+    return RunProfile(phases=phases, total_seconds=total_seconds)
+
+
+def profile_from_parts(
+    rows: Sequence[Dict[str, object]],
+    phase_seconds: Dict[str, float],
+    total_seconds: float = 0.0,
+) -> RunProfile:
+    """Rebuild a :class:`RunProfile` from a stored ledger record.
+
+    ``rows`` is the record's deterministic ``phases`` list, and
+    ``phase_seconds`` its measured per-phase timings; a phase missing a
+    timing (fake-clock records round to zero) reads as 0.0 seconds.
+    """
+    phases = tuple(
+        PhaseStat(
+            phase=str(row["phase"]),
+            spans=int(row["spans"]),
+            seconds=float(phase_seconds.get(str(row["phase"]), 0.0)),
+            ops=int(row["ops"]),
+        )
+        for row in rows
+    )
+    return RunProfile(phases=phases, total_seconds=total_seconds)
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB (0 where unknown).
+
+    Real-clock runs record this in the ledger's *measured* section; under
+    ``FakeClock`` the ledger skips it so deterministic records stay
+    byte-identical machine-to-machine.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platforms: report "unknown"
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # macOS reports bytes, Linux KiB
+        usage //= 1024
+    return int(usage)

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..devtools.clock import Clock, SystemClock
-from ..errors import ObsError
+from ..errors import ObsError, ReproError
 from ..rng import derive_seed
 
 AttrValue = Union[str, int, float, bool]
@@ -100,8 +100,19 @@ class Span:
     def __enter__(self) -> "Span":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self._tracer._finish(self)
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None and "status" not in self.record.attrs:
+            self.record.attrs["status"] = "error"
+            if isinstance(exc, ReproError):
+                reason = (
+                    getattr(exc, "failure_reason", "")
+                    or getattr(exc, "reason", "")
+                    or type(exc).__name__
+                )
+                self.record.attrs["failure_reason"] = reason
+            else:
+                self.record.attrs["error"] = type(exc).__name__
+        self._tracer._finish(self, unwind=exc is not None)
 
 
 class NullSpan:
@@ -179,13 +190,32 @@ class Tracer:
         self._stack.append(record)
         return Span(self, record)
 
-    def _finish(self, span: Span) -> None:
-        if not self._stack or self._stack[-1] is not span.record:
+    def _finish(self, span: Span, unwind: bool = False) -> None:
+        """Close ``span``; with ``unwind`` (exception exits), also close any
+        descendants the exception left open, marking them ``status="error"``.
+
+        Spans are appended to :attr:`records` when they *open*, so a span
+        abandoned by an exception is never dropped from the JSONL — but
+        without unwinding it would stay open (``end == 0``) and poison the
+        stack for every later close.
+        """
+        record = span.record
+        if not any(entry is record for entry in self._stack):
             raise ObsError(
-                f"span {span.record.key!r} closed out of order; spans must "
+                f"span {record.key!r} closed out of order; spans must "
                 "nest (use `with` blocks)"
             )
-        span.record.end = self.clock.now()
+        if self._stack[-1] is not record and not unwind:
+            raise ObsError(
+                f"span {record.key!r} closed out of order; spans must "
+                "nest (use `with` blocks)"
+            )
+        now = self.clock.now()
+        while self._stack[-1] is not record:
+            abandoned = self._stack.pop()
+            abandoned.end = now
+            abandoned.attrs.setdefault("status", "error")
+        record.end = now
         self._stack.pop()
 
     def current_span_id(self) -> Optional[str]:

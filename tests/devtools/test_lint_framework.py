@@ -84,6 +84,7 @@ class TestRegistry:
             "ERR001",
             "ERR002",
             "OBS001",
+            "OBS002",
             "SQL001",
             "SQL002",
         ]
@@ -94,7 +95,7 @@ class TestRegistry:
             "SQL001",
         ]
         remaining = [r.rule_id for r in build_rules(ignore=["DET003"])]
-        assert "DET003" not in remaining and len(remaining) == 8
+        assert "DET003" not in remaining and len(remaining) == 9
 
     def test_unknown_rule_id_raises_lint_error(self):
         with pytest.raises(LintError, match="unknown rule id"):

@@ -465,3 +465,45 @@ class TestObs001NoPrintInLibraryCode:
     def test_suppression_comment_honoured(self):
         src = 'print("x")  # repro: ok[OBS001] progress output\n'
         assert check("OBS001", src) == []
+
+
+class TestObs002LiteralTelemetryNames:
+    def test_fstring_counter_name_flagged(self):
+        src = 'metrics.counter(f"crawl.{profile}.visits").inc()\n'
+        assert check("OBS002", src) == ["OBS002"]
+
+    def test_concatenated_span_name_flagged(self):
+        src = 'with tracer.span("site-" + domain):\n    pass\n'
+        assert check("OBS002", src) == ["OBS002"]
+
+    def test_call_built_histogram_name_flagged(self):
+        src = 'metrics.histogram("x".format(), EDGES).observe(1)\n'
+        assert check("OBS002", src) == ["OBS002"]
+
+    def test_literal_names_are_fine(self):
+        src = (
+            'metrics.counter("crawl.visits", profile=profile).inc()\n'
+            'metrics.gauge("queue.depth").set(2)\n'
+            'with tracer.span("site", key=f"site:{rank}"):\n'
+            "    pass\n"
+        )
+        assert check("OBS002", src) == []
+
+    def test_name_bound_constant_is_fine(self):
+        src = (
+            'NAME = "crawl.visits"\n'
+            "metrics.counter(NAME, profile=profile).inc()\n"
+        )
+        assert check("OBS002", src) == []
+
+    def test_unrelated_call_named_span_dynamic_arg_flagged(self):
+        # The rule keys on the call name, not the receiver: any span()/
+        # counter() family call must take a literal first argument.
+        assert check("OBS002", 'span(f"x{y}")\n') == ["OBS002"]
+
+    def test_other_functions_untouched(self):
+        assert check("OBS002", 'log(f"site {rank} done")\n') == []
+
+    def test_suppression_comment_honoured(self):
+        src = 'metrics.counter(f"x{y}")  # repro: ok[OBS002] migration shim\n'
+        assert check("OBS002", src) == []

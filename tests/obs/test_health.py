@@ -1,5 +1,7 @@
 """Crawl-health report tests: folding, store-backed counts, CLI."""
 
+import pytest
+
 from repro.crawler.commander import run_measurement
 from repro.devtools.clock import FakeClock
 from repro.obs import ObsContext
@@ -140,3 +142,40 @@ class TestCli:
         code = obs_main(["--db", str(tmp_path / "absent.sqlite")])
         assert code == 2
         assert "no such database" in capsys.readouterr().err
+
+
+class TestCliFromBundle:
+    @pytest.fixture()
+    def bundle_path(self, tmp_path):
+        from repro.bundle import record_from_store
+
+        store = run_measurement(3, [1, 2], max_pages_per_site=2)
+        path = str(tmp_path / "crawl.bundle")
+        record_from_store(store, seed=3, path=path)
+        store.close()
+        return path
+
+    def test_health_report_from_replayed_bundle(self, bundle_path, capsys):
+        code = obs_main(["health", "--from-bundle", bundle_path, "--fake-clock"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Per-profile outcomes" in out
+
+    def test_from_bundle_appends_replay_record(self, bundle_path, tmp_path, capsys):
+        from repro.obs import RunLedger
+
+        ledger_dir = str(tmp_path / "ledger")
+        code = obs_main(
+            ["health", "--from-bundle", bundle_path, "--fake-clock",
+             "--ledger", ledger_dir]
+        )
+        capsys.readouterr()
+        assert code == 0
+        record = RunLedger(ledger_dir).load("latest")
+        assert record.kind == "replay"
+        assert record.deterministic["bundle_digest"]
+
+    def test_missing_bundle_fails_cleanly(self, tmp_path, capsys):
+        code = obs_main(["health", "--from-bundle", str(tmp_path / "absent")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

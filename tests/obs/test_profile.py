@@ -1,0 +1,109 @@
+"""Phase profiler tests: aggregation, determinism split, rendering."""
+
+from repro.devtools.clock import FakeClock
+from repro.obs import render_flame, render_profile
+from repro.obs.profile import (
+    build_profile,
+    peak_rss_kb,
+    profile_from_parts,
+    span_duration,
+)
+from repro.obs.trace import SpanRecord, Tracer
+
+
+def make_trace():
+    clock = FakeClock()
+    tracer = Tracer(seed=3, clock=clock)
+    with tracer.span("crawl", sites=2):
+        with tracer.span("site", key="site:1", visits=5):
+            clock.advance(1.0)
+        with tracer.span("site", key="site:2", visits=7):
+            clock.advance(3.0)
+    return tracer.records
+
+
+class TestBuildProfile:
+    def test_phases_aggregate_by_span_name(self):
+        profile = build_profile(make_trace())
+        assert [stat.phase for stat in profile.phases] == ["crawl", "site"]
+        site = profile.phase("site")
+        assert site.spans == 2
+        assert site.seconds == 4.0
+
+    def test_ops_sum_operation_attrs_only(self):
+        profile = build_profile(make_trace())
+        # "sites" and "visits" count; booleans and strings never would.
+        assert profile.ops_for("crawl") == 2
+        assert profile.ops_for("site") == 12
+
+    def test_total_counts_roots_without_double_counting(self):
+        profile = build_profile(make_trace())
+        assert profile.total_seconds == 4.0
+
+    def test_deterministic_rows_carry_no_clock_readings(self):
+        for row in build_profile(make_trace()).deterministic_rows():
+            assert set(row) == {"phase", "spans", "ops"}
+
+    def test_open_span_duration_clamps_to_zero(self):
+        record = SpanRecord(
+            span_id="a", parent_id=None, name="n", key="k", start=5.0, end=0.0
+        )
+        assert span_duration(record) == 0.0
+
+    def test_empty_trace(self):
+        profile = build_profile([])
+        assert profile.phases == ()
+        assert profile.total_seconds == 0.0
+
+    def test_missing_phase_reads_as_zero(self):
+        profile = build_profile(make_trace())
+        assert profile.seconds_for("no-such-phase") == 0.0
+        assert profile.ops_for("no-such-phase") == 0
+        assert profile.phase("no-such-phase") is None
+
+
+class TestProfileFromParts:
+    def test_round_trips_a_built_profile(self):
+        built = build_profile(make_trace())
+        rebuilt = profile_from_parts(
+            built.deterministic_rows(), built.phase_seconds(), built.total_seconds
+        )
+        assert rebuilt.phase_seconds() == built.phase_seconds()
+        assert rebuilt.deterministic_rows() == built.deterministic_rows()
+
+    def test_missing_timings_read_as_zero(self):
+        rebuilt = profile_from_parts(
+            [{"phase": "crawl", "spans": 1, "ops": 3}], {}, 0.0
+        )
+        assert rebuilt.seconds_for("crawl") == 0.0
+        assert rebuilt.ops_for("crawl") == 3
+
+
+class TestPeakRss:
+    def test_reports_a_sane_number(self):
+        kb = peak_rss_kb()
+        assert isinstance(kb, int)
+        assert kb >= 0
+
+
+class TestRendering:
+    def test_profile_table_lists_phases_and_shares(self):
+        text = render_profile(build_profile(make_trace()))
+        assert "crawl" in text
+        assert "100.0%" in text
+        assert "total root wall time: 4.000s" in text
+
+    def test_flame_bars_scale_with_share(self):
+        text = render_flame(make_trace())
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("crawl")
+        short = next(line for line in lines if "site:1" in line)
+        long = next(line for line in lines if "site:2" in line)
+        assert long.count("█") > short.count("█")
+
+    def test_flame_empty_trace(self):
+        assert render_flame([]) == "(empty trace)"
+
+    def test_flame_max_depth(self):
+        text = render_flame(make_trace(), max_depth=0)
+        assert "site" not in text

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.devtools.clock import FakeClock
-from repro.errors import ObsError
+from repro.errors import CrawlError, ObsError
 from repro.obs import NULL_OBS, ObsContext, render_trace
 from repro.obs.trace import SpanRecord, Tracer, read_jsonl, split_roots
 
@@ -122,6 +122,60 @@ class TestExport:
         profile = next(record for record in parent.records if record.name == "profile")
         assert site.parent_id == crawl.span_id
         assert profile.parent_id == site.span_id
+
+
+class TestFailureLifecycle:
+    def test_raising_block_still_emits_its_span(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("step"):
+                raise ValueError("boom")
+        assert [record.name for record in tracer.records] == ["step"]
+
+    def test_error_status_and_exception_name_recorded(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("step"):
+                raise ValueError("boom")
+        attrs = tracer.records[0].attrs
+        assert attrs["status"] == "error"
+        assert attrs["error"] == "ValueError"
+
+    def test_repro_error_records_failure_reason(self):
+        tracer = make_tracer()
+        with pytest.raises(CrawlError):
+            with tracer.span("site", key="site:1"):
+                raise CrawlError("dns gave up")
+        attrs = tracer.records[0].attrs
+        assert attrs["status"] == "error"
+        assert attrs["failure_reason"] == "CrawlError"
+
+    def test_exception_closes_abandoned_descendants(self):
+        clock = FakeClock()
+        tracer = Tracer(seed=7, clock=clock)
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                tracer.span("inner").__enter__()  # never closed by its owner
+                clock.advance(1.0)
+                raise ValueError("boom")
+        inner = next(r for r in tracer.records if r.name == "inner")
+        assert inner.end == clock.now()
+        assert inner.attrs["status"] == "error"
+
+    def test_clean_exit_mismatch_still_raises(self):
+        # Unwinding is an exception-path salvage; a mismatched close on
+        # the clean path remains a programming error.
+        tracer = make_tracer()
+        outer = tracer.span("outer")
+        tracer.span("inner")
+        with pytest.raises(ObsError):
+            outer.__exit__(None, None, None)
+
+    def test_exception_propagates_through_span(self):
+        tracer = make_tracer()
+        with pytest.raises(CrawlError, match="dns gave up"):
+            with tracer.span("site"):
+                raise CrawlError("dns gave up")
 
 
 class TestRender:
