@@ -39,6 +39,7 @@ from ..crawler.storage import SCHEMA_VERSION, MeasurementStore
 from ..errors import BundleError
 from ..obs import NULL_OBS, ObsContext
 from ..obs.ledger import build_run_record, outcomes_from_store
+from ..obs.monitor import publish_store_events
 from ..web.blueprint import SiteBlueprint
 from ..web.sitegen import WebGenerator
 
@@ -404,6 +405,13 @@ class Bundle:
             span.set("rows", total_rows)
         if obs.metrics.enabled:
             obs.metrics.counter("bundle.rows_replayed").inc(total_rows)
+        if obs.stream.enabled:
+            # Reconstruct the crawl event sequence from the replayed rows
+            # so archived runs can be monitored against the same detector
+            # set (and a ledger baseline) as live crawls.
+            publish_store_events(store, obs.stream)
+            if obs.monitor is not None:
+                obs.monitor.finish()
         if obs.ledger is not None:
             obs.ledger.append(
                 build_run_record(
@@ -417,6 +425,11 @@ class Bundle:
                     filter_list_version=self.manifest.filter_list_version,
                     store_schema_version=store.schema_version,
                     bundle_digest=self.manifest.digest(),
+                    alerts=(
+                        obs.monitor.alerts_payload()
+                        if obs.monitor is not None
+                        else None
+                    ),
                 )
             )
         return store

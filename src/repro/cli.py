@@ -28,7 +28,14 @@ from .bundle import Bundle
 from .crawler import Commander, MeasurementStore, RetryPolicy, sample_paper_buckets
 from . import export as export_mod
 from .experiments import ALL_EXPERIMENTS, ExperimentConfig
-from .obs import NULL_OBS, ObsContext
+from .obs import (
+    NULL_OBS,
+    EventStream,
+    Monitor,
+    ObsContext,
+    default_expected_failure_rate,
+    render_alerts,
+)
 from .reporting.treeview import render_tree, render_tree_summary
 from .trees import TreeBuilder
 from .web import WebGenerator
@@ -94,6 +101,24 @@ def _write_obs(obs: ObsContext, args: argparse.Namespace) -> None:
 def _cmd_crawl(args: argparse.Namespace) -> int:
     obs = _obs_for(args)
     generator = WebGenerator(args.seed)
+    monitor = None
+    if args.monitor or args.monitor_gate:
+        if not obs.stream.enabled:
+            # _obs_for never enables the stream; rebuild with it on
+            # (nothing has been recorded yet).
+            obs = ObsContext.create(seed=args.seed, stream=EventStream())
+        expected = (
+            args.monitor_expect
+            if args.monitor_expect is not None
+            else default_expected_failure_rate(
+                generator.config.page_fail_probability
+            )
+        )
+        monitor = Monitor.for_crawl(
+            expected_rate=expected,
+            on_alert=lambda alert: print(f"! {alert.format()}"),
+        )
+        obs.attach_monitor(monitor)
     store = MeasurementStore(args.db, obs=obs)
     commander = Commander(
         generator,
@@ -120,6 +145,10 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         print(line)
     _write_obs(obs, args)
     store.close()
+    if monitor is not None:
+        print(render_alerts(monitor.alerts))
+        if args.monitor_gate and monitor.has_critical:
+            return 1
     return 0
 
 
@@ -271,6 +300,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crawl.add_argument("--trace", default="", help="write a span trace (JSONL)")
     crawl.add_argument("--metrics-out", default="", help="write run metrics (JSON)")
+    crawl.add_argument(
+        "--monitor",
+        action="store_true",
+        help="stream the crawl through the live anomaly monitor",
+    )
+    crawl.add_argument(
+        "--monitor-gate",
+        action="store_true",
+        help="with --monitor semantics, exit 1 when a critical alert fired",
+    )
+    crawl.add_argument(
+        "--monitor-expect",
+        type=float,
+        default=None,
+        help="override the monitor's expected per-visit failure rate",
+    )
     crawl.set_defaults(func=_cmd_crawl)
 
     analyze = sub.add_parser("analyze", help="run paper analyses on a stored crawl")

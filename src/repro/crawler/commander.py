@@ -39,6 +39,7 @@ from ..browser.profile import BrowserProfile, PAPER_PROFILES
 from ..errors import CrawlError
 from ..obs import NULL_OBS, ObsConfig, ObsContext, VISIT_SECONDS_BUCKETS
 from ..obs.ledger import build_run_record, outcomes_from_summary
+from ..obs.stream import KIND_SITE_END, KIND_SITE_START, KIND_VISIT, StreamEvent
 from ..obs.trace import SpanRecord, split_roots
 from ..rng import child_rng
 from ..web.sitegen import WebGenerator
@@ -221,6 +222,8 @@ class Commander:
             # the trace, or byte-identity across worker counts breaks.
             crawl_span.set("sites", summary.sites_crawled)
             crawl_span.set("visits", summary.total_visits)
+        if self.obs.monitor is not None:
+            self.obs.monitor.finish()
         if self.obs.ledger is not None:
             self.obs.ledger.append(
                 build_run_record(
@@ -232,6 +235,11 @@ class Commander:
                     primary_phase="crawl",
                     outcomes=outcomes_from_summary(summary),
                     store_schema_version=self.store.schema_version,
+                    alerts=(
+                        self.obs.monitor.alerts_payload()
+                        if self.obs.monitor is not None
+                        else None
+                    ),
                 )
             )
         return summary
@@ -355,6 +363,21 @@ class Commander:
                         site_spans[rank] = group
             for schedule in schedules:
                 self.obs.tracer.adopt(site_spans.get(schedule.rank, []))
+        if self.obs.stream.enabled:
+            # Replay worker event buffers grouped by site rank, in
+            # schedule order — the event-stream analogue of span
+            # adoption above.  Workers apply the same per-scope cap, so
+            # republishing never re-drops; worker-side drop counts are
+            # merged instead.
+            site_events: Dict[int, List[StreamEvent]] = {}
+            for result in shard_results:
+                for event in result.events:
+                    if event.site_rank is not None:
+                        site_events.setdefault(event.site_rank, []).append(event)
+                self.obs.stream.merge_dropped(result.dropped)
+            for schedule in schedules:
+                for event in site_events.get(schedule.rank, []):
+                    self.obs.stream.publish(event)
         if self.obs.metrics.enabled:
             self.obs.metrics.merge_all(
                 result.metrics for result in shard_results if result.metrics
@@ -394,6 +417,8 @@ class _ShardResult:
     stats: Dict[str, ClientStats]
     spans: List[SpanRecord] = field(default_factory=list)
     metrics: Optional[Dict[str, Dict[str, object]]] = None
+    events: List[StreamEvent] = field(default_factory=list)
+    dropped: Dict[str, int] = field(default_factory=dict)
 
 
 def _plan_site(
@@ -440,7 +465,7 @@ def _crawl_sites(
     rank, per-visit counters are labeled by profile — so the recorded
     stream is a pure function of the schedule, not of shard layout.
     """
-    tracer, metrics = obs.tracer, obs.metrics
+    tracer, metrics, stream = obs.tracer, obs.metrics, obs.stream
     clients = {
         profile.name: CrawlClient(
             profile,
@@ -472,6 +497,24 @@ def _crawl_sites(
     )
 
     def observe(profile_name: str, result, attempt: int) -> None:
+        if stream.enabled:
+            visit = result.visit
+            stream.publish(
+                StreamEvent(
+                    kind=KIND_VISIT,
+                    site_rank=visit.site_rank,
+                    profile=profile_name,
+                    payload={
+                        "visit_id": visit.visit_id,
+                        "page": visit.page_url,
+                        "success": visit.success,
+                        "reason": visit.failure_reason,
+                        "seconds": round(visit.duration, 6),
+                        "attempt": attempt,
+                        "partial": visit.partial,
+                    },
+                )
+            )
         visit_counters[profile_name].inc()
         duration_histogram.observe(result.visit.duration)
         if attempt > 1:
@@ -497,6 +540,17 @@ def _crawl_sites(
             continue
         batch = []
         site_visits = len(profiles) * plan.page_count * repeat_visits
+        counters_before: Dict[str, float] = {}
+        if stream.enabled:
+            stream.publish(
+                StreamEvent(
+                    kind=KIND_SITE_START,
+                    site_rank=schedule.rank,
+                    payload={"site": plan.site, "pages": plan.page_count},
+                )
+            )
+            if metrics.enabled:
+                counters_before = dict(metrics.scrape())
         # Site-level barrier: all clients start the site at its scheduled
         # time; stateful jars reset per site (cookies persist between the
         # site's pages).  Page visits then drift per client, unsynchronized.
@@ -585,6 +639,29 @@ def _crawl_sites(
         # stream must stay ascending in visit id for the shard merge.
         batch.sort(key=lambda result: result.visit.visit_id)
         store.store_visits(batch)
+        if stream.enabled:
+            # Site-local counter *deltas* (never cumulative snapshots,
+            # which differ between serial and per-shard registries).
+            deltas: Dict[str, float] = {}
+            if metrics.enabled:
+                for key, value in metrics.scrape():
+                    delta = value - counters_before.get(key, 0)
+                    if delta:
+                        deltas[key] = delta
+            stream.publish(
+                StreamEvent(
+                    kind=KIND_SITE_END,
+                    site_rank=schedule.rank,
+                    payload={
+                        "site": plan.site,
+                        "visits": len(batch),
+                        "successes": sum(
+                            1 for result in batch if result.success
+                        ),
+                        "metrics": deltas,
+                    },
+                )
+            )
     return {name: client.stats for name, client in clients.items()}
 
 
@@ -616,6 +693,8 @@ def _crawl_shard(spec: _ShardSpec) -> _ShardResult:
         stats=stats,
         spans=obs.tracer.records,
         metrics=obs.metrics.as_dict() if obs.metrics.enabled else None,
+        events=obs.stream.events,
+        dropped=obs.stream.dropped,
     )
 
 

@@ -12,7 +12,15 @@ import argparse
 import sys
 
 from ..devtools.clock import Clock, Stopwatch
-from ..obs import NULL_OBS, ObsContext, RunLedger
+from ..obs import (
+    NULL_OBS,
+    EventStream,
+    Monitor,
+    ObsContext,
+    RunLedger,
+    default_expected_failure_rate,
+    render_alerts,
+)
 from . import ALL_EXPERIMENTS
 from .runner import ExperimentConfig, run_pipeline
 
@@ -43,6 +51,16 @@ def main(argv=None, clock: "Clock" = None) -> int:
         default="",
         help="append the pipeline's run record to this ledger directory",
     )
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help="stream the crawl through the live anomaly monitor",
+    )
+    parser.add_argument(
+        "--monitor-gate",
+        action="store_true",
+        help="with --monitor semantics, exit 1 when a critical alert fired",
+    )
     args = parser.parse_args(argv)
     selected = (
         [item.strip() for item in args.only.split(",") if item.strip()]
@@ -58,15 +76,24 @@ def main(argv=None, clock: "Clock" = None) -> int:
         sites_per_bucket=args.sites_per_bucket,
         pages_per_site=args.pages_per_site,
     )
+    monitoring = args.monitor or args.monitor_gate
     obs = (
         ObsContext.create(
             seed=args.seed,
             clock=clock,
             ledger=RunLedger(args.ledger) if args.ledger else None,
+            stream=EventStream() if monitoring else None,
         )
-        if (args.trace or args.metrics_out or args.ledger)
+        if (args.trace or args.metrics_out or args.ledger or monitoring)
         else NULL_OBS
     )
+    monitor = None
+    if monitoring:
+        monitor = Monitor.for_crawl(
+            expected_rate=default_expected_failure_rate(),
+            on_alert=lambda alert: print(f"! {alert.format()}"),
+        )
+        obs.attach_monitor(monitor)
     watch = Stopwatch(clock)
     print(
         f"running pipeline: seed={config.seed}, "
@@ -99,6 +126,10 @@ def main(argv=None, clock: "Clock" = None) -> int:
         entries = obs.ledger.entries()
         if entries:
             print(f"ledger: run {entries[-1].run_id[:12]} -> {obs.ledger.root}")
+    if monitor is not None:
+        print(render_alerts(monitor.alerts))
+        if args.monitor_gate and monitor.has_critical:
+            return 1
     return 0
 
 

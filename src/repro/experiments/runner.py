@@ -124,6 +124,11 @@ class ExperimentContext:
                         generate_easylist(self.generator.ecosystem)
                     ),
                     store_schema_version=self.store.schema_version,
+                    alerts=(
+                        self.obs.monitor.alerts_payload()
+                        if self.obs.monitor is not None
+                        else None
+                    ),
                 )
             )
 
@@ -176,6 +181,11 @@ class ExperimentContext:
                     filter_list_version=bundle.manifest.filter_list_version,
                     store_schema_version=ctx.store.schema_version,
                     bundle_digest=bundle.manifest.digest(),
+                    alerts=(
+                        ctx.obs.monitor.alerts_payload()
+                        if ctx.obs.monitor is not None
+                        else None
+                    ),
                 )
             )
         return ctx

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..devtools.clock import Clock
+from ..errors import ObsError
 from .ledger import (
     DiffThresholds,
     LedgerDiff,
@@ -50,8 +51,27 @@ from .metrics import (
     metric_key,
     validate_bucket_edges,
 )
+from .monitor import (
+    Alert,
+    FailureSpikeDetector,
+    Monitor,
+    ProfileSkewDetector,
+    SiteStallDetector,
+    ThroughputDetector,
+    baseline_seconds_per_visit,
+    default_expected_failure_rate,
+    events_from_store,
+    publish_store_events,
+)
 from .profile import PhaseStat, RunProfile, build_profile, profile_from_parts
-from .render import render_flame, render_metrics, render_profile, render_trace
+from .render import (
+    render_alerts,
+    render_flame,
+    render_metrics,
+    render_profile,
+    render_trace,
+)
+from .stream import DEFAULT_SCOPE_CAPACITY, EventStream, StreamEvent
 from .trace import Span, SpanRecord, Tracer, read_jsonl, split_roots
 
 
@@ -68,6 +88,11 @@ class ObsConfig:
     enabled: bool = False
     seed: int = 0
     clock: Optional[Clock] = None
+    #: Whether workers should buffer stream events for rank-ordered
+    #: replay by the parent (detectors stay parent-side; see
+    #: :mod:`repro.obs.monitor`).
+    stream_enabled: bool = False
+    stream_capacity: int = DEFAULT_SCOPE_CAPACITY
 
 
 class ObsContext:
@@ -86,10 +111,20 @@ class ObsContext:
         tracer: Tracer,
         metrics: MetricsRegistry,
         ledger: Optional[RunLedger] = None,
+        stream: Optional[EventStream] = None,
+        monitor: Optional[Monitor] = None,
     ) -> None:
         self.tracer = tracer
         self.metrics = metrics
         self.ledger = ledger
+        self.stream = stream if stream is not None else EventStream.disabled()
+        self.monitor: Optional[Monitor] = None
+        if self.stream.enabled and self.tracer.enabled:
+            # Publish span events as spans close; adopted worker spans
+            # arrive via shard replay instead (no double publish).
+            self.tracer.on_finish = self.stream.publish_span
+        if monitor is not None:
+            self.attach_monitor(monitor)
 
     @property
     def enabled(self) -> bool:
@@ -101,64 +136,104 @@ class ObsContext:
         seed: int = 0,
         clock: Optional[Clock] = None,
         ledger: Optional[RunLedger] = None,
+        stream: Optional[EventStream] = None,
+        monitor: Optional[Monitor] = None,
     ) -> "ObsContext":
         """An enabled context for one pipeline run."""
-        return cls(Tracer(seed=seed, clock=clock), MetricsRegistry(), ledger=ledger)
+        if monitor is not None and stream is None:
+            stream = EventStream()
+        return cls(
+            Tracer(seed=seed, clock=clock),
+            MetricsRegistry(),
+            ledger=ledger,
+            stream=stream,
+            monitor=monitor,
+        )
 
     @classmethod
     def disabled(cls) -> "ObsContext":
         return cls(Tracer.disabled(), MetricsRegistry.disabled())
+
+    def attach_monitor(self, monitor: Monitor) -> None:
+        """Subscribe ``monitor`` to this context's event stream."""
+        if not self.stream.enabled:
+            raise ObsError("attach_monitor needs an enabled event stream")
+        self.monitor = monitor
+        self.stream.subscribe(monitor.handle)
 
     def config(self) -> ObsConfig:
         """The picklable spec workers use to build their own context."""
         if not self.enabled:
             return ObsConfig(enabled=False)
         return ObsConfig(
-            enabled=True, seed=self.tracer.seed, clock=self.tracer.clock
+            enabled=True,
+            seed=self.tracer.seed,
+            clock=self.tracer.clock,
+            stream_enabled=self.stream.enabled,
+            stream_capacity=self.stream.scope_capacity,
         )
 
     @classmethod
     def from_config(cls, config: Optional[ObsConfig]) -> "ObsContext":
         if config is None or not config.enabled:
             return NULL_OBS
-        return cls.create(seed=config.seed, clock=config.clock)
+        stream = (
+            EventStream(scope_capacity=config.stream_capacity)
+            if config.stream_enabled
+            else None
+        )
+        return cls.create(seed=config.seed, clock=config.clock, stream=stream)
 
 
 #: The shared disabled context instrumented modules default to.
 NULL_OBS = ObsContext.disabled()
 
 __all__ = [
+    "Alert",
     "BATCH_SIZE_BUCKETS",
     "Counter",
+    "DEFAULT_SCOPE_CAPACITY",
     "DiffThresholds",
+    "EventStream",
+    "FailureSpikeDetector",
     "Gauge",
     "Histogram",
     "LedgerDiff",
     "LedgerEntry",
     "MetricsRegistry",
+    "Monitor",
     "NULL_OBS",
     "ObsConfig",
     "ObsContext",
     "PhaseStat",
+    "ProfileSkewDetector",
     "RunLedger",
     "RunProfile",
     "RunRecord",
+    "SiteStallDetector",
     "Span",
     "SpanRecord",
+    "StreamEvent",
+    "ThroughputDetector",
     "TREE_DEPTH_BUCKETS",
     "TREE_EDGE_BUCKETS",
     "TREE_NODE_BUCKETS",
     "Tracer",
     "VISIT_SECONDS_BUCKETS",
+    "baseline_seconds_per_visit",
     "build_profile",
     "build_run_record",
     "config_hash",
+    "default_expected_failure_rate",
     "diff_records",
+    "events_from_store",
     "metric_key",
     "outcomes_from_store",
     "outcomes_from_summary",
     "profile_from_parts",
+    "publish_store_events",
     "read_jsonl",
+    "render_alerts",
     "render_flame",
     "render_metrics",
     "render_profile",

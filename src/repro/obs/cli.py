@@ -1,20 +1,26 @@
-"""``repro-obs`` — crawl health, run ledger, and drift reports.
+"""``repro-obs`` — crawl health, live monitoring, run ledger, and drift
+reports.
 
 Subcommands::
 
     repro-obs health  [--seed N ... | --db run.sqlite | --from-bundle DIR]
-    repro-obs runs    --ledger DIR
+    repro-obs watch   [--seed N ... | --db run.sqlite | --from-bundle DIR]
+                      [--baseline REF --ledger DIR] [--monitor-gate]
+    repro-obs runs    --ledger DIR [--limit N] [--kind KIND] [--since-run REF]
     repro-obs show    [REF] --ledger DIR
     repro-obs profile [REF] --ledger DIR | --trace trace.jsonl [--flame]
     repro-obs diff    [RECORDED [LIVE]] --ledger DIR [--gate]
 
 ``health`` runs a fully instrumented seeded crawl (or audits an existing
 measurement database, or replays a recorded bundle) and prints
-per-profile outcomes plus per-stage timings.  ``--fake-clock`` freezes
-span timestamps for deterministic output; ``--ledger DIR`` appends the
-run's record to a ledger.  The ledger subcommands list, print, profile,
-and diff stored run records; run references are ``latest``, ``prev``, or
-a unique run-id prefix.  ``diff --gate`` exits nonzero on deterministic
+per-profile outcomes plus per-stage timings.  ``watch`` runs the same
+sources through the live monitor (:mod:`repro.obs.monitor`): alerts
+print as detectors fire, a summary follows, and ``--monitor-gate`` exits
+nonzero when any alert is critical.  ``--fake-clock`` freezes span
+timestamps for deterministic output; ``--ledger DIR`` appends the run's
+record to a ledger.  The ledger subcommands list, print, profile, and
+diff stored run records; run references are ``latest``, ``prev``, or a
+unique run-id prefix.  ``diff --gate`` exits nonzero on deterministic
 drift *or* a measured regression past the thresholds.
 
 For compatibility with the original flag-only interface, an invocation
@@ -39,11 +45,18 @@ from ..web import WebGenerator
 from . import ObsContext
 from .health import build_health_report, render_health_report
 from .ledger import DiffThresholds, RunLedger, diff_records
+from .monitor import (
+    Monitor,
+    baseline_seconds_per_visit,
+    default_expected_failure_rate,
+    publish_store_events,
+)
 from .profile import build_profile, profile_from_parts
-from .render import render_flame, render_profile, render_trace
+from .render import render_alerts, render_flame, render_profile, render_trace
+from .stream import EventStream
 from .trace import read_jsonl
 
-_SUBCOMMANDS = ("health", "runs", "show", "profile", "diff")
+_SUBCOMMANDS = ("health", "watch", "runs", "show", "profile", "diff")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,8 +114,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     health.set_defaults(func=_cmd_health)
 
+    watch = sub.add_parser(
+        "watch", help="live crawl monitor: streaming telemetry and alerts"
+    )
+    watch.add_argument("--db", default="", help="monitor an existing crawl db")
+    watch.add_argument(
+        "--from-bundle",
+        default="",
+        help="replay a recorded bundle through the monitor",
+    )
+    watch.add_argument("--seed", type=int, default=2023)
+    watch.add_argument(
+        "--sites-per-bucket",
+        type=int,
+        default=10,
+        help="sites per popularity bucket (x5 buckets; default 10 -> 50 sites)",
+    )
+    watch.add_argument("--pages-per-site", type=int, default=4)
+    watch.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sharded crawl"
+    )
+    watch.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-attempts per failed retryable visit (0 = single attempt)",
+    )
+    watch.add_argument(
+        "--salvage-partial",
+        action="store_true",
+        help="store the partial traffic of timed-out visits",
+    )
+    watch.add_argument(
+        "--ledger", default="", help="append this run's record to a ledger"
+    )
+    watch.add_argument(
+        "--baseline",
+        default="",
+        help="ledger run ref whose visit-duration histogram becomes the "
+        "throughput baseline (needs --ledger)",
+    )
+    watch.add_argument(
+        "--expected-failure-rate",
+        type=float,
+        default=None,
+        help="override the fault-taxonomy failure-rate expectation",
+    )
+    watch.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="override every detector's rolling-window size (0 = defaults)",
+    )
+    watch.add_argument(
+        "--monitor-gate",
+        action="store_true",
+        help="exit 1 when any critical alert fired",
+    )
+    watch.add_argument(
+        "--fake-clock",
+        action="store_true",
+        help="freeze span timestamps (deterministic output for tests)",
+    )
+    watch.set_defaults(func=_cmd_watch)
+
     runs = sub.add_parser("runs", help="list the runs a ledger has recorded")
     runs.add_argument("--ledger", required=True, help="ledger directory")
+    runs.add_argument(
+        "--limit", type=int, default=0, help="show only the last N entries"
+    )
+    runs.add_argument("--kind", default="", help="only runs of this kind")
+    runs.add_argument(
+        "--since-run",
+        default="",
+        help="only entries appended after this run ref",
+    )
     runs.set_defaults(func=_cmd_runs)
 
     show = sub.add_parser("show", help="print one run record as JSON")
@@ -242,21 +328,125 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return _report_from_crawl(args)
 
 
+def _print_alert(alert) -> None:
+    print(f"! {alert.format()}")
+
+
+def _monitor_for(
+    args: argparse.Namespace,
+    ledger: Optional[RunLedger],
+    page_fail_probability: Optional[float] = None,
+) -> Monitor:
+    """Build the watch monitor from CLI flags."""
+    if args.baseline and ledger is None:
+        raise ReproError("--baseline needs --ledger")
+    baseline = (
+        baseline_seconds_per_visit(ledger.load(args.baseline))
+        if args.baseline
+        else None
+    )
+    expected = args.expected_failure_rate
+    if expected is None:
+        expected = default_expected_failure_rate(page_fail_probability)
+    return Monitor.for_crawl(
+        expected_rate=expected,
+        baseline_seconds=baseline,
+        on_alert=_print_alert,
+        window=args.window if args.window > 0 else None,
+    )
+
+
+def _finish_watch(
+    monitor: Monitor,
+    stream: EventStream,
+    args: argparse.Namespace,
+    obs: Optional[ObsContext] = None,
+) -> int:
+    monitor.finish()
+    print()
+    print(render_alerts(monitor.alerts))
+    dropped = stream.dropped_total()
+    note = f", {dropped} dropped" if dropped else ""
+    print(f"{monitor.events_seen} events monitored{note}")
+    if obs is not None and obs.ledger is not None:
+        entries = obs.ledger.entries()
+        if entries:
+            print(f"ledger: run {entries[-1].run_id[:12]} -> {obs.ledger.root}")
+    if args.monitor_gate and monitor.has_critical:
+        return 1
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    ledger = _ledger_for(args)
+    if args.db:
+        if not os.path.exists(args.db):
+            print(f"repro-obs: no such database: {args.db}", file=sys.stderr)
+            return 2
+        monitor = _monitor_for(args, ledger)
+        stream = EventStream()
+        stream.subscribe(monitor.handle)
+        with MeasurementStore.open_readonly(args.db) as store:
+            publish_store_events(store, stream)
+        return _finish_watch(monitor, stream, args)
+    clock = FakeClock() if args.fake_clock else None
+    if args.from_bundle:
+        from ..bundle import Bundle  # deferred: repro.bundle imports crawler too
+
+        monitor = _monitor_for(args, ledger)
+        obs = ObsContext.create(
+            seed=args.seed, clock=clock, ledger=ledger, stream=EventStream()
+        )
+        obs.attach_monitor(monitor)
+        store = Bundle.open(args.from_bundle).replay(obs=obs)
+        store.close()
+        return _finish_watch(monitor, obs.stream, args, obs=obs)
+    obs = ObsContext.create(
+        seed=args.seed, clock=clock, ledger=ledger, stream=EventStream()
+    )
+    generator = WebGenerator(args.seed)
+    monitor = _monitor_for(args, ledger, generator.config.page_fail_probability)
+    obs.attach_monitor(monitor)
+    store = MeasurementStore(obs=obs)
+    commander = Commander(
+        generator,
+        store,
+        max_pages_per_site=args.pages_per_site,
+        workers=args.jobs,
+        obs=obs,
+        retry_policy=RetryPolicy.with_retries(args.retries),
+        salvage_partial=args.salvage_partial,
+    )
+    commander.run(sample_paper_buckets(args.seed, per_bucket=args.sites_per_bucket))
+    store.close()
+    return _finish_watch(monitor, obs.stream, args, obs=obs)
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     ledger = RunLedger(args.ledger)
     entries = ledger.entries()
     if not entries:
         print("(empty ledger)")
         return 0
+    if args.since_run:
+        floor = ledger.resolve(args.since_run).seq
+        entries = [entry for entry in entries if entry.seq > floor]
+    if args.kind:
+        entries = [entry for entry in entries if entry.kind == args.kind]
+    if args.limit > 0:
+        entries = entries[-args.limit :]
+    if not entries:
+        print("(no matching runs)")
+        return 0
     print(
         f"{'seq':>4} {'run id':<14} {'kind':<10} {'label':<14} "
-        f"{'seed':>6} {'provenance':<14}"
+        f"{'seed':>6} {'provenance':<14} {'alerts':>6}"
     )
     for entry in entries:
         print(
             f"{entry.seq:>4} {entry.run_id[:12]:<14} {entry.kind:<10} "
             f"{(entry.label or '-'):<14} {entry.seed:>6} "
-            f"{entry.provenance_id[:12]:<14}"
+            f"{entry.provenance_id[:12]:<14} {entry.alerts:>6}"
         )
     return 0
 

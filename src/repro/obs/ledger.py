@@ -89,22 +89,34 @@ def config_hash(config: Mapping[str, object]) -> str:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One ledger entry: the durable description of one run."""
+    """One ledger entry: the durable description of one run.
+
+    ``alerts`` holds the monitor's findings (see
+    :mod:`repro.obs.monitor`) in emission order.  Alerts are pure
+    functions of the deterministic event stream, so the section is
+    byte-compared by :func:`diff_records` like the deterministic
+    section; it is serialized only when non-empty so records written
+    before the monitor existed keep their run ids.
+    """
 
     kind: str
     label: str
     deterministic: Mapping[str, object]
     measured: Mapping[str, object]
+    alerts: Tuple[Mapping[str, object], ...] = ()
     ledger_schema: int = LEDGER_SCHEMA_VERSION
 
     def to_payload(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "ledger_schema": self.ledger_schema,
             "kind": self.kind,
             "label": self.label,
             "deterministic": dict(self.deterministic),
             "measured": dict(self.measured),
         }
+        if self.alerts:
+            payload["alerts"] = [dict(alert) for alert in self.alerts]
+        return payload
 
     @property
     def run_id(self) -> str:
@@ -135,11 +147,17 @@ class RunRecord:
             measured = payload["measured"]
             if not isinstance(deterministic, dict) or not isinstance(measured, dict):
                 raise LedgerError("record sections must be JSON objects")
+            alerts = payload.get("alerts", [])
+            if not isinstance(alerts, list) or not all(
+                isinstance(alert, dict) for alert in alerts
+            ):
+                raise LedgerError("alerts section must be a list of objects")
             return cls(
                 kind=str(payload["kind"]),
                 label=str(payload["label"]),
                 deterministic=deterministic,
                 measured=measured,
+                alerts=tuple(alerts),
                 ledger_schema=schema,
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -214,6 +232,7 @@ def build_run_record(
     filter_list_version: str = "",
     store_schema_version: int = 0,
     bundle_digest: str = "",
+    alerts: Optional[Sequence[Mapping[str, object]]] = None,
 ) -> RunRecord:
     """Assemble a :class:`RunRecord` from one run's telemetry.
 
@@ -257,7 +276,11 @@ def build_run_record(
         "peak_rss_kb": 0 if fake_clock else peak_rss_kb(),
     }
     return RunRecord(
-        kind=kind, label=label, deterministic=deterministic, measured=measured
+        kind=kind,
+        label=label,
+        deterministic=deterministic,
+        measured=measured,
+        alerts=tuple(dict(alert) for alert in alerts) if alerts else (),
     )
 
 
@@ -272,6 +295,10 @@ class LedgerEntry:
     seed: int
     config_hash: str
     provenance_id: str
+    #: Monitor alert count (0 for records written before the monitor, or
+    #: for unmonitored runs); surfaces "this run alerted" in listings
+    #: without loading the record object.
+    alerts: int = 0
 
     def to_payload(self) -> Dict[str, object]:
         return {
@@ -282,6 +309,7 @@ class LedgerEntry:
             "seed": self.seed,
             "config_hash": self.config_hash,
             "provenance_id": self.provenance_id,
+            "alerts": self.alerts,
         }
 
     @classmethod
@@ -295,6 +323,7 @@ class LedgerEntry:
                 seed=int(payload["seed"]),
                 config_hash=str(payload["config_hash"]),
                 provenance_id=str(payload["provenance_id"]),
+                alerts=int(payload.get("alerts", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise LedgerError(f"malformed ledger index line: {exc}") from exc
@@ -343,6 +372,7 @@ class RunLedger:
             seed=seed if isinstance(seed, int) else 0,
             config_hash=str(record.deterministic.get("config_hash", "")),
             provenance_id=record.provenance_id,
+            alerts=len(record.alerts),
         )
         with open(self.index_path, "a", encoding="utf-8") as handle:
             handle.write(canonical_json(entry.to_payload()) + "\n")
@@ -576,6 +606,10 @@ def diff_records(
         )
     flat_recorded = flatten_section(recorded.deterministic)
     flat_live = flatten_section(live.deterministic)
+    # Alerts are deterministic (pure functions of the event stream), so
+    # they drift-compare byte-for-byte alongside the deterministic section.
+    flat_recorded.update(flatten_section({"alerts": list(recorded.alerts)}))
+    flat_live.update(flatten_section({"alerts": list(live.alerts)}))
     drift: List[FieldDelta] = []
     for key in sorted(set(flat_recorded) | set(flat_live)):
         recorded_value = flat_recorded.get(key, ABSENT)

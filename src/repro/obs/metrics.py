@@ -77,6 +77,18 @@ def metric_key(name: str, labels: Mapping[str, LabelValue]) -> str:
     return f"{name}{{{rendered}}}"
 
 
+def _require_finite(value: float, context: str) -> None:
+    """Reject NaN/±inf observations loudly.
+
+    NaN compares false against everything, so without this check it slips
+    past ``amount < 0`` guards and bisect binning and silently poisons
+    exported sums — the same failure mode bucket-edge validation exists
+    to prevent.
+    """
+    if math.isnan(value) or math.isinf(value):
+        raise ObsError(f"{context} requires a finite value, got {value!r}")
+
+
 class Counter:
     """A monotonically increasing sum."""
 
@@ -86,17 +98,22 @@ class Counter:
         self.value: float = 0
 
     def inc(self, amount: float = 1) -> None:
+        _require_finite(amount, "Counter.inc")
         if amount < 0:
             raise ObsError(f"counters only go up; inc({amount}) is not allowed")
         self.value += amount
 
 
 class Gauge:
-    """A last-write-wins scalar (queue depths, configured sizes).
+    """A scalar tracking a level (queue depths, configured sizes).
 
-    Gauges do not merge commutatively, so sharded code paths must not set
-    them — the registry rejects gauge values in :meth:`MetricsRegistry.merge`
-    only when they conflict, keeping the determinism contract checkable.
+    Across shards gauges merge **max-wins** (see
+    :meth:`MetricsRegistry.merge`): ``max`` is commutative and
+    associative, so the surviving value is independent of merge order and
+    shard layout.  The convention that makes max-wins meaningful: ``0``
+    is "unset", and sharded code paths only set gauges whose maximum is
+    the quantity of interest (high-water marks, configured sizes that
+    agree across shards).
     """
 
     __slots__ = ("value",)
@@ -105,6 +122,7 @@ class Gauge:
         self.value: float = 0
 
     def set(self, value: float) -> None:
+        _require_finite(value, "Gauge.set")
         self.value = value
 
 
@@ -129,6 +147,7 @@ class Histogram:
         self.count: int = 0
 
     def observe(self, value: float) -> None:
+        _require_finite(value, "Histogram.observe")
         self.counts[bisect.bisect_left(self.edges, value)] += 1
         self.count += 1
 
@@ -241,11 +260,10 @@ class MetricsRegistry:
         """Fold an :meth:`as_dict` export (e.g. from a worker) into this
         registry.
 
-        Counters and histograms merge by summation, so the merged result
-        is independent of both merge order and shard layout.  Gauges are
-        last-write-wins; merging a gauge that already holds a *different*
-        value raises, because that would make the result depend on merge
-        order.
+        Counters and histograms merge by summation, gauges by ``max`` —
+        all three are commutative and associative, so the merged result
+        is independent of both merge order and shard layout (DESIGN
+        §6.2).
         """
         for key, value in sorted(data.get("counters", {}).items()):
             name, labels = _parse_key(key)
@@ -253,11 +271,10 @@ class MetricsRegistry:
         for key, value in sorted(data.get("gauges", {}).items()):
             name, labels = _parse_key(key)
             gauge = self.gauge(name, **labels)
-            if isinstance(gauge, Gauge) and gauge.value not in (0, value):
-                raise ObsError(
-                    f"gauge {key} merge conflict: {gauge.value} vs {value}"
-                )
-            gauge.set(value)
+            if isinstance(gauge, Gauge):
+                gauge.set(max(gauge.value, value))
+            else:
+                gauge.set(value)
         for key, payload in sorted(data.get("histograms", {}).items()):
             name, labels = _parse_key(key)
             histogram = self.histogram(name, payload["edges"], **labels)
@@ -276,6 +293,21 @@ class MetricsRegistry:
         for data in exports:
             if data:
                 self.merge(data)
+
+    def scrape(self, prefix: str = "") -> List[Tuple[str, float]]:
+        """Sorted ``(key, value)`` view of the counters.
+
+        The streaming layer diffs two scrapes taken around one site's
+        crawl to attach *site-local* counter deltas to ``site-end``
+        events.  Deltas — unlike cumulative snapshots — are identical
+        whether the site ran serially or inside a shard whose registry
+        only ever saw that shard's sites.
+        """
+        return [
+            (key, metric.value)
+            for key, metric in sorted(self._metrics.items())
+            if isinstance(metric, Counter) and key.startswith(prefix)
+        ]
 
     # -- access ------------------------------------------------------------
 

@@ -102,6 +102,24 @@ def render_profile(profile: RunProfile) -> str:
     return "\n".join(lines)
 
 
+def render_alerts(alerts: Sequence[object]) -> str:
+    """Render monitor alerts, one line each, with a severity tally.
+
+    Accepts anything shaped like :class:`repro.obs.monitor.Alert`
+    (``severity`` attribute plus a ``format()`` method), so callers can
+    pass a monitor's ``alerts`` list directly.
+    """
+    if not alerts:
+        return "(no alerts)"
+    lines = [alert.format() for alert in alerts]
+    tally: Dict[str, int] = {}
+    for alert in alerts:
+        tally[alert.severity] = tally.get(alert.severity, 0) + 1
+    summary = ", ".join(f"{tally[key]} {key}" for key in sorted(tally))
+    lines.append(f"{len(alerts)} alert(s): {summary}")
+    return "\n".join(lines)
+
+
 def render_metrics(registry: MetricsRegistry) -> str:
     """Render a registry as sorted ``key value`` lines plus histograms."""
     data = registry.as_dict()

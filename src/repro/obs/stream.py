@@ -1,0 +1,197 @@
+"""Bounded, deterministic event bus for live crawl telemetry.
+
+The stream is the in-flight counterpart of the trace: while spans and
+metrics describe a run *after* it finished, :class:`StreamEvent` records
+flow through an :class:`EventStream` as the crawl executes, feeding the
+rolling-window detectors in :mod:`repro.obs.monitor` (and, eventually,
+any streaming crawl→analysis consumer).
+
+Determinism contract (extends DESIGN §6):
+
+* **Scoped bounds.**  The bus is bounded *per scope* (one scope per site
+  rank, plus one run-level scope), never globally.  A global bound would
+  make the drop decision depend on how sites interleave across shards;
+  a per-site bound makes "which events survive" a pure function of that
+  site's own event sequence, identical at any worker count.
+* **Rank-ordered replay.**  Shard workers buffer events in their private
+  streams; the parent republishes each worker's events grouped by site
+  rank, in schedule order — the same discipline :meth:`Tracer.adopt`
+  applies to spans.  Under ``FakeClock`` the merged event sequence is
+  byte-identical for ``workers=1`` and ``workers=N``.
+* **Deterministic payloads.**  Payload values must be pure functions of
+  the seed and configuration (simulated durations, outcome flags, metric
+  deltas) — never wall-clock readings, PIDs, or paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from .trace import SpanRecord
+
+#: Per-scope event capacity.  One scope is one site (or the run-level
+#: scope for parent-only span events); the cap bounds memory per site
+#: independently of shard layout.
+DEFAULT_SCOPE_CAPACITY = 10_000
+
+#: Scope key used for events that are not tied to a site rank.
+RUN_SCOPE = "run"
+
+#: Event kinds emitted by the crawler and the span hook.
+KIND_SITE_START = "site-start"
+KIND_VISIT = "visit"
+KIND_SITE_END = "site-end"
+KIND_SPAN = "span"
+
+#: Span names that produce ``span`` events.  The allowlist is load-bearing
+#: for determinism: site-scoped names (``site``, ``profile``, ``retry``)
+#: carry a ``site:<rank>`` key so shard replay can file them by rank;
+#: the rest only ever close in the parent process.  Unlisted spans
+#: (e.g. storage internals) emit no events, so adding spans elsewhere
+#: cannot perturb the monitored stream.
+SPAN_EVENT_NAMES = (
+    "plan",
+    "crawl",
+    "site",
+    "profile",
+    "retry",
+    "filter-list",
+    "dataset",
+    "experiment",
+    "pipeline",
+    "bundle-replay",
+)
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One telemetry event.  Picklable for shard transport.
+
+    ``site_rank`` is ``None`` for run-scope events (parent-only spans).
+    ``payload`` must hold JSON-safe, deterministic values only.
+    """
+
+    kind: str
+    site_rank: Optional[int] = None
+    profile: str = ""
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        body = {
+            "kind": self.kind,
+            "site_rank": self.site_rank,
+            "profile": self.profile,
+            "payload": dict(self.payload),
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def rank_from_key(key: str) -> Optional[int]:
+    """Extract the site rank from a ``site:<rank>``-style span key."""
+    if not key.startswith("site:"):
+        return None
+    head = key[len("site:"):].split("/", 1)[0]
+    try:
+        return int(head)
+    except ValueError:
+        return None
+
+
+def span_event(record: SpanRecord) -> Optional[StreamEvent]:
+    """The ``span`` event for a finished span, or ``None`` if the span's
+    name is not in :data:`SPAN_EVENT_NAMES`."""
+    if record.name not in SPAN_EVENT_NAMES:
+        return None
+    payload: Dict[str, object] = {
+        "name": record.name,
+        "key": record.key,
+        "seconds": round(record.duration, 6),
+        "status": str(record.attrs.get("status", "ok")),
+    }
+    return StreamEvent(
+        kind=KIND_SPAN,
+        site_rank=rank_from_key(record.key),
+        profile=str(record.attrs.get("profile", "")),
+        payload=payload,
+    )
+
+
+class EventStream:
+    """Bounded publish/subscribe bus with per-scope drop accounting.
+
+    Subscribers are dispatched synchronously, in subscription order, for
+    every accepted event; dropped events (scope over capacity) are
+    counted per scope and never dispatched.  The buffered :attr:`events`
+    list doubles as the shard transport: workers ship it to the parent,
+    which republishes by rank (see :meth:`Commander._run_sharded`).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        scope_capacity: int = DEFAULT_SCOPE_CAPACITY,
+    ) -> None:
+        self.enabled = enabled
+        self.scope_capacity = scope_capacity
+        self.events: List[StreamEvent] = []
+        self.dropped: Dict[str, int] = {}
+        self._counts: Dict[str, int] = {}
+        self._subscribers: List[Callable[[StreamEvent], None]] = []
+
+    @classmethod
+    def disabled(cls) -> "EventStream":
+        return cls(enabled=False)
+
+    def subscribe(self, callback: Callable[[StreamEvent], None]) -> None:
+        """Register a consumer called for every accepted event."""
+        self._subscribers.append(callback)
+
+    @staticmethod
+    def scope_key(event: StreamEvent) -> str:
+        return RUN_SCOPE if event.site_rank is None else str(event.site_rank)
+
+    def publish(self, event: StreamEvent) -> bool:
+        """Accept (dispatch + buffer) or drop ``event``.
+
+        Returns ``True`` when the event was accepted.  The decision is a
+        pure function of the event's scope and that scope's prior event
+        count, so serial and sharded runs drop identically.
+        """
+        if not self.enabled:
+            return False
+        scope = self.scope_key(event)
+        seen = self._counts.get(scope, 0)
+        if seen >= self.scope_capacity:
+            self.dropped[scope] = self.dropped.get(scope, 0) + 1
+            return False
+        self._counts[scope] = seen + 1
+        self.events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+        return True
+
+    def publish_span(self, record: SpanRecord) -> bool:
+        """Publish the ``span`` event for a finished span, if any."""
+        event = span_event(record)
+        if event is None:
+            return False
+        return self.publish(event)
+
+    def merge_dropped(self, dropped: Mapping[str, int]) -> None:
+        """Fold a worker stream's drop counts into this one.
+
+        Workers apply the same per-scope cap the parent would have, so
+        republishing a worker's (already capped) buffer never re-drops;
+        the worker-side counts are carried over instead.
+        """
+        for scope in sorted(dropped):
+            self.dropped[scope] = self.dropped.get(scope, 0) + dropped[scope]
+
+    def dropped_total(self) -> int:
+        return sum(self.dropped.values())
+
+    def counts(self) -> Tuple[Tuple[str, int], ...]:
+        """Deterministic (scope, accepted-count) view, sorted by scope."""
+        return tuple((scope, self._counts[scope]) for scope in sorted(self._counts))

@@ -85,6 +85,7 @@ class TestRegistry:
             "ERR002",
             "OBS001",
             "OBS002",
+            "OBS003",
             "SQL001",
             "SQL002",
         ]
@@ -95,7 +96,7 @@ class TestRegistry:
             "SQL001",
         ]
         remaining = [r.rule_id for r in build_rules(ignore=["DET003"])]
-        assert "DET003" not in remaining and len(remaining) == 9
+        assert "DET003" not in remaining and len(remaining) == 10
 
     def test_unknown_rule_id_raises_lint_error(self):
         with pytest.raises(LintError, match="unknown rule id"):

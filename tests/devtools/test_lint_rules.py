@@ -507,3 +507,78 @@ class TestObs002LiteralTelemetryNames:
     def test_suppression_comment_honoured(self):
         src = 'metrics.counter(f"x{y}")  # repro: ok[OBS002] migration shim\n'
         assert check("OBS002", src) == []
+
+
+class TestObs003DeterministicAlerting:
+    def test_fstring_alert_name_flagged(self):
+        src = 'Alert(f"spike-{site}", SEVERITY_WARNING, "msg")\n'
+        assert check("OBS003", src) == ["OBS003"]
+
+    def test_dynamic_name_keyword_flagged(self):
+        src = 'Alert(name="spike-" + site, severity=SEV, message="msg")\n'
+        assert check("OBS003", src) == ["OBS003"]
+
+    def test_literal_and_constant_alert_names_fine(self):
+        src = (
+            'Alert("failure-spike", SEVERITY_WARNING, "msg")\n'
+            'Alert(name=ALERT_SITE_STALL, severity=SEV, message=f"site {r}")\n'
+        )
+        assert check("OBS003", src) == []
+
+    def test_computed_detector_threshold_flagged(self):
+        src = "FailureSpikeDetector(expected_rate=base * 2.0)\n"
+        assert check("OBS003", src) == ["OBS003"]
+
+    def test_call_built_detector_window_flagged(self):
+        src = "ThroughputDetector(window=compute_window())\n"
+        assert check("OBS003", src) == ["OBS003"]
+
+    def test_constant_detector_thresholds_fine(self):
+        src = (
+            "FailureSpikeDetector(expected_rate=EXPECTED, window=50)\n"
+            "SiteStallDetector(limit=SITE_STALL_LIMIT)\n"
+        )
+        assert check("OBS003", src) == []
+
+    def test_non_threshold_detector_kwargs_untouched(self):
+        # baseline_seconds is runtime data (from the ledger) by design.
+        src = "ThroughputDetector(baseline_seconds=estimate(record))\n"
+        assert check("OBS003", src) == []
+
+    def test_detector_mutating_registry_flagged(self):
+        src = (
+            "class StallDetector:\n"
+            "    def observe(self, event):\n"
+            '        self.metrics.counter("alerts").inc()\n'
+            "        return []\n"
+        )
+        assert check("OBS003", src) == ["OBS003"]
+
+    def test_detector_registry_set_flagged(self):
+        src = (
+            "class SkewDetector:\n"
+            "    def finish(self):\n"
+            "        registry.set(1.0)\n"
+        )
+        assert check("OBS003", src) == ["OBS003"]
+
+    def test_detector_local_state_fine(self):
+        src = (
+            "class SpikeDetector:\n"
+            "    def observe(self, event):\n"
+            "        self.window.append(1)\n"
+            "        self.counts[event.site_rank] = 0\n"
+            "        return []\n"
+        )
+        assert check("OBS003", src) == []
+
+    def test_registry_writes_outside_detectors_fine(self):
+        src = 'metrics.counter("crawl.visits").inc()\n'
+        assert check("OBS003", src) == []
+
+    def test_suppression_comment_honoured(self):
+        src = (
+            "FailureSpikeDetector(expected_rate=r * 2)"
+            "  # repro: ok[OBS003] calibration sweep\n"
+        )
+        assert check("OBS003", src) == []

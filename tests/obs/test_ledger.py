@@ -258,6 +258,67 @@ class TestDiff:
         assert any("different run kinds" in note for note in diff.notes)
 
 
+class TestAlertsInRecords:
+    ALERT = {
+        "name": "failure-spike",
+        "severity": "warning",
+        "message": "rate 0.2 over last 10 visits",
+        "site_rank": None,
+        "profile": "",
+        "value": 0.2,
+        "threshold": 0.1,
+    }
+
+    def alerted_record(self):
+        return build_run_record(
+            "crawl",
+            seed=1,
+            config={"seed": 1},
+            obs=ObsContext.create(seed=1, clock=FakeClock()),
+            records=[],
+            alerts=[self.ALERT],
+        )
+
+    def test_alerts_round_trip_through_the_ledger(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.append(self.alerted_record())
+        record = ledger.load(run_id)
+        assert record.alerts == (self.ALERT,)
+        (entry,) = ledger.entries()
+        assert entry.alerts == 1
+
+    def test_alert_free_payload_omits_the_section(self):
+        record = build_run_record(
+            "crawl",
+            seed=1,
+            config={"seed": 1},
+            obs=ObsContext.create(seed=1, clock=FakeClock()),
+            records=[],
+        )
+        assert "alerts" not in record.to_payload()
+        # ...so pre-monitor records keep their content-addressed run ids.
+        assert RunRecord.from_json(record.to_json()).run_id == record.run_id
+
+    def test_alert_drift_shows_in_diff(self):
+        quiet = build_run_record(
+            "crawl",
+            seed=1,
+            config={"seed": 1},
+            obs=ObsContext.create(seed=1, clock=FakeClock()),
+            records=[],
+        )
+        noisy = self.alerted_record()
+        diff = diff_records(quiet, noisy)
+        assert not diff.clean
+        assert any(delta.key.startswith("alerts") for delta in diff.drift)
+
+    def test_malformed_alerts_payload_rejected(self):
+        payload = self.alerted_record().to_payload()
+        payload["alerts"] = "not-a-list"
+        with pytest.raises(LedgerError):
+            RunRecord.from_payload(payload)
+
+
 class TestCli:
     @pytest.fixture()
     def ledger_dir(self, tmp_path):
@@ -271,6 +332,41 @@ class TestCli:
         out = capsys.readouterr().out
         assert "pipeline" in out
         assert "crawl" in out
+        assert "alerts" in out  # the new column
+
+    def test_runs_kind_filter(self, ledger_dir, capsys):
+        assert obs_main(["runs", "--ledger", ledger_dir, "--kind", "crawl"]) == 0
+        out = capsys.readouterr().out
+        assert "crawl" in out
+        assert "pipeline" not in out
+
+    def test_runs_limit(self, ledger_dir, capsys):
+        assert obs_main(["runs", "--ledger", ledger_dir, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if line and "run" not in line]
+        assert len(rows) == 1
+
+    def test_runs_since_run(self, tmp_path, capsys):
+        ledger = RunLedger(tmp_path / "bench")
+        for marker in "abc":
+            ledger.append(fixed_record(marker=marker))
+        first = ledger.entries()[0]
+        assert obs_main(
+            [
+                "runs",
+                "--ledger",
+                str(tmp_path / "bench"),
+                "--since-run",
+                first.run_id[:12],
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if line and "run" not in line]
+        assert len(rows) == 2  # the two runs after the floor
+
+    def test_runs_no_match_message(self, ledger_dir, capsys):
+        assert obs_main(["runs", "--ledger", ledger_dir, "--kind", "nope"]) == 0
+        assert "(no matching runs)" in capsys.readouterr().out
 
     def test_show_prints_the_record(self, ledger_dir, capsys):
         assert obs_main(["show", "--ledger", ledger_dir]) == 0

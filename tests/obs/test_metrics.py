@@ -151,12 +151,25 @@ class TestMerge:
         ba.merge_all([right, left])
         assert ab.as_dict() == ba.as_dict()
 
-    def test_gauge_conflict_rejected(self):
+    def test_gauge_merge_takes_the_max(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         a.gauge("depth").set(4)
         b.gauge("depth").set(7)
-        with pytest.raises(ObsError):
-            a.merge(b.as_dict())
+        a.merge(b.as_dict())
+        assert a.get("depth").value == 7
+
+    def test_gauge_merge_is_commutative(self):
+        def registry(value):
+            reg = MetricsRegistry()
+            reg.gauge("depth").set(value)
+            return reg
+
+        ab = registry(4)
+        ab.merge(registry(7).as_dict())
+        ba = registry(7)
+        ba.merge(registry(4).as_dict())
+        assert ab.as_dict() == ba.as_dict()
+        assert ab.get("depth").value == 7
 
     def test_gauge_same_value_merges(self):
         a, b = MetricsRegistry(), MetricsRegistry()
@@ -172,3 +185,54 @@ class TestMerge:
         assert payload["counts"] == [1, 0, 0]
         assert all(isinstance(count, int) for count in payload["counts"])
         assert "sum" not in payload
+
+
+class TestFiniteValueGuard:
+    """NaN/inf observations must fail loudly, not poison exports."""
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_histogram_observe_rejects_non_finite(self, bad):
+        hist = Histogram((1, 5))
+        with pytest.raises(ObsError):
+            hist.observe(bad)
+        assert hist.count == 0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_gauge_set_rejects_non_finite(self, bad):
+        gauge = Gauge()
+        with pytest.raises(ObsError):
+            gauge.set(bad)
+        assert gauge.value == 0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_counter_inc_rejects_non_finite(self, bad):
+        counter = Counter()
+        with pytest.raises(ObsError):
+            counter.inc(bad)
+        assert counter.value == 0
+
+    def test_registry_instruments_are_guarded_too(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObsError):
+            registry.histogram("h", (1,)).observe(math.nan)
+        with pytest.raises(ObsError):
+            registry.gauge("g").set(math.inf)
+
+
+class TestScrape:
+    def test_scrape_returns_sorted_counter_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("crawl.visits", profile="Old").inc(2)
+        registry.counter("crawl.retries").inc()
+        registry.gauge("depth").set(3)  # gauges are not scraped
+        snapshot = registry.scrape()
+        assert snapshot == [
+            ("crawl.retries", 1.0),
+            ("crawl.visits{profile=Old}", 2.0),
+        ]
+
+    def test_scrape_prefix_filters(self):
+        registry = MetricsRegistry()
+        registry.counter("crawl.visits").inc()
+        registry.counter("storage.batches").inc()
+        assert registry.scrape(prefix="storage.") == [("storage.batches", 1.0)]

@@ -1,0 +1,480 @@
+"""The live monitor: detector units, alert determinism, ledger alerts.
+
+The acceptance contract (DESIGN §6.5): under ``FakeClock`` the full
+event stream AND the alert stream are byte-identical at any worker
+count, and the ledger's ``alerts`` section round-trips through the run
+record unchanged.
+"""
+
+import pytest
+
+from repro.crawler.commander import Commander
+from repro.crawler.storage import MeasurementStore
+from repro.devtools.clock import FakeClock
+from repro.obs import (
+    Alert,
+    EventStream,
+    FailureSpikeDetector,
+    Monitor,
+    ObsContext,
+    ProfileSkewDetector,
+    RunLedger,
+    SiteStallDetector,
+    StreamEvent,
+    ThroughputDetector,
+    baseline_seconds_per_visit,
+    default_expected_failure_rate,
+    events_from_store,
+    publish_store_events,
+)
+from repro.obs.monitor import (
+    ALERT_FAILURE_SPIKE,
+    ALERT_PROFILE_SKEW,
+    ALERT_SITE_STALL,
+    ALERT_THROUGHPUT_DEGRADED,
+    SEVERITY_CRITICAL,
+    SEVERITY_WARNING,
+    STALL_REASON,
+)
+from repro.obs.stream import KIND_SITE_END, KIND_SITE_START, KIND_VISIT
+from repro.web import WebConfig, WebGenerator
+
+RANKS = [1, 2, 3, 5, 8]
+SEED = 11
+
+
+def _visit(success=True, rank=1, profile="Old", reason="", seconds=1.0):
+    return StreamEvent(
+        kind=KIND_VISIT,
+        site_rank=rank,
+        profile=profile,
+        payload={"success": success, "reason": reason, "seconds": seconds},
+    )
+
+
+def _names(alerts):
+    return [(alert.name, alert.severity) for alert in alerts]
+
+
+class TestFailureSpikeDetector:
+    def test_quiet_until_window_fills(self):
+        detector = FailureSpikeDetector(expected_rate=0.1, window=4)
+        for _ in range(3):
+            assert detector.observe(_visit(success=False)) == []
+
+    def test_escalation_edges_only(self):
+        detector = FailureSpikeDetector(expected_rate=0.1, window=4)
+        alerts = []
+        # 4 successes: full window, rate 0, quiet.
+        for _ in range(4):
+            alerts += detector.observe(_visit(success=True))
+        # Failures push the rate through warn (0.2) then critical (0.4);
+        # each edge fires once, the plateau stays silent.
+        for _ in range(4):
+            alerts += detector.observe(_visit(success=False))
+        assert _names(alerts) == [
+            (ALERT_FAILURE_SPIKE, SEVERITY_WARNING),
+            (ALERT_FAILURE_SPIKE, SEVERITY_CRITICAL),
+        ]
+
+    def test_recovery_re_arms_the_detector(self):
+        detector = FailureSpikeDetector(expected_rate=0.1, window=4)
+        alerts = []
+        for _ in range(4):
+            alerts += detector.observe(_visit(success=True))
+        alerts += detector.observe(_visit(success=False))  # 0.25 -> warning
+        for _ in range(4):
+            alerts += detector.observe(_visit(success=True))  # back to 0
+        alerts += detector.observe(_visit(success=False))  # 0.25 -> warning again
+        assert _names(alerts) == [
+            (ALERT_FAILURE_SPIKE, SEVERITY_WARNING),
+            (ALERT_FAILURE_SPIKE, SEVERITY_WARNING),
+        ]
+
+    def test_alert_carries_value_and_threshold(self):
+        detector = FailureSpikeDetector(expected_rate=0.1, window=4)
+        alerts = []
+        for success in (True, True, True, False):
+            alerts += detector.observe(_visit(success=success))
+        (alert,) = alerts
+        assert alert.value == 0.25
+        assert alert.threshold == pytest.approx(0.2)
+
+    def test_non_visit_events_are_ignored(self):
+        detector = FailureSpikeDetector(expected_rate=0.1, window=1)
+        event = StreamEvent(kind=KIND_SITE_START, site_rank=1)
+        assert detector.observe(event) == []
+
+
+class TestThroughputDetector:
+    def test_mean_vs_baseline_edges(self):
+        detector = ThroughputDetector(baseline_seconds=1.0, window=2)
+        alerts = []
+        for seconds in (1.0, 1.0):  # mean 1.0: at baseline, quiet
+            alerts += detector.observe(_visit(seconds=seconds))
+        for seconds in (2.0, 2.0):  # mean climbs past 1.5x -> warning
+            alerts += detector.observe(_visit(seconds=seconds))
+        for seconds in (4.0, 4.0):  # mean 4.0 > 3.0x -> critical
+            alerts += detector.observe(_visit(seconds=seconds))
+        assert _names(alerts) == [
+            (ALERT_THROUGHPUT_DEGRADED, SEVERITY_WARNING),
+            (ALERT_THROUGHPUT_DEGRADED, SEVERITY_CRITICAL),
+        ]
+
+    def test_threshold_is_strict(self):
+        # Exactly baseline x warn factor does not alert.
+        detector = ThroughputDetector(baseline_seconds=1.0, window=2)
+        alerts = []
+        for seconds in (1.5, 1.5):
+            alerts += detector.observe(_visit(seconds=seconds))
+        assert alerts == []
+
+
+class TestSiteStallDetector:
+    def test_fires_exactly_once_per_site_at_limit(self):
+        detector = SiteStallDetector(limit=2)
+        alerts = []
+        for _ in range(4):
+            alerts += detector.observe(
+                _visit(success=False, rank=7, reason=STALL_REASON)
+            )
+        assert _names(alerts) == [(ALERT_SITE_STALL, SEVERITY_CRITICAL)]
+        assert alerts[0].site_rank == 7
+        # A different site has its own watchdog.
+        alerts = []
+        for _ in range(2):
+            alerts += detector.observe(
+                _visit(success=False, rank=9, reason=STALL_REASON)
+            )
+        assert _names(alerts) == [(ALERT_SITE_STALL, SEVERITY_CRITICAL)]
+
+    def test_other_failure_reasons_do_not_count(self):
+        detector = SiteStallDetector(limit=1)
+        assert detector.observe(_visit(success=False, reason="dns-error")) == []
+
+    def test_stall_reason_matches_fault_taxonomy(self):
+        from repro.web.faults import STALL_TIMEOUT
+
+        assert STALL_REASON == STALL_TIMEOUT
+
+
+class TestProfileSkewDetector:
+    def test_gap_between_full_windows(self):
+        detector = ProfileSkewDetector(window=2, warn_gap=0.25, critical_gap=0.75)
+        alerts = []
+        alerts += detector.observe(_visit(success=True, profile="Old"))
+        alerts += detector.observe(_visit(success=False, profile="NoAction"))
+        assert alerts == []  # windows not full yet
+        alerts += detector.observe(_visit(success=True, profile="Old"))
+        alerts += detector.observe(_visit(success=False, profile="NoAction"))
+        assert _names(alerts) == [(ALERT_PROFILE_SKEW, SEVERITY_CRITICAL)]
+        assert alerts[0].profile == "NoAction"  # the degraded profile
+        assert alerts[0].value == 1.0
+
+    def test_single_profile_never_alerts(self):
+        detector = ProfileSkewDetector(window=1)
+        assert detector.observe(_visit(success=False, profile="Old")) == []
+
+    def test_events_without_profile_are_ignored(self):
+        detector = ProfileSkewDetector(window=1)
+        assert detector.observe(_visit(success=False, profile="")) == []
+
+
+class TestMonitor:
+    def test_routes_events_and_counts(self):
+        monitor = Monitor.for_crawl(expected_rate=0.05, window=2)
+        for success in (False, False):
+            monitor.handle(_visit(success=success))
+        monitor.finish()
+        monitor.finish()  # idempotent
+        assert monitor.events_seen == 2
+        assert monitor.has_critical
+        counts = monitor.severity_counts()
+        assert sum(counts.values()) == len(monitor.alerts)
+
+    def test_on_alert_fires_in_emission_order(self):
+        seen = []
+        monitor = Monitor.for_crawl(
+            expected_rate=0.05, window=2, on_alert=seen.append
+        )
+        for success in (False, False):
+            monitor.handle(_visit(success=success))
+        assert seen == monitor.alerts
+
+    def test_alerts_payload_is_ledger_ready(self):
+        monitor = Monitor(
+            [FailureSpikeDetector(expected_rate=0.1, window=1)]
+        )
+        monitor.handle(_visit(success=False))
+        (payload,) = monitor.alerts_payload()
+        assert payload["name"] == ALERT_FAILURE_SPIKE
+        assert payload["severity"] == SEVERITY_CRITICAL
+        assert payload["value"] == 1.0
+
+    def test_for_crawl_adds_throughput_only_with_baseline(self):
+        without = Monitor.for_crawl(expected_rate=0.1)
+        with_baseline = Monitor.for_crawl(expected_rate=0.1, baseline_seconds=2.0)
+        kinds = lambda monitor: [type(d).__name__ for d in monitor.detectors]
+        assert "ThroughputDetector" not in kinds(without)
+        assert "ThroughputDetector" in kinds(with_baseline)
+
+
+class TestExpectedFailureRate:
+    def test_combines_fault_layers(self):
+        from repro.web.faults import (
+            CRAWLER_FAULT_PROBABILITY,
+            PERSISTENT_FAULT_PROBABILITY,
+        )
+
+        p = WebConfig().page_fail_probability
+        q = CRAWLER_FAULT_PROBABILITY
+        r = PERSISTENT_FAULT_PROBABILITY
+        expected = r + (1.0 - r) * (p + q - p * q)
+        assert default_expected_failure_rate() == pytest.approx(expected)
+
+    def test_explicit_page_probability(self):
+        from repro.web.faults import (
+            CRAWLER_FAULT_PROBABILITY,
+            PERSISTENT_FAULT_PROBABILITY,
+        )
+
+        rate = default_expected_failure_rate(page_fail_probability=0.0)
+        expected = (
+            PERSISTENT_FAULT_PROBABILITY
+            + (1.0 - PERSISTENT_FAULT_PROBABILITY) * CRAWLER_FAULT_PROBABILITY
+        )
+        assert rate == pytest.approx(expected)
+
+
+class _FakeRecord:
+    def __init__(self, histogram):
+        metrics = {"histograms": {"crawl.visit_seconds": histogram}} if histogram else {}
+        self.deterministic = {"metrics": metrics}
+
+
+class TestBaselineSecondsPerVisit:
+    def test_bucket_midpoint_estimate(self):
+        record = _FakeRecord(
+            {"edges": [1.0, 2.0], "counts": [2, 0, 2], "count": 4}
+        )
+        # Midpoints: 0.5 (under), 1.5 (between), 2.0 (overflow clamp).
+        assert baseline_seconds_per_visit(record) == pytest.approx(1.25)
+
+    def test_missing_histogram_is_none(self):
+        assert baseline_seconds_per_visit(_FakeRecord(None)) is None
+
+    def test_empty_histogram_is_none(self):
+        record = _FakeRecord({"edges": [1.0], "counts": [0, 0], "count": 0})
+        assert baseline_seconds_per_visit(record) is None
+
+    def test_malformed_counts_are_none(self):
+        record = _FakeRecord({"edges": [1.0], "counts": [1], "count": 1})
+        assert baseline_seconds_per_visit(record) is None
+
+
+def _monitored_crawl(workers, ledger_dir, fail_probability=0.3):
+    """Crawl with the full monitor attached; returns (obs, monitor, ledger)."""
+    ledger = RunLedger(str(ledger_dir))
+    obs = ObsContext.create(
+        seed=SEED, clock=FakeClock(), ledger=ledger, stream=EventStream()
+    )
+    monitor = Monitor.for_crawl(
+        expected_rate=default_expected_failure_rate(fail_probability), window=10
+    )
+    obs.attach_monitor(monitor)
+    generator = WebGenerator(
+        SEED, config=WebConfig(page_fail_probability=fail_probability)
+    )
+    store = MeasurementStore(obs=obs)
+    Commander(
+        generator, store, max_pages_per_site=3, workers=workers, obs=obs
+    ).run(RANKS)
+    store.close()
+    return obs, monitor, ledger
+
+
+class TestMonitorDeterminism:
+    """The PR's acceptance test: serial and sharded monitoring agree."""
+
+    @pytest.fixture(scope="class")
+    def serial(self, tmp_path_factory):
+        return _monitored_crawl(1, tmp_path_factory.mktemp("serial-ledger"))
+
+    @pytest.fixture(scope="class")
+    def sharded(self, tmp_path_factory):
+        return _monitored_crawl(4, tmp_path_factory.mktemp("sharded-ledger"))
+
+    def test_event_stream_bytes_identical(self, serial, sharded):
+        serial_jsonl = "\n".join(e.to_json() for e in serial[0].stream.events)
+        sharded_jsonl = "\n".join(e.to_json() for e in sharded[0].stream.events)
+        assert serial_jsonl == sharded_jsonl
+        assert serial[0].stream.events  # the crawl actually streamed
+
+    def test_alert_stream_identical(self, serial, sharded):
+        assert serial[1].alerts == sharded[1].alerts
+        assert serial[1].alerts, "elevated fault rate should raise alerts"
+
+    def test_drop_accounting_identical(self, serial, sharded):
+        assert serial[0].stream.dropped == sharded[0].stream.dropped
+        assert serial[0].stream.counts() == sharded[0].stream.counts()
+
+    def test_ledger_alerts_section_identical(self, serial, sharded):
+        records = []
+        for _, _, ledger in (serial, sharded):
+            (entry,) = ledger.entries()
+            assert entry.alerts == len(serial[1].alerts)
+            records.append(ledger.load(entry.run_id))
+        assert records[0].alerts == records[1].alerts
+        assert records[0].alerts  # round-tripped through the ledger
+
+    def test_monitor_saw_every_accepted_event(self, serial):
+        obs, monitor, _ = serial
+        assert monitor.events_seen == len(obs.stream.events)
+
+
+class TestEventsFromStore:
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        obs = ObsContext.create(seed=SEED, clock=FakeClock())
+        store = MeasurementStore(obs=obs)
+        Commander(WebGenerator(SEED), store, max_pages_per_site=2, obs=obs).run(
+            [1, 2]
+        )
+        yield store
+        store.close()
+
+    def test_reconstructed_sequence_is_site_blocked(self, store):
+        events = list(events_from_store(store))
+        kinds = [event.kind for event in events]
+        assert kinds[0] == KIND_SITE_START and kinds[-1] == KIND_SITE_END
+        assert kinds.count(KIND_SITE_START) == 2
+        assert kinds.count(KIND_SITE_END) == 2
+        # site-end outcome counts agree with the visit events they close.
+        for end in (e for e in events if e.kind == KIND_SITE_END):
+            visits = [
+                e
+                for e in events
+                if e.kind == KIND_VISIT and e.site_rank == end.site_rank
+            ]
+            assert end.payload["visits"] == len(visits)
+            assert end.payload["successes"] == sum(
+                1 for e in visits if e.payload["success"]
+            )
+
+    def test_publish_store_events_feeds_a_monitor(self, store):
+        stream = EventStream()
+        monitor = Monitor.for_crawl(expected_rate=0.99, window=5)
+        stream.subscribe(monitor.handle)
+        accepted = publish_store_events(store, stream)
+        assert accepted == len(stream.events) > 0
+        assert monitor.events_seen == accepted
+        monitor.finish()
+        assert not monitor.has_critical  # generous expectation: quiet run
+
+
+class TestAlertRecord:
+    def test_format_includes_scope(self):
+        alert = Alert(
+            name=ALERT_SITE_STALL,
+            severity=SEVERITY_CRITICAL,
+            message="stalled",
+            site_rank=4,
+        )
+        assert alert.format() == "[critical] site-stall site=4: stalled"
+
+    def test_payload_rounds_floats(self):
+        alert = Alert(
+            name=ALERT_FAILURE_SPIKE,
+            severity=SEVERITY_WARNING,
+            message="m",
+            value=1 / 3,
+            threshold=2 / 3,
+        )
+        payload = alert.to_payload()
+        assert payload["value"] == round(1 / 3, 6)
+        assert payload["threshold"] == round(2 / 3, 6)
+
+
+class TestWatchCli:
+    """``repro-obs watch`` monitors live crawls, stores, and gates CI."""
+
+    def _watch(self, tmp_path, *extra):
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(
+            [
+                "watch",
+                "--seed",
+                "7",
+                "--sites-per-bucket",
+                "1",
+                "--pages-per-site",
+                "2",
+                "--fake-clock",
+                "--window",
+                "10",
+                "--ledger",
+                str(tmp_path / "ledger"),
+                *extra,
+            ]
+        )
+
+    def test_watch_without_gate_reports_and_exits_zero(self, tmp_path, capsys):
+        assert self._watch(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "events monitored" in out
+        entries = RunLedger(str(tmp_path / "ledger")).entries()
+        assert entries  # the watched crawl landed in the ledger
+
+    def test_gate_trips_on_critical_alerts(self, tmp_path, capsys):
+        assert self._watch(tmp_path, "--monitor-gate") == 1
+        out = capsys.readouterr().out
+        assert "critical" in out
+
+    def test_gate_passes_with_generous_expectation(self, tmp_path, capsys):
+        code = self._watch(
+            tmp_path, "--monitor-gate", "--expected-failure-rate", "1.0"
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_watch_replays_a_recorded_db(self, tmp_path, capsys):
+        from repro.obs.cli import main as obs_main
+
+        db = str(tmp_path / "crawl.sqlite")
+        obs = ObsContext.create(seed=SEED, clock=FakeClock())
+        store = MeasurementStore(db, obs=obs)
+        Commander(WebGenerator(SEED), store, max_pages_per_site=2, obs=obs).run(
+            [1, 2]
+        )
+        store.close()
+        code = obs_main(
+            ["watch", "--db", db, "--expected-failure-rate", "1.0"]
+        )
+        assert code == 0
+        assert "events monitored" in capsys.readouterr().out
+
+    def test_baseline_requires_ledger(self, capsys):
+        from repro.obs.cli import main as obs_main
+
+        assert obs_main(["watch", "--seed", "7", "--baseline", "latest"]) == 2
+        assert "--baseline needs --ledger" in capsys.readouterr().err
+
+
+class TestRenderAlerts:
+    def test_empty(self):
+        from repro.obs import render_alerts
+
+        assert render_alerts([]) == "(no alerts)"
+
+    def test_lines_and_tally(self):
+        from repro.obs import render_alerts
+
+        alerts = [
+            Alert(name=ALERT_FAILURE_SPIKE, severity=SEVERITY_WARNING, message="w"),
+            Alert(name=ALERT_SITE_STALL, severity=SEVERITY_CRITICAL, message="c"),
+            Alert(name=ALERT_PROFILE_SKEW, severity=SEVERITY_WARNING, message="w2"),
+        ]
+        lines = render_alerts(alerts).splitlines()
+        assert lines[0] == "[warning] failure-spike: w"
+        assert lines[-1] == "3 alert(s): 1 critical, 2 warning"

@@ -1,5 +1,7 @@
 """Phase profiler tests: aggregation, determinism split, rendering."""
 
+import pytest
+
 from repro.devtools.clock import FakeClock
 from repro.obs import render_flame, render_profile
 from repro.obs.profile import (
@@ -107,3 +109,56 @@ class TestRendering:
     def test_flame_max_depth(self):
         text = render_flame(make_trace(), max_depth=0)
         assert "site" not in text
+
+
+class TestRenderingEdgeCases:
+    def make_error_trace(self):
+        """A trace where an exception unwound through an open subtree."""
+        clock = FakeClock()
+        tracer = Tracer(seed=5, clock=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("crawl"):
+                with tracer.span("site", key="site:1"):
+                    clock.advance(2.0)
+                    raise RuntimeError("boom")
+        return tracer.records
+
+    def test_profile_of_empty_trace(self):
+        text = render_profile(build_profile([]))
+        assert "total root wall time: 0.000s" in text
+        # No phase rows, but the header and footer still render.
+        assert len(text.splitlines()) == 2
+
+    def test_profile_share_dash_when_total_is_zero(self):
+        profile = profile_from_parts(
+            [{"phase": "crawl", "spans": 1, "ops": 0}], {}, 0.0
+        )
+        text = render_profile(profile)
+        assert text.splitlines()[1].endswith("-")
+
+    def test_error_status_spans_render(self):
+        records = self.make_error_trace()
+        assert all(r.attrs.get("status") == "error" for r in records)
+        flame = render_flame(records)
+        profile = render_profile(build_profile(records))
+        assert "site (site:1)" in flame
+        assert "crawl" in profile  # error spans still aggregate
+
+    def test_single_phase_run_takes_full_share(self):
+        clock = FakeClock()
+        tracer = Tracer(seed=7, clock=clock)
+        with tracer.span("crawl"):
+            clock.advance(1.5)
+        text = render_profile(build_profile(tracer.records))
+        assert "100.0%" in text
+        flame = render_flame(tracer.records, width=10)
+        assert flame.count("█") == 10
+
+    def test_zero_duration_span_gets_no_bar(self):
+        clock = FakeClock()
+        tracer = Tracer(seed=7, clock=clock)
+        with tracer.span("plan"):
+            pass
+        flame = render_flame(tracer.records)
+        assert "█" not in flame
+        assert "0.000s" in flame

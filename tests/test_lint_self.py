@@ -16,8 +16,14 @@ import pathlib
 
 import repro
 from repro.devtools.lint import lint_project, lint_paths
+from repro.devtools.lint.framework import registered_rule_ids
 
 PACKAGE_DIR = pathlib.Path(repro.__file__).parent
+
+
+def test_monitor_rules_in_the_gate():
+    """OBS003 (deterministic alerting) is part of the self-applied pack."""
+    assert "OBS003" in registered_rule_ids()
 
 
 def test_package_is_lint_clean():
