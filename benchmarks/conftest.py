@@ -39,7 +39,10 @@ def bench_ledger() -> RunLedger:
 
 
 def bench_record(
-    experiment_id: str, text: str, seconds: float = 0.0
+    experiment_id: str,
+    text: str,
+    seconds: float = 0.0,
+    visits_per_second: float = 0.0,
 ) -> RunRecord:
     """A ``kind="benchmark"`` run record for one bench's rendered output.
 
@@ -65,7 +68,7 @@ def bench_record(
         "clock": "system",
         "wall_seconds": round(seconds, 6),
         "phase_seconds": {},
-        "visits_per_second": 0.0,
+        "visits_per_second": round(visits_per_second, 2),
         "peak_rss_kb": peak_rss_kb(),
     }
     return RunRecord(
@@ -76,9 +79,16 @@ def bench_record(
     )
 
 
-def emit(experiment_id: str, text: str, seconds: float = 0.0) -> None:
+def emit(
+    experiment_id: str,
+    text: str,
+    seconds: float = 0.0,
+    visits_per_second: float = 0.0,
+) -> None:
     """Print a rendered experiment, persist it, and ledger the run."""
     print(f"\n{'=' * 70}\n[{experiment_id}]\n{'=' * 70}\n{text}\n")
     _RESULTS_DIR.mkdir(exist_ok=True)
     (_RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
-    bench_ledger().append(bench_record(experiment_id, text, seconds))
+    bench_ledger().append(
+        bench_record(experiment_id, text, seconds, visits_per_second)
+    )

@@ -10,13 +10,13 @@ from __future__ import annotations
 
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from ..blocklist.matcher import FilterList
 from ..crawler.storage import MeasurementStore
-from ..errors import AnalysisError
+from ..errors import AnalysisError, InvalidURLError
 from ..obs import NULL_OBS, ObsContext
 from ..trees.builder import TreeBuilder
 from ..trees.tree import DependencyTree
@@ -68,7 +68,9 @@ class AnalysisDataset:
         ``jobs > 1`` rebuilds the trees in a process pool, one read-only
         store snapshot per worker, chunking the (sorted) page list
         contiguously so entry order — and every per-page metric — is
-        identical to the serial build.
+        identical to the serial build.  Pool size is clamped so every
+        worker gets at least :data:`_MIN_PAGES_PER_JOB` pages; datasets
+        too small to amortize a fork fall back to the serial path.
         """
         obs = obs if obs is not None else NULL_OBS
         profile_names = list(profiles) if profiles is not None else store.profiles()
@@ -80,7 +82,8 @@ class AnalysisDataset:
                 if require_all
                 else store.pages()
             )
-            if jobs > 1 and len(pages) > 1:
+            jobs = _effective_jobs(jobs, len(pages))
+            if jobs > 1:
                 entries = _build_entries_parallel(
                     store,
                     pages,
@@ -225,6 +228,134 @@ def _build_entries(
     return entries
 
 
+@dataclass
+class ShardFold:
+    """The commutative summand one shard store contributes to a dataset.
+
+    Sites partition pages and every site lives entirely in one shard, so
+    per-shard vetting (:meth:`MeasurementStore.pages_crawled_by_all`)
+    over a shard store equals that shard's slice of the global vetting —
+    folds can be computed independently and combined in any order.
+    """
+
+    entries: List[PageEntry] = field(default_factory=list)
+    pages_vetted: int = 0
+    metrics: Optional[Dict[str, Dict[str, object]]] = None
+
+
+def fold_shard_store(
+    db_path: str,
+    profile_names: Sequence[str],
+    filter_list: Optional[FilterList] = None,
+    require_all: bool = True,
+    obs_config=None,
+    include_partial: bool = False,
+) -> ShardFold:
+    """Analyze one finished shard store end-to-end: vet, build, package.
+
+    This is the streaming pipeline's pool-worker entry point (top level,
+    picklable arguments): it opens the shard read-only, runs the same
+    vetting and tree building the batch path runs over the merged store,
+    and returns the shard's :class:`ShardFold`.  Worker telemetry is
+    metrics-only (tree building records no spans), exported for the
+    parent's commutative merge.
+    """
+    worker_obs = ObsContext.from_config(obs_config)
+    with MeasurementStore.open_readonly(db_path) as store:
+        pages = (
+            store.pages_crawled_by_all(
+                profile_names, include_partial=include_partial
+            )
+            if require_all
+            else store.pages()
+        )
+        entries = _build_entries(
+            store,
+            pages,
+            profile_names,
+            filter_list,
+            require_all,
+            worker_obs,
+            include_partial=include_partial,
+        )
+    return ShardFold(
+        entries=entries,
+        pages_vetted=len(pages),
+        metrics=(
+            worker_obs.metrics.as_dict() if worker_obs.metrics.enabled else None
+        ),
+    )
+
+
+class StreamingDataset:
+    """A running, commutative fold of per-shard analysis results.
+
+    The streaming pipeline feeds one :class:`ShardFold` per crawl shard —
+    in *completion* order, which varies run to run — and
+    :meth:`finalize` produces an :class:`AnalysisDataset` byte-identical
+    to ``AnalysisDataset.from_store`` over the merged store:
+
+    * entries sort by ``page_url``, the exact global order the batch
+      path's ``ORDER BY page_url`` vetting query yields (page URLs are
+      unique across shards, so the sort is total);
+    * worker metric exports merge commutatively, so the registry equals
+      a serial build's regardless of fold order;
+    * the ``dataset`` span and its counters are emitted at finalize
+      time, in the batch path's canonical position.
+    """
+
+    def __init__(
+        self,
+        profile_names: Sequence[str],
+        obs: Optional[ObsContext] = None,
+    ) -> None:
+        if not profile_names:
+            raise AnalysisError("streaming dataset needs profile names")
+        self.profile_names = list(profile_names)
+        self.obs = obs if obs is not None else NULL_OBS
+        self._entries: List[PageEntry] = []
+        self._pages_vetted = 0
+        self._metric_exports: List[Dict[str, Dict[str, object]]] = []
+        self._folds = 0
+        self._finalized = False
+
+    @property
+    def folds(self) -> int:
+        """How many shard folds have been absorbed so far."""
+        return self._folds
+
+    @property
+    def pages_vetted(self) -> int:
+        return self._pages_vetted
+
+    def fold(self, result: ShardFold) -> None:
+        """Absorb one shard's contribution (any order; commutative)."""
+        if self._finalized:
+            raise AnalysisError("streaming dataset is already finalized")
+        self._entries.extend(result.entries)
+        self._pages_vetted += result.pages_vetted
+        if result.metrics:
+            self._metric_exports.append(result.metrics)
+        self._folds += 1
+
+    def finalize(self) -> AnalysisDataset:
+        """Seal the fold into a batch-identical :class:`AnalysisDataset`."""
+        if self._finalized:
+            raise AnalysisError("streaming dataset is already finalized")
+        self._finalized = True
+        obs = self.obs
+        with obs.tracer.span("dataset", key="dataset") as span:
+            self._entries.sort(key=lambda entry: entry.page_url)
+            obs.metrics.merge_all(self._metric_exports)
+            span.set("pages", self._pages_vetted)
+            span.set("entries", len(self._entries))
+            metrics = obs.metrics
+            if metrics.enabled:
+                metrics.counter("dataset.pages_vetted").inc(self._pages_vetted)
+                metrics.counter("dataset.entries").inc(len(self._entries))
+        return AnalysisDataset(self._entries, self.profile_names)
+
+
 def _build_entries_parallel(
     store: MeasurementStore,
     pages: Sequence[str],
@@ -244,35 +375,45 @@ def _build_entries_parallel(
         store.snapshot_to(snapshot)
         db_path = snapshot
     else:
+        # Workers open the live path over *fresh* connections, which see
+        # only committed, checkpointed state — publish any pending batch
+        # first or the pool analyzes a store missing it.
+        store.flush()
         db_path = store.path
     chunks = _chunked(list(pages), jobs)
     obs_config = obs.config()
+    chunk_entries: List[Optional[List[PageEntry]]] = [None] * len(chunks)
     try:
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            results = list(
-                pool.map(
+            futures = {
+                pool.submit(
                     _build_entries_worker,
-                    [
-                        (
-                            db_path,
-                            chunk,
-                            list(profile_names),
-                            filter_list,
-                            require_all,
-                            obs_config,
-                            include_partial,
-                        )
-                        for chunk in chunks
-                    ],
-                )
-            )
+                    (
+                        db_path,
+                        chunk,
+                        list(profile_names),
+                        filter_list,
+                        require_all,
+                        obs_config,
+                        include_partial,
+                    ),
+                ): index
+                for index, chunk in enumerate(chunks)
+            }
+            # No barrier: each chunk's metrics fold in as it completes
+            # (the merge is commutative, so completion order cannot show
+            # in the registry) and entry order is restored by chunk
+            # index, keeping the result identical to the serial build.
+            for future in as_completed(futures):
+                index = futures[future]
+                entries, metrics = future.result()
+                chunk_entries[index] = entries
+                if metrics:
+                    obs.metrics.merge(metrics)
     finally:
         if snapshot is not None:
             os.unlink(snapshot)
-    # Chunk order is deterministic and metric merge is commutative, so the
-    # merged registry equals the serial build's.
-    obs.metrics.merge_all(metrics for _, metrics in results if metrics)
-    return [entry for chunk_entries, _ in results for entry in chunk_entries]
+    return [entry for entries in chunk_entries for entry in entries]
 
 
 def _build_entries_worker(args):
@@ -300,6 +441,17 @@ def _build_entries_worker(args):
     return entries, metrics
 
 
+#: Minimum pages a pool worker must receive for a fork to pay off; below
+#: ``2 × this`` the build runs serially (process start-up dominates tree
+#: building for a handful of pages).
+_MIN_PAGES_PER_JOB = 4
+
+
+def _effective_jobs(jobs: int, page_count: int) -> int:
+    """Clamp ``jobs`` so each worker gets ``>= _MIN_PAGES_PER_JOB`` pages."""
+    return min(jobs, page_count // _MIN_PAGES_PER_JOB)
+
+
 def _chunked(items: List[str], jobs: int) -> List[List[str]]:
     """Split ``items`` into at most ``jobs`` contiguous, balanced chunks."""
     count = min(jobs, len(items))
@@ -314,12 +466,28 @@ def _chunked(items: List[str], jobs: int) -> List[List[str]]:
 
 
 def _site_of(page_url: str) -> str:
-    from ..web import psl
+    """The site (registrable domain) a page URL belongs to.
 
-    scheme_sep = page_url.find("://")
-    host = page_url[scheme_sep + 3 :] if scheme_sep >= 0 else page_url
-    for stop in ("/", "?", "#"):
-        index = host.find(stop)
-        if index >= 0:
-            host = host[:index]
-    return psl.registrable_domain(host) or host
+    Routed through the shared URL model so ``user:pw@`` and ``:port``
+    never leak into site keys — the hand parser this replaces kept both,
+    splitting one site's pages into distinct groups the moment any URL
+    carried credentials or an explicit port.  Inputs the strict parser
+    rejects (bare hosts, odd schemes in test fixtures) degrade to the
+    same host-isolation steps before the PSL lookup.
+    """
+    from ..web import psl
+    from ..web.url import URL
+
+    try:
+        url = URL.parse(page_url)
+    except InvalidURLError:
+        scheme_sep = page_url.find("://")
+        host = page_url[scheme_sep + 3 :] if scheme_sep >= 0 else page_url
+        for stop in ("/", "?", "#"):
+            index = host.find(stop)
+            if index >= 0:
+                host = host[:index]
+        host = host.rsplit("@", 1)[-1]
+        host = host.split(":", 1)[0].lower()
+        return psl.registrable_domain(host) or host
+    return url.site or url.host

@@ -7,7 +7,7 @@ single store.
 """
 
 from .client import ClientStats, CrawlClient, SiteVisitPlan
-from .commander import Commander, CrawlSummary, SiteSchedule, run_measurement
+from .commander import Commander, CrawlSummary, ShardHandoff, SiteSchedule, run_measurement
 from .discovery import DiscoveryResult, discover_pages, first_party_links
 from .retry import NO_RETRIES, RetryPolicy
 from .storage import SCHEMA_VERSION, MeasurementStore
@@ -31,6 +31,7 @@ __all__ = [
     "RankBucket",
     "RankedList",
     "RetryPolicy",
+    "ShardHandoff",
     "SCHEMA_VERSION",
     "SiteSchedule",
     "SiteVisitPlan",

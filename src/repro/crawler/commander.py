@@ -31,9 +31,9 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..browser.profile import BrowserProfile, PAPER_PROFILES
 from ..errors import CrawlError
@@ -123,6 +123,27 @@ class SiteSchedule:
     site_start: float
 
 
+@dataclass(frozen=True)
+class ShardHandoff:
+    """One finished crawl shard, handed to a streaming consumer.
+
+    Delivered by :meth:`Commander.run` the moment a shard's store lands
+    on disk — *completion* order, which varies run to run.  ``index`` is
+    the shard's deterministic position in the layout and ``schedules``
+    its sites in schedule-rank order, so consumers can restore any
+    deterministic order they need.  ``db_path`` stays readable until the
+    crawl's ``before_shard_cleanup`` callback returns.
+    """
+
+    index: int
+    db_path: str
+    schedules: Tuple[SiteSchedule, ...]
+
+    @property
+    def ranks(self) -> Tuple[int, ...]:
+        return tuple(schedule.rank for schedule in self.schedules)
+
+
 class Commander:
     """Runs a full measurement: discovery, then the semi-parallel crawl.
 
@@ -171,13 +192,30 @@ class Commander:
 
     # -- pipeline ----------------------------------------------------------
 
-    def run(self, ranks: Sequence[int]) -> CrawlSummary:
+    def run(
+        self,
+        ranks: Sequence[int],
+        *,
+        on_shard: Optional[Callable[[ShardHandoff], None]] = None,
+        before_shard_cleanup: Optional[Callable[[], None]] = None,
+        shard_count: Optional[int] = None,
+    ) -> CrawlSummary:
         """Crawl the sites at ``ranks`` with all profiles; returns a summary.
 
         When the observability context carries a run ledger, the crawl
         appends a ``kind="crawl"`` run record after its crawl span
         closes — provenance, per-phase profile, metrics snapshot, and the
         per-profile outcome breakdown, diffable against any other run.
+
+        ``on_shard`` opts into streaming consumption: the crawl always
+        takes the sharded path (even at ``workers=1``) and invokes the
+        callback with a :class:`ShardHandoff` as each shard's store
+        lands.  ``before_shard_cleanup`` then runs after all shards are
+        merged but before their on-disk stores are deleted — consumers
+        drain any readers there.  ``shard_count`` optionally decouples
+        layout granularity from pool width (more shards than workers
+        means earlier, smaller handoffs); none of the three can change
+        any stored or recorded value — see the module docstring.
         """
         tracer = self.obs.tracer
         spans_before = len(tracer.records)
@@ -193,7 +231,13 @@ class Commander:
                 sites_crawled=len(schedules),
                 pages_discovered=sum(item.page_count for item in schedules),
             )
-            if self.workers <= 1 or len(schedules) <= 1:
+            serial = self.workers <= 1 or len(schedules) <= 1
+            if on_shard is not None:
+                # Streaming consumers need shard stores to hand off, so
+                # the sharded path runs even at workers=1 (its output is
+                # byte-identical to the serial loop's by contract).
+                serial = not schedules
+            if serial:
                 stats = _crawl_sites(
                     self.generator,
                     self.store,
@@ -208,8 +252,15 @@ class Commander:
                     retry_policy=self.retry_policy,
                     salvage_partial=self.salvage_partial,
                 )
+                if before_shard_cleanup is not None:
+                    before_shard_cleanup()
             else:
-                stats = self._run_sharded(schedules)
+                stats = self._run_sharded(
+                    schedules,
+                    on_shard=on_shard,
+                    before_shard_cleanup=before_shard_cleanup,
+                    shard_count=shard_count,
+                )
             for name, client_stats in stats.items():
                 summary.visits[name] = client_stats.visits
                 summary.successes[name] = client_stats.successes
@@ -312,16 +363,29 @@ class Commander:
             site_start += plan.page_count * self.repeat_visits * _NOMINAL_VISIT_SECONDS
         return schedules, plans
 
-    def _run_sharded(self, schedules: Sequence[SiteSchedule]) -> Dict[str, ClientStats]:
+    def _run_sharded(
+        self,
+        schedules: Sequence[SiteSchedule],
+        *,
+        on_shard: Optional[Callable[[ShardHandoff], None]] = None,
+        before_shard_cleanup: Optional[Callable[[], None]] = None,
+        shard_count: Optional[int] = None,
+    ) -> Dict[str, ClientStats]:
         """Fan the schedule out to worker processes and merge their shards.
 
         Workers record telemetry into private tracers/registries; the
         parent re-attaches per-site span subtrees in schedule order and
         merges metrics by summation, so the consolidated telemetry — like
         the consolidated store — is identical to a serial run's.
+
+        Shards are consumed as they complete (no ``pool.map`` barrier):
+        results land in a layout-indexed list, so every downstream step —
+        store merge, span adoption, event replay, metric merge — still
+        runs in deterministic layout order while ``on_shard`` sees each
+        shard the moment it finishes.
         """
-        shards = [list(schedules[index :: self.workers]) for index in range(self.workers)]
-        shards = [shard for shard in shards if shard]
+        count = min(shard_count or self.workers, len(schedules))
+        shards = [list(schedules[index::count]) for index in range(count)]
         tmpdir = tempfile.mkdtemp(prefix="repro-crawl-")
         try:
             specs = [
@@ -342,8 +406,25 @@ class Commander:
                 )
                 for index, shard in enumerate(shards)
             ]
-            with ProcessPoolExecutor(max_workers=len(specs)) as pool:
-                shard_results = list(pool.map(_crawl_shard, specs))
+            shard_results: List[Optional[_ShardResult]] = [None] * len(specs)
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(specs))
+            ) as pool:
+                futures = {
+                    pool.submit(_crawl_shard, spec): index
+                    for index, spec in enumerate(specs)
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    shard_results[index] = future.result()
+                    if on_shard is not None:
+                        on_shard(
+                            ShardHandoff(
+                                index=index,
+                                db_path=specs[index].db_path,
+                                schedules=specs[index].schedules,
+                            )
+                        )
             shard_stores = [
                 MeasurementStore.open_readonly(spec.db_path) for spec in specs
             ]
@@ -352,6 +433,8 @@ class Commander:
             finally:
                 for shard_store in shard_stores:
                     shard_store.close()
+            if before_shard_cleanup is not None:
+                before_shard_cleanup()
         finally:
             shutil.rmtree(tmpdir, ignore_errors=True)
         if self.obs.tracer.enabled:

@@ -195,6 +195,24 @@ class MeasurementStore:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def flush(self) -> None:
+        """Publish every pending write to fresh readers of :attr:`path`.
+
+        Commits any transaction left open on this connection (Python's
+        ``sqlite3`` opens implicit transactions on DML and defers the
+        commit) and checkpoints the WAL back into the main database file.
+        A worker process that opens :attr:`path` with a *new* connection
+        sees only committed state — handing the path out without this
+        barrier silently serves a store missing the last batch.  No-op
+        for in-memory stores (which cannot be opened by path) and
+        read-only stores (nothing to publish).
+        """
+        if self.readonly or self.path == ":memory:":
+            return
+        if self._conn.in_transaction:
+            self._conn.commit()
+        self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
     def snapshot_to(self, path: str) -> str:
         """Copy the full store to ``path`` (sqlite backup API).
 

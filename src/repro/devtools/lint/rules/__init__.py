@@ -7,6 +7,7 @@ Importing this package registers every rule with the framework registry;
 from __future__ import annotations
 
 from . import (  # noqa: F401  (register rules)
+    concurrency,
     determinism,
     errorpolicy,
     interprocedural,
@@ -14,4 +15,11 @@ from . import (  # noqa: F401  (register rules)
     sql,
 )
 
-__all__ = ["determinism", "errorpolicy", "interprocedural", "obs", "sql"]
+__all__ = [
+    "concurrency",
+    "determinism",
+    "errorpolicy",
+    "interprocedural",
+    "obs",
+    "sql",
+]

@@ -1,0 +1,81 @@
+"""Concurrency rules: CONC003 (no ``pool.map`` barriers in pipeline code).
+
+``Executor.map`` is a completion barrier in disguise: results come back
+in submission order, so the caller sits idle until the *slowest* item of
+every earlier position finishes, and nothing downstream can start until
+the pool drains.  In this codebase every parallel stage writes its
+results into a layout-indexed slot and merges commutatively, which means
+``submit`` + ``as_completed`` preserves determinism exactly — consume
+each result the moment it lands, keyed back to its layout index — while
+letting downstream stages (shard hand-off, streamed folds) overlap with
+the stragglers.  CONC003 flags ``.map(...)`` on pool/executor receivers
+so the barrier is a deliberate, suppressed choice rather than a default.
+
+Exempt by construction: ``repro/devtools/`` — developer tooling runs
+short, uniform batches where the barrier is harmless and the simpler
+idiom wins.  Elsewhere, a genuinely-wanted barrier takes a
+``# repro: ok[CONC003] <reason>`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import LintRule, ModuleContext, Violation, register
+
+#: Path fragments whose pools are allowed to barrier (tooling batches).
+_EXEMPT_FRAGMENTS = ("/devtools/",)
+
+#: Receiver name components that identify a process/thread pool.
+_POOL_RECEIVERS = ("pool", "executor")
+
+
+def _receiver_parts(node: ast.AST) -> Iterator[str]:
+    """Name/attribute components of a call receiver, through chained calls."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            yield node.attr
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            yield node.id
+            return
+        else:
+            return
+
+
+@register
+class NoPoolMapBarrier(LintRule):
+    rule_id = "CONC003"
+    summary = "pool.map() barrier; submit + as_completed preserves determinism"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        if any(
+            fragment in module.posix_path for fragment in _EXEMPT_FRAGMENTS
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                not isinstance(node, ast.Call)
+                or not isinstance(node.func, ast.Attribute)
+                or node.func.attr != "map"
+            ):
+                continue
+            parts = [
+                part.lower() for part in _receiver_parts(node.func.value)
+            ]
+            if any(
+                pool_marker in part
+                for part in parts
+                for pool_marker in _POOL_RECEIVERS
+            ):
+                yield self.flag(
+                    module,
+                    node,
+                    "Executor.map is a completion barrier; submit futures "
+                    "keyed by layout index and consume with as_completed — "
+                    "order-restoring merge keeps output deterministic while "
+                    "downstream work overlaps",
+                )

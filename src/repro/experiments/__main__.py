@@ -34,6 +34,24 @@ def main(argv=None, clock: "Clock" = None) -> int:
     parser.add_argument("--sites-per-bucket", type=int, default=3)
     parser.add_argument("--pages-per-site", type=int, default=4)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="crawl worker processes (output is identical at any count)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="tree-building processes (output is identical at any count)",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="overlap crawling with analysis (repro.pipeline.stream); "
+        "byte-identical outputs, better wall-clock at scale",
+    )
+    parser.add_argument(
         "--only",
         type=str,
         default="",
@@ -75,6 +93,9 @@ def main(argv=None, clock: "Clock" = None) -> int:
         seed=args.seed,
         sites_per_bucket=args.sites_per_bucket,
         pages_per_site=args.pages_per_site,
+        workers=args.workers,
+        jobs=args.jobs,
+        stream=args.stream,
     )
     monitoring = args.monitor or args.monitor_gate
     obs = (
@@ -95,9 +116,11 @@ def main(argv=None, clock: "Clock" = None) -> int:
         )
         obs.attach_monitor(monitor)
     watch = Stopwatch(clock)
+    mode = " (streamed)" if config.stream else ""
     print(
         f"running pipeline: seed={config.seed}, "
-        f"{config.sites_per_bucket} sites/bucket, {config.pages_per_site} pages/site"
+        f"{config.sites_per_bucket} sites/bucket, "
+        f"{config.pages_per_site} pages/site{mode}"
     )
     ctx = run_pipeline(config, obs=obs)
     print(

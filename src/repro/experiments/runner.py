@@ -36,7 +36,9 @@ class ExperimentConfig:
     ``workers`` shards the crawl and ``jobs`` the tree building across
     processes; both default to serial and neither changes any stored or
     analyzed value (the crawl is deterministic per site, see
-    :mod:`repro.crawler.commander`).
+    :mod:`repro.crawler.commander`).  ``stream`` overlaps the two phases
+    (:mod:`repro.pipeline.stream`) — again with byte-identical outputs,
+    so it is pure wall-clock economics.
     """
 
     seed: int = 2023
@@ -46,6 +48,7 @@ class ExperimentConfig:
     web_config: WebConfig = field(default_factory=WebConfig)
     workers: int = 1
     jobs: int = 1
+    stream: bool = False
 
     def __post_init__(self) -> None:
         if self.sites_per_bucket < 1 or self.pages_per_site < 1:
@@ -58,9 +61,10 @@ def resolved_pipeline_config(config: ExperimentConfig) -> Dict[str, object]:
     """The pipeline knobs that shape the data, as a JSON-safe document.
 
     This is what the run ledger hashes as the pipeline's configuration
-    identity.  ``workers`` and ``jobs`` are deliberately absent: sharding
-    must not change any stored or analyzed value, so two runs that differ
-    only in parallelism hash (and diff) as the same setup.
+    identity.  ``workers``, ``jobs``, and ``stream`` are deliberately
+    absent: sharding and phase overlap must not change any stored or
+    analyzed value, so two runs that differ only in execution layout
+    hash (and diff) as the same setup.
     """
     return {
         "seed": config.seed,
@@ -91,25 +95,51 @@ class ExperimentContext:
             self.ranks: List[int] = sample_paper_buckets(
                 config.seed, per_bucket=config.sites_per_bucket
             )
-            commander = Commander(
-                self.generator,
-                self.store,
-                profiles=config.profiles,
-                max_pages_per_site=config.pages_per_site,
-                workers=config.workers,
-                obs=self.obs,
-            )
-            self.summary: CrawlSummary = commander.run(self.ranks)
-            with self.obs.tracer.span("filter-list", key="filter-list"):
-                self.filter_list: FilterList = build_filter_list(
-                    self.generator.ecosystem
+            if config.stream:
+                # Fold workers classify against the filter list
+                # mid-stream, so it is built ahead of the crawl; its
+                # span is still emitted at the canonical post-crawl
+                # slot so streamed traces stay byte-identical to batch.
+                from ..pipeline import stream_crawl
+
+                filter_list = build_filter_list(self.generator.ecosystem)
+                stream_run = stream_crawl(
+                    self.generator,
+                    self.store,
+                    self.ranks,
+                    profiles=config.profiles,
+                    max_pages_per_site=config.pages_per_site,
+                    workers=config.workers,
+                    jobs=config.jobs,
+                    filter_list=filter_list,
+                    obs=self.obs,
                 )
-            self.dataset: AnalysisDataset = AnalysisDataset.from_store(
-                self.store,
-                filter_list=self.filter_list,
-                jobs=config.jobs,
-                obs=self.obs,
-            )
+                self.summary: CrawlSummary = stream_run.summary
+                with self.obs.tracer.span("filter-list", key="filter-list"):
+                    self.filter_list: FilterList = filter_list
+                self.dataset: AnalysisDataset = stream_run.finalize()
+                stream_stats = stream_run.stats
+            else:
+                commander = Commander(
+                    self.generator,
+                    self.store,
+                    profiles=config.profiles,
+                    max_pages_per_site=config.pages_per_site,
+                    workers=config.workers,
+                    obs=self.obs,
+                )
+                self.summary = commander.run(self.ranks)
+                with self.obs.tracer.span("filter-list", key="filter-list"):
+                    self.filter_list = build_filter_list(
+                        self.generator.ecosystem
+                    )
+                self.dataset = AnalysisDataset.from_store(
+                    self.store,
+                    filter_list=self.filter_list,
+                    jobs=config.jobs,
+                    obs=self.obs,
+                )
+                stream_stats = None
         if self.obs.ledger is not None:
             self.obs.ledger.append(
                 build_run_record(
@@ -127,6 +157,15 @@ class ExperimentContext:
                     alerts=(
                         self.obs.monitor.alerts_payload()
                         if self.obs.monitor is not None
+                        else None
+                    ),
+                    # Overlap observations are measured-section only:
+                    # streamed and batch runs of one config share their
+                    # deterministic section (and provenance id), so
+                    # ledger baselines apply across both layouts.
+                    extra_measured=(
+                        stream_stats.measured_payload()
+                        if stream_stats is not None
                         else None
                     ),
                 )

@@ -233,6 +233,7 @@ def build_run_record(
     store_schema_version: int = 0,
     bundle_digest: str = "",
     alerts: Optional[Sequence[Mapping[str, object]]] = None,
+    extra_measured: Optional[Mapping[str, object]] = None,
 ) -> RunRecord:
     """Assemble a :class:`RunRecord` from one run's telemetry.
 
@@ -243,6 +244,11 @@ def build_run_record(
     duration is the run's wall clock (default: closed root spans of the
     slice).  ``config`` must already exclude worker/job counts — see
     :func:`config_hash`.
+
+    ``extra_measured`` merges additional keys into the *measured*
+    section only — execution-layout observations (e.g. the streaming
+    pipeline's overlap timings) belong there, never in the deterministic
+    section, whose bytes must be layout-independent.
     """
     if records is None:
         records = obs.tracer.records
@@ -275,6 +281,8 @@ def build_run_record(
         ),
         "peak_rss_kb": 0 if fake_clock else peak_rss_kb(),
     }
+    if extra_measured:
+        measured.update(dict(extra_measured))
     return RunRecord(
         kind=kind,
         label=label,

@@ -1,0 +1,211 @@
+"""Streaming crawl→analysis: overlap shard crawling with tree building.
+
+The batch pipeline is strictly phased: every crawl shard must land
+before the merged store exists, and the merged store must exist before
+the first tree is built.  At paper scale (~1.7M visits) that wastes the
+analysis cores for the whole crawl and the crawl cores for the whole
+analysis.  :func:`stream_crawl` removes the phase barrier: the moment a
+site shard's store lands (``Commander.run``'s ``on_shard`` hand-off), a
+process-pool analysis stage vets the shard, builds its trees, and folds
+the result into a running :class:`~repro.analysis.dataset.StreamingDataset`
+via commutative merge — the same discipline ``repro.obs`` metrics and
+span adoption already prove out.
+
+Determinism contract (DESIGN §8)
+--------------------------------
+Streaming changes *when* work happens, never *what* is produced:
+
+* the merged store is byte-identical to the batch path's (the shard
+  merge runs in layout order, exactly as before);
+* the finalized dataset is byte-identical (folds are commutative, the
+  finalize step restores the batch path's global ``page_url`` order);
+* traces and metrics are byte-identical under the deterministic clock
+  (fold metrics merge commutatively at finalize; the ``dataset`` span is
+  emitted at its canonical position);
+* ledger records carry the same deterministic section — overlap
+  observations (``stream.*``) live in the *measured* section only,
+  because execution layout must never leak into byte-compared state.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.dataset import StreamingDataset, fold_shard_store
+from ..blocklist.matcher import FilterList
+from ..browser.profile import BrowserProfile, PAPER_PROFILES
+from ..crawler.commander import Commander, CrawlSummary, ShardHandoff
+from ..crawler.retry import RetryPolicy
+from ..crawler.storage import MeasurementStore
+from ..devtools.clock import Stopwatch
+from ..obs import NULL_OBS, ObsContext
+from ..web.sitegen import WebGenerator
+
+#: Default shard granularity: shards per crawl worker.  Finer shards hand
+#: off earlier and overlap more (the analysis pool starts while most of
+#: the crawl is still running) at the cost of slightly more per-shard
+#: overhead; the layout provably cannot change any output, so this is a
+#: pure throughput knob.
+SHARDS_PER_WORKER = 4
+
+
+@dataclass
+class StreamStats:
+    """Execution-layout observations of one streamed run.
+
+    Everything here describes *how* the overlap went, not *what* was
+    measured — ledger material for the ratio-compared measured section
+    (``stream.*`` keys), never for the deterministic one.  Under a
+    ``FakeClock`` the timings are zero and the payload is itself a pure
+    function of the plan.
+    """
+
+    handoffs: int = 0
+    folds: int = 0
+    visits: int = 0
+    drain_seconds: float = 0.0
+    stream_seconds: float = 0.0
+
+    @property
+    def visits_per_sec(self) -> float:
+        if self.stream_seconds <= 0:
+            return 0.0
+        return self.visits / self.stream_seconds
+
+    def measured_payload(self) -> Dict[str, object]:
+        """The ``stream`` block merged into a run record's measured section."""
+        return {
+            "stream": {
+                "handoffs": self.handoffs,
+                "folds": self.folds,
+                "visits": self.visits,
+                "drain_seconds": round(self.drain_seconds, 6),
+                "stream_seconds": round(self.stream_seconds, 6),
+                "visits_per_sec": round(self.visits_per_sec, 2),
+            }
+        }
+
+
+@dataclass
+class StreamRun:
+    """What :func:`stream_crawl` hands back: the crawl summary, the fully
+    folded (not yet finalized) dataset, and the overlap stats.
+
+    The dataset is left un-finalized so callers can interleave their own
+    post-crawl steps (the experiment runner emits its ``filter-list``
+    span here) before sealing; :meth:`finalize` is a convenience that
+    seals in place.
+    """
+
+    summary: CrawlSummary
+    streaming: StreamingDataset
+    stats: StreamStats
+
+    def finalize(self):
+        return self.streaming.finalize()
+
+
+def stream_crawl(
+    generator: WebGenerator,
+    store: MeasurementStore,
+    ranks: Sequence[int],
+    *,
+    profiles: Sequence[BrowserProfile] = PAPER_PROFILES,
+    max_pages_per_site: int = 25,
+    timeout: float = 30.0,
+    stateful: bool = False,
+    repeat_visits: int = 1,
+    workers: int = 1,
+    jobs: int = 1,
+    filter_list: Optional[FilterList] = None,
+    require_all: bool = True,
+    include_partial: bool = False,
+    obs: Optional[ObsContext] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    salvage_partial: bool = False,
+    shards_per_worker: int = SHARDS_PER_WORKER,
+) -> StreamRun:
+    """Crawl ``ranks`` and build the analysis dataset in one overlapped pass.
+
+    ``workers`` sizes the crawl pool, ``jobs`` the analysis pool; both
+    pools run concurrently, so the peak process count is ``workers +
+    jobs``.  The crawl is laid out in ``workers × shards_per_worker``
+    shards (even at ``workers=1`` — a one-worker stream still overlaps
+    analysis with crawling); each finished shard is vetted and
+    tree-built by :func:`~repro.analysis.dataset.fold_shard_store` in
+    the analysis pool and folded into the running dataset.  The fold
+    drain runs before the commander deletes shard stores, so every
+    reader finishes first.
+
+    ``filter_list`` must be supplied up front when classification is
+    wanted — fold workers classify mid-stream, so there is no
+    post-crawl moment to build it (the experiment runner builds it
+    before calling and emits the ``filter-list`` span at its canonical
+    post-crawl slot).
+
+    Returns a :class:`StreamRun`; call ``.finalize()`` (or
+    ``streaming.finalize()``) to obtain the batch-identical
+    :class:`~repro.analysis.dataset.AnalysisDataset`.
+    """
+    obs = obs if obs is not None else NULL_OBS
+    commander = Commander(
+        generator,
+        store,
+        profiles=profiles,
+        max_pages_per_site=max_pages_per_site,
+        timeout=timeout,
+        stateful=stateful,
+        repeat_visits=repeat_visits,
+        workers=workers,
+        obs=obs,
+        retry_policy=retry_policy,
+        salvage_partial=salvage_partial,
+    )
+    # Sorted names == ``store.profiles()`` on the merged store (every
+    # profile records a row per planned page), so the finalized dataset
+    # carries the same profile list the batch path derives.
+    profile_names = sorted(profile.name for profile in commander.profiles)
+    streaming = StreamingDataset(profile_names, obs=obs)
+    stats = StreamStats()
+    obs_config = obs.config()
+    watch = Stopwatch(obs.tracer.clock)
+    fold_futures: List[Future] = []
+
+    with ProcessPoolExecutor(max_workers=jobs) as analysis_pool:
+
+        def on_shard(handoff: ShardHandoff) -> None:
+            stats.handoffs += 1
+            fold_futures.append(
+                analysis_pool.submit(
+                    fold_shard_store,
+                    handoff.db_path,
+                    profile_names,
+                    filter_list,
+                    require_all,
+                    obs_config,
+                    include_partial,
+                )
+            )
+
+        def drain() -> None:
+            # Invoked by the commander after the shard merge, before the
+            # shard stores are deleted: every fold must finish reading
+            # its store first.  Futures resolve in hand-off order; the
+            # fold is commutative, so any order lands the same state.
+            drain_watch = Stopwatch(obs.tracer.clock)
+            for future in fold_futures:
+                streaming.fold(future.result())
+                stats.folds += 1
+            stats.drain_seconds = drain_watch.elapsed()
+
+        summary = commander.run(
+            ranks,
+            on_shard=on_shard,
+            before_shard_cleanup=drain,
+            shard_count=max(1, workers) * shards_per_worker,
+        )
+    stats.visits = summary.total_visits
+    stats.stream_seconds = watch.elapsed()
+    return StreamRun(summary=summary, streaming=streaming, stats=stats)

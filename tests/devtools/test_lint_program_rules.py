@@ -146,7 +146,8 @@ class TestCONC001SharedMutableWrite:
                     "    _SEEN[item] = True  # repro: ok[CONC001] merged in parent afterwards\n"
                     "    return item\n\n"
                     "def run(pool, items):\n"
-                    "    return pool.map(_shard, items)\n"
+                    "    return pool.map(_shard, items)"
+                    "  # repro: ok[CONC003] fixture wants the barrier\n"
                 )
             }
         )
@@ -168,7 +169,8 @@ class TestCONC002SingletonAttrWrite:
                 f"    {call_line}\n"
                 "    return item\n\n"
                 "def run(pool, items):\n"
-                "    return pool.map(_work, items)\n"
+                "    return pool.map(_work, items)"
+                "  # repro: ok[CONC003] fixture wants the barrier\n"
             )
         }
 
